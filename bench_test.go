@@ -1,0 +1,240 @@
+package stagedb
+
+// One benchmark per table/figure of the paper plus the §4.4 ablations, as
+// indexed in DESIGN.md §4. Each bench regenerates its experiment and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the evaluation end to end. Shapes to expect are documented in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"stagedb/internal/experiments"
+	"stagedb/internal/plan"
+	"stagedb/internal/queuesim"
+	"stagedb/internal/sql"
+	"stagedb/internal/workload"
+)
+
+// parseForBench exposes the parser to the front-end microbench.
+func parseForBench(q string) (sql.Statement, error) { return sql.Parse(q) }
+
+// BenchmarkFig1Trace regenerates the Figure 1 execution traces and reports
+// the elapsed-time ratio of round-robin over stage-affinity scheduling.
+func BenchmarkFig1Trace(b *testing.B) {
+	var res experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig1(96)
+	}
+	b.ReportMetric(float64(res.RoundRobinElapsed)/float64(res.AffinityElapsed), "rr/affinity-elapsed")
+}
+
+// BenchmarkFig2 sweeps thread-pool sizes for both workloads; the reported
+// metrics are the %-of-max throughput at the paper's interesting points.
+func BenchmarkFig2(b *testing.B) {
+	for _, wl := range []string{"A", "B"} {
+		b.Run("workload="+wl, func(b *testing.B) {
+			var points []experiments.Fig2Point
+			jobs := 150
+			if wl == "B" {
+				jobs = 60
+			}
+			for i := 0; i < b.N; i++ {
+				points = experiments.Fig2(wl, nil, jobs, 42)
+			}
+			for _, p := range points {
+				switch p.Threads {
+				case 1, 5, 20, 200:
+					b.ReportMetric(p.PctOfMax, fmt.Sprintf("pct-of-max@%dthr", p.Threads))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParseAffinity regenerates the §3.1.3 experiment; the metric is
+// the warm-parser improvement percentage (paper: 7%).
+func BenchmarkParseAffinity(b *testing.B) {
+	var res experiments.AffinityResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Affinity()
+	}
+	b.ReportMetric(res.ImprovementPct, "improvement-%")
+}
+
+// BenchmarkFig5 runs the production-line policy study at 95% load for a
+// reduced l sweep; metrics are mean response times in ms per policy at the
+// highest l.
+func BenchmarkFig5(b *testing.B) {
+	for _, lf := range []float64{0.1, 0.4} {
+		b.Run(fmt.Sprintf("l=%.0f%%", lf*100), func(b *testing.B) {
+			var rows []experiments.Fig5Row
+			for i := 0; i < b.N; i++ {
+				rows = experiments.Fig5([]float64{lf}, 0.95, 6000)
+			}
+			for _, r := range rows[0].Results {
+				b.ReportMetric(r.MeanResponse.Seconds()*1000, r.Policy.Name()+"-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Policies benches one simulator run per policy so relative
+// simulation costs are visible too.
+func BenchmarkFig5Policies(b *testing.B) {
+	for _, p := range queuesim.Figure5Policies() {
+		b.Run(p.Name(), func(b *testing.B) {
+			cfg := queuesim.DefaultConfig(0.3, 0.95)
+			cfg.Jobs, cfg.Warmup = 4000, 400
+			var res queuesim.Result
+			for i := 0; i < b.N; i++ {
+				res = queuesim.Run(cfg, p)
+			}
+			b.ReportMetric(res.MeanResponse.Seconds()*1000, "mean-response-ms")
+		})
+	}
+}
+
+// BenchmarkGranularity is the §4.4(b) ablation: same work, k stages.
+func BenchmarkGranularity(b *testing.B) {
+	var points []experiments.GranularityPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.Granularity([]int{1, 5, 40}, 16, 1)
+	}
+	for _, p := range points {
+		b.ReportMetric(p.Elapsed.Seconds()*1000, fmt.Sprintf("elapsed-ms@%dstages", p.Stages))
+	}
+}
+
+// BenchmarkPolicyLoad is the §4.4(d) ablation: policies across loads.
+func BenchmarkPolicyLoad(b *testing.B) {
+	var rows []experiments.PolicyLoadRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.PolicyLoad([]float64{0.7, 0.95}, 0.3, 4000)
+	}
+	for _, row := range rows {
+		best := row.Results[0]
+		for _, r := range row.Results {
+			if r.MeanResponse < best.MeanResponse {
+				best = r
+			}
+		}
+		b.ReportMetric(best.MeanResponse.Seconds()*1000, fmt.Sprintf("best-ms@rho=%.0f%%", row.Rho*100))
+	}
+}
+
+// --- engine-level benches: the real system under the paper's workloads ---
+
+func loadWisconsin(b *testing.B, db *DB, tables []string, rows int) {
+	b.Helper()
+	for i, tbl := range tables {
+		if _, err := db.Exec(workload.WisconsinDDL(tbl)); err != nil {
+			b.Fatal(err)
+		}
+		for _, stmt := range workload.WisconsinRows(tbl, rows, uint64(i+1), 250) {
+			if _, err := db.Exec(stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Analyze(tbl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWorkloadA runs the §3.1.1 Workload A query mix on both
+// architectures (selection/aggregation queries).
+func BenchmarkEngineWorkloadA(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode Mode
+	}{{"staged", Staged}, {"threaded", Threaded}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := Open(Options{Mode: mode.mode})
+			defer db.Close()
+			loadWisconsin(b, db, []string{"tenk"}, 2000)
+			gen := workload.NewWorkloadA("tenk", 2000, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(gen.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineWorkloadB runs the Workload B join mix on both
+// architectures.
+func BenchmarkEngineWorkloadB(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode Mode
+	}{{"staged", Staged}, {"threaded", Threaded}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := Open(Options{Mode: mode.mode})
+			defer db.Close()
+			loadWisconsin(b, db, []string{"wtab", "wtab2"}, 1000)
+			gen := workload.NewWorkloadB("wtab", 1000, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(gen.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPageSize is the §4.4(c) ablation on the live staged engine.
+func BenchmarkPageSize(b *testing.B) {
+	for _, pr := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("rows=%d", pr), func(b *testing.B) {
+			db := Open(Options{PageRows: pr})
+			defer db.Close()
+			loadWisconsin(b, db, []string{"p1", "p12"}, 1000)
+			q := "SELECT a.ten, COUNT(*) FROM p1 a JOIN p12 b ON a.unique1 = b.unique1 GROUP BY a.ten"
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinAlgorithms compares the three join implementations the
+// paper's join stage bundles (§4.3).
+func BenchmarkJoinAlgorithms(b *testing.B) {
+	for _, algo := range []plan.JoinAlgo{plan.HashJoin, plan.SortMergeJoin, plan.NestedLoopJoin} {
+		b.Run(algo.String(), func(b *testing.B) {
+			db := Open(Options{})
+			defer db.Close()
+			db.kernel.SetPlanOptions(plan.Options{ForceJoin: &algo})
+			loadWisconsin(b, db, []string{"j1", "j12"}, 500)
+			q := "SELECT COUNT(*) FROM j1 a JOIN j12 b ON a.unique1 = b.unique1"
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParser measures the SQL front end on its own.
+func BenchmarkParser(b *testing.B) {
+	q := "SELECT a.ten, COUNT(*) AS n FROM t1 a JOIN t2 b ON a.id = b.id WHERE a.x BETWEEN 1 AND 100 AND b.name LIKE 'abc%' GROUP BY a.ten ORDER BY n DESC LIMIT 10"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseForBench(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

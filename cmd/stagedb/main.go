@@ -1,0 +1,118 @@
+// Command stagedb is an interactive SQL shell over the staged engine.
+//
+//	$ go run ./cmd/stagedb
+//	stagedb> CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+//	stagedb> INSERT INTO t VALUES (1, 'ann');
+//	stagedb> SELECT * FROM t;
+//
+// Meta commands: \stages (per-stage monitors), \explain <select>, \quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stagedb"
+	"stagedb/internal/metrics"
+)
+
+func main() {
+	db := stagedb.Open(stagedb.Options{})
+	defer db.Close()
+	conn := db.Conn()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("stagedb — staged database system (CIDR 2003 reproduction). \\quit to exit.")
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("stagedb> ")
+		} else {
+			fmt.Print("    ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			runStatement(conn, stmt)
+		}
+		prompt()
+	}
+}
+
+func meta(db *stagedb.DB, cmd string) bool {
+	switch {
+	case cmd == "\\quit" || cmd == "\\q":
+		return false
+	case cmd == "\\stages":
+		snaps := db.Stages()
+		head := []string{"stage", "enqueued", "serviced", "queue", "mean service"}
+		var rows [][]string
+		for _, s := range snaps {
+			rows = append(rows, []string{
+				s.Name,
+				fmt.Sprintf("%d", s.Enqueued),
+				fmt.Sprintf("%d", s.Serviced),
+				fmt.Sprintf("%d", s.QueueLen),
+				s.MeanService.String(),
+			})
+		}
+		fmt.Print(metrics.Table(head, rows))
+	case strings.HasPrefix(cmd, "\\explain "):
+		out, err := db.Explain(strings.TrimSuffix(strings.TrimPrefix(cmd, "\\explain "), ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(out)
+	default:
+		fmt.Println("meta commands: \\stages \\explain <select> \\quit")
+	}
+	return true
+}
+
+func runStatement(conn *stagedb.Conn, stmt string) {
+	stmt = strings.TrimSpace(stmt)
+	if stmt == "" || stmt == ";" {
+		return
+	}
+	start := time.Now()
+	res, err := conn.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	elapsed := time.Since(start)
+	switch {
+	case res.Columns != nil:
+		rows := make([][]string, len(res.Rows))
+		for i, r := range res.Rows {
+			cells := make([]string, len(r))
+			for j, v := range r {
+				cells[j] = v.String()
+			}
+			rows[i] = cells
+		}
+		fmt.Print(metrics.Table(res.Columns, rows))
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), elapsed)
+	default:
+		fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, elapsed)
+	}
+}

@@ -1,0 +1,102 @@
+// Analytics: a Wisconsin-style decision-support session on the staged
+// engine — bulk load, statistics, join/aggregate pipelines across the
+// fscan/join/aggr stages, plan inspection, and the §4.4(c) page-size knob.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stagedb"
+	"stagedb/internal/workload"
+)
+
+const rows = 5000
+
+func open(pageRows int) *stagedb.DB {
+	db := stagedb.Open(stagedb.Options{PageRows: pageRows})
+	for _, tbl := range []string{"tenktup1", "tenktup2"} {
+		if _, err := db.Exec(workload.WisconsinDDL(tbl)); err != nil {
+			log.Fatal(err)
+		}
+		for _, stmt := range workload.WisconsinRows(tbl, rows, 7, 250) {
+			if _, err := db.Exec(stmt); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := db.Analyze(tbl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}
+
+func main() {
+	fmt.Printf("loading 2 x %d Wisconsin rows...\n", rows)
+	db := open(0)
+	defer db.Close()
+
+	queries := []string{
+		// Range selection through the primary-key index.
+		"SELECT COUNT(*) FROM tenktup1 WHERE unique2 BETWEEN 100 AND 999",
+		// Join + group-by across the staged operators.
+		`SELECT a.ten, COUNT(*) AS n, AVG(b.unique1) AS avg1
+		 FROM tenktup1 a JOIN tenktup2 b ON a.unique1 = b.unique1
+		 WHERE a.four = 2 GROUP BY a.ten ORDER BY a.ten`,
+		// Aggregation with HAVING.
+		`SELECT hundred, COUNT(*) FROM tenktup1
+		 GROUP BY hundred HAVING COUNT(*) > 40 ORDER BY hundred LIMIT 5`,
+	}
+	for _, q := range queries {
+		plan, err := db.Explain(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nquery: %s\nplan:\n%s", squish(q), plan)
+		start := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-> %d rows in %v; first: %v\n", len(res.Rows), time.Since(start), first(res))
+	}
+
+	// §4.4(c): the page size for intermediate results is a tuning knob.
+	fmt.Println("\npage-size sweep on the join pipeline (smaller = chattier exchanges):")
+	join := `SELECT a.ten, COUNT(*) FROM tenktup1 a JOIN tenktup2 b
+	         ON a.unique1 = b.unique1 GROUP BY a.ten`
+	for _, pr := range []int{1, 16, 64, 256} {
+		db2 := open(pr)
+		start := time.Now()
+		if _, err := db2.Query(join); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  pageRows=%-4d %v\n", pr, time.Since(start))
+		db2.Close()
+	}
+}
+
+func first(res *stagedb.Result) string {
+	if len(res.Rows) == 0 {
+		return "(none)"
+	}
+	return res.Rows[0].String()
+}
+
+func squish(s string) string {
+	out := ""
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' {
+			if !space {
+				out += " "
+			}
+			space = true
+			continue
+		}
+		space = false
+		out += string(r)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Quickstart: open a staged database, define a schema, load rows, and run
+// queries — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stagedb"
+)
+
+func main() {
+	// The default options run the paper's staged architecture: connect ->
+	// parse -> optimize -> execute -> disconnect, with staged relational
+	// operators inside execute.
+	db := stagedb.Open(stagedb.Options{})
+	defer db.Close()
+
+	if err := db.ExecScript(`
+		CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, year INT, rating FLOAT);
+		CREATE TABLE screenings (movie_id INT, room TEXT, seats INT);
+		CREATE INDEX idx_year ON movies (year);
+
+		INSERT INTO movies VALUES
+			(1, 'Metropolis', 1927, 8.3),
+			(2, 'M', 1931, 8.3),
+			(3, 'Modern Times', 1936, 8.5),
+			(4, 'Casablanca', 1942, 8.5),
+			(5, 'Rear Window', 1954, 8.5);
+		INSERT INTO screenings VALUES
+			(1, 'A', 120), (3, 'A', 120), (3, 'B', 80), (4, 'B', 80), (5, 'C', 40);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Analyze("movies"); err != nil {
+		log.Fatal(err)
+	}
+
+	// A filtered join with grouping, ordering and limiting.
+	res, err := db.Query(`
+		SELECT m.title, COUNT(*) AS rooms, SUM(s.seats) AS seats
+		FROM movies m JOIN screenings s ON m.id = s.movie_id
+		WHERE m.rating >= 8.4
+		GROUP BY m.title
+		ORDER BY seats DESC
+		LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("screenings of top-rated movies:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-14s rooms=%v seats=%v\n", row[0].Text(), row[1], row[2])
+	}
+
+	// Transactions: a reservation that fails rolls back atomically.
+	conn := db.Conn()
+	conn.Exec("BEGIN")
+	conn.Exec("UPDATE screenings SET seats = seats - 200 WHERE room = 'C'")
+	conn.Exec("ROLLBACK")
+	res, _ = db.Query("SELECT seats FROM screenings WHERE room = 'C'")
+	fmt.Printf("\nseats in room C after rollback: %v (unchanged)\n", res.Rows[0][0])
+
+	// The planner is inspectable: the year predicate uses the index.
+	explain, err := db.Explain("SELECT title FROM movies WHERE year BETWEEN 1930 AND 1940")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan for a year-range query:")
+	fmt.Print(explain)
+
+	// Every stage reports its own statistics (§5.2 of the paper).
+	fmt.Println("\nstage monitors:")
+	for _, s := range db.Stages() {
+		if s.Serviced > 0 {
+			fmt.Printf("  %-12s serviced=%d mean=%v\n", s.Name, s.Serviced, s.MeanService)
+		}
+	}
+}

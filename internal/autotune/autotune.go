@@ -1,0 +1,124 @@
+// Package autotune implements the §4.4 self-tuning controllers for a staged
+// DBMS. Each controller is a pure decision function over observed metrics,
+// so it is deterministic and unit-testable; the engine applies the
+// recommendations.
+//
+// The four tuned parameters, per the paper:
+//
+//	(a) the number of threads at each stage (from its observed I/O blocking),
+//	(b) the stage size — merging or splitting stages against the cache size,
+//	(c) the page size for intermediate results, and
+//	(d) the thread scheduling policy for the current load.
+package autotune
+
+import (
+	"sort"
+
+	"stagedb/internal/metrics"
+	"stagedb/internal/queuesim"
+)
+
+// ThreadRecommendation sizes one stage's worker pool.
+type ThreadRecommendation struct {
+	Stage   string
+	Workers int
+}
+
+// TuneThreads recommends per-stage worker counts from stage monitors: a
+// stage that never blocks on I/O needs exactly one worker (extra threads
+// only thrash, §3.1.1); a stage that blocks needs roughly 1/(1-blockedFrac)
+// workers to keep the CPU busy, capped at maxWorkers.
+func TuneThreads(snaps []metrics.StageSnapshot, maxWorkers int) []ThreadRecommendation {
+	if maxWorkers <= 0 {
+		maxWorkers = 32
+	}
+	out := make([]ThreadRecommendation, 0, len(snaps))
+	for _, s := range snaps {
+		workers := 1
+		if s.Serviced > 0 && s.IOBlocked > 0 {
+			frac := float64(s.IOBlocked) / float64(s.Serviced)
+			if frac > 0.95 {
+				frac = 0.95
+			}
+			workers = int(1.0/(1.0-frac) + 0.5)
+			if workers < 1 {
+				workers = 1
+			}
+			if workers > maxWorkers {
+				workers = maxWorkers
+			}
+		}
+		out = append(out, ThreadRecommendation{Stage: s.Name, Workers: workers})
+	}
+	return out
+}
+
+// StageGroup is a set of modules fused into one stage.
+type StageGroup struct {
+	Modules []string
+	Bytes   int64
+}
+
+// Module describes a candidate stage module for grouping.
+type Module struct {
+	Name  string
+	Bytes int64 // common working-set size
+}
+
+// GroupStages fuses adjacent modules while their combined working set fits
+// the cache (§4.4b: "dynamically merge or split stages"): few huge stages
+// fail to exploit the cache, many tiny ones pay queueing overhead, so the
+// controller packs greedily up to the cache size. Order is preserved
+// (modules are pipeline-adjacent).
+func GroupStages(mods []Module, cacheBytes int64) []StageGroup {
+	var out []StageGroup
+	var cur StageGroup
+	for _, m := range mods {
+		if len(cur.Modules) > 0 && cur.Bytes+m.Bytes > cacheBytes {
+			out = append(out, cur)
+			cur = StageGroup{}
+		}
+		cur.Modules = append(cur.Modules, m.Name)
+		cur.Bytes += m.Bytes
+	}
+	if len(cur.Modules) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// PageSample is one measured throughput at a page size.
+type PageSample struct {
+	PageRows   int
+	Throughput float64 // queries (or rows) per second, higher is better
+}
+
+// TunePageSize picks the best measured page size, breaking ties toward the
+// smaller size (less latency per §4.4c: the page size bounds how long a
+// stage works on one query before switching).
+func TunePageSize(samples []PageSample) int {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]PageSample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Throughput != sorted[j].Throughput {
+			return sorted[i].Throughput > sorted[j].Throughput
+		}
+		return sorted[i].PageRows < sorted[j].PageRows
+	})
+	return sorted[0].PageRows
+}
+
+// ChoosePolicy selects the scheduling policy for the observed operating
+// point (§4.4d: "different scheduling policies prevail for different system
+// loads"). Below the locality threshold or at low load, plain FCFS wins (no
+// batching delay); beyond it the gated staged policy exploits module
+// affinity (Figure 5: staged policies overtake the baselines once module
+// load time exceeds ~2% of execution time).
+func ChoosePolicy(load, loadFraction float64) queuesim.Policy {
+	if loadFraction < 0.02 || load < 0.5 {
+		return queuesim.Policy{Kind: queuesim.FCFS}
+	}
+	return queuesim.Policy{Kind: queuesim.TGated, K: 2}
+}

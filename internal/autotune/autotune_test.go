@@ -1,0 +1,94 @@
+package autotune
+
+import (
+	"testing"
+
+	"stagedb/internal/metrics"
+	"stagedb/internal/queuesim"
+)
+
+func TestTuneThreadsCPUBoundStaysAtOne(t *testing.T) {
+	recs := TuneThreads([]metrics.StageSnapshot{
+		{Name: "parse", Serviced: 100, IOBlocked: 0},
+	}, 32)
+	if recs[0].Workers != 1 {
+		t.Fatalf("CPU-bound stage should get 1 worker, got %d", recs[0].Workers)
+	}
+}
+
+func TestTuneThreadsIOBoundScalesUp(t *testing.T) {
+	recs := TuneThreads([]metrics.StageSnapshot{
+		{Name: "fscan", Serviced: 100, IOBlocked: 80}, // 80% blocked -> ~5 workers
+		{Name: "log", Serviced: 100, IOBlocked: 99},   // capped
+	}, 8)
+	if recs[0].Workers < 4 || recs[0].Workers > 6 {
+		t.Fatalf("80%% blocked should want ~5 workers, got %d", recs[0].Workers)
+	}
+	if recs[1].Workers != 8 {
+		t.Fatalf("recommendation should cap at max, got %d", recs[1].Workers)
+	}
+}
+
+func TestGroupStagesPacksToCache(t *testing.T) {
+	mods := []Module{
+		{Name: "parse", Bytes: 100},
+		{Name: "rewrite", Bytes: 50},
+		{Name: "optimize", Bytes: 200},
+		{Name: "fscan", Bytes: 120},
+		{Name: "join", Bytes: 180},
+	}
+	groups := GroupStages(mods, 300)
+	// parse+rewrite(150) fit; +optimize would be 350 -> split; optimize(200)
+	// +fscan would be 320 -> split; fscan+join = 300 fits exactly.
+	if len(groups) != 3 {
+		t.Fatalf("groups: %+v", groups)
+	}
+	if len(groups[0].Modules) != 2 || groups[0].Bytes != 150 {
+		t.Fatalf("group 0: %+v", groups[0])
+	}
+	if len(groups[2].Modules) != 2 || groups[2].Bytes != 300 {
+		t.Fatalf("group 2: %+v", groups[2])
+	}
+}
+
+func TestGroupStagesOversizedModuleAlone(t *testing.T) {
+	groups := GroupStages([]Module{{Name: "big", Bytes: 1000}, {Name: "tiny", Bytes: 1}}, 300)
+	if len(groups) != 2 || len(groups[0].Modules) != 1 {
+		t.Fatalf("oversized module should stand alone: %+v", groups)
+	}
+}
+
+func TestTunePageSize(t *testing.T) {
+	best := TunePageSize([]PageSample{
+		{PageRows: 1, Throughput: 50},
+		{PageRows: 64, Throughput: 100},
+		{PageRows: 1024, Throughput: 100}, // tie -> smaller wins
+	})
+	if best != 64 {
+		t.Fatalf("best=%d, want 64", best)
+	}
+	if TunePageSize(nil) != 0 {
+		t.Fatal("empty samples should return 0")
+	}
+}
+
+func TestChoosePolicyByOperatingPoint(t *testing.T) {
+	if p := ChoosePolicy(0.95, 0.01); p.Kind != queuesim.FCFS {
+		t.Fatalf("tiny l should pick FCFS, got %s", p.Name())
+	}
+	if p := ChoosePolicy(0.3, 0.4); p.Kind != queuesim.FCFS {
+		t.Fatalf("low load should pick FCFS, got %s", p.Name())
+	}
+	p := ChoosePolicy(0.95, 0.2)
+	if p.Kind != queuesim.TGated || p.K != 2 {
+		t.Fatalf("high load + locality should pick T-gated(2), got %s", p.Name())
+	}
+	// The choice must actually win in the simulator at that operating point.
+	cfg := queuesim.DefaultConfig(0.2, 0.95)
+	cfg.Jobs, cfg.Warmup = 3000, 300
+	chosen := queuesim.Run(cfg, p)
+	ps := queuesim.Run(cfg, queuesim.Policy{Kind: queuesim.PS})
+	if chosen.MeanResponse >= ps.MeanResponse {
+		t.Fatalf("chosen policy (%v) should beat PS (%v)", chosen.MeanResponse, ps.MeanResponse)
+	}
+}

@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func smallCache() *SetAssoc {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return NewSetAssoc(SetAssocConfig{
+		SizeBytes: 512,
+		LineBytes: 64,
+		Ways:      2,
+		HitCost:   1 * time.Nanosecond,
+		MissCost:  100 * time.Nanosecond,
+	})
+}
+
+func TestSetAssocColdMissThenHit(t *testing.T) {
+	c := smallCache()
+	if _, hit := c.Access(0); hit {
+		t.Fatal("cold access should miss")
+	}
+	if _, hit := c.Access(0); !hit {
+		t.Fatal("second access should hit")
+	}
+	if _, hit := c.Access(63); !hit {
+		t.Fatal("same-line access should hit")
+	}
+	if _, hit := c.Access(64); hit {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestSetAssocLRUWithinSet(t *testing.T) {
+	c := smallCache()
+	// Addresses 0, 1024, 2048 all map to set 0 (4 sets of 64B lines => set
+	// stride 256B; these are multiples of 256 with block%4==0).
+	c.Access(0)    // miss, set 0
+	c.Access(1024) // miss, set 0 (2-way full)
+	c.Access(0)    // hit, refreshes 0
+	c.Access(2048) // miss, evicts 1024 (LRU)
+	if _, hit := c.Access(0); !hit {
+		t.Fatal("0 should still be resident")
+	}
+	if _, hit := c.Access(1024); hit {
+		t.Fatal("1024 should have been evicted as LRU")
+	}
+}
+
+func TestSetAssocTouchSpansLines(t *testing.T) {
+	c := smallCache()
+	cost := c.Touch(10, 128) // spans lines at 0, 64, 128
+	if c.Misses() != 3 {
+		t.Fatalf("touch misses=%d, want 3", c.Misses())
+	}
+	if cost != 300*time.Nanosecond {
+		t.Fatalf("touch cost=%v", cost)
+	}
+}
+
+func TestSetAssocResetAndRatio(t *testing.T) {
+	c := smallCache()
+	c.Access(0)
+	c.Access(0)
+	if r := c.MissRatio(); r != 0.5 {
+		t.Fatalf("miss ratio=%v", r)
+	}
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("reset should clear counters")
+	}
+	if _, hit := c.Access(0); hit {
+		t.Fatal("reset should invalidate lines")
+	}
+}
+
+func TestSetAssocNeverExceedsCapacityHits(t *testing.T) {
+	// Property: accessing a working set strictly larger than the cache in a
+	// cyclic pattern yields 100% misses after warmup (thrashing), while a set
+	// that fits yields 100% hits after warmup.
+	c := smallCache() // 512B = 8 lines
+	// Fits: 4 lines.
+	for pass := 0; pass < 3; pass++ {
+		for a := Addr(0); a < 256; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses() != 4 {
+		t.Fatalf("fitting set misses=%d, want 4 (cold only)", c.Misses())
+	}
+	c.Reset()
+	// Thrash: 3 blocks mapping to one 2-way set, cyclic.
+	for pass := 0; pass < 10; pass++ {
+		for _, a := range []Addr{0, 1024, 2048} {
+			c.Access(a)
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("thrashing pattern should never hit, got %d hits", c.Hits())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on zero ways")
+		}
+	}()
+	NewSetAssoc(SetAssocConfig{SizeBytes: 512, LineBytes: 64, Ways: 0})
+}
+
+func TestWorkingSetLoadThenReuse(t *testing.T) {
+	w := NewWorkingSet(100)
+	if w.Touch("parse", 40) {
+		t.Fatal("first touch should load")
+	}
+	if !w.Touch("parse", 40) {
+		t.Fatal("second touch should reuse")
+	}
+	if w.Loads() != 1 || w.Reuses() != 1 {
+		t.Fatalf("loads=%d reuses=%d", w.Loads(), w.Reuses())
+	}
+}
+
+func TestWorkingSetLRUEviction(t *testing.T) {
+	w := NewWorkingSet(100)
+	w.Touch("a", 40)
+	w.Touch("b", 40)
+	w.Touch("a", 40) // refresh a
+	w.Touch("c", 40) // evicts b (LRU)
+	if !w.Resident("a") || w.Resident("b") || !w.Resident("c") {
+		t.Fatalf("resident: a=%v b=%v c=%v", w.Resident("a"), w.Resident("b"), w.Resident("c"))
+	}
+	if w.Used() != 80 {
+		t.Fatalf("used=%d", w.Used())
+	}
+}
+
+func TestWorkingSetOversized(t *testing.T) {
+	w := NewWorkingSet(100)
+	w.Touch("a", 40)
+	w.Touch("huge", 500) // evicts everything else, admitted alone
+	if w.Resident("a") {
+		t.Fatal("a should be evicted by oversized set")
+	}
+	if !w.Resident("huge") {
+		t.Fatal("oversized set should be resident")
+	}
+	if !w.Touch("huge", 500) {
+		t.Fatal("oversized set should reuse while alone")
+	}
+}
+
+func TestWorkingSetGrowth(t *testing.T) {
+	w := NewWorkingSet(100)
+	w.Touch("a", 30)
+	w.Touch("b", 30)
+	w.Touch("a", 80) // grows a; must evict b
+	if w.Resident("b") {
+		t.Fatal("growth should evict LRU others")
+	}
+	if w.Used() != 80 {
+		t.Fatalf("used=%d, want 80", w.Used())
+	}
+}
+
+func TestWorkingSetEvictAndReset(t *testing.T) {
+	w := NewWorkingSet(100)
+	w.Touch("a", 10)
+	w.Evict("a")
+	if w.Resident("a") || w.Used() != 0 {
+		t.Fatal("explicit evict failed")
+	}
+	w.Touch("a", 10)
+	w.Reset()
+	if w.Used() != 0 || w.Loads() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWorkingSetUsedNeverExceedsCapacityProperty(t *testing.T) {
+	if err := quick.Check(func(ops []uint16) bool {
+		w := NewWorkingSet(1000)
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for _, op := range ops {
+			name := names[int(op)%len(names)]
+			size := int64(op%700) + 1
+			w.Touch(name, size)
+			// Invariant: capacity respected except when a single set exceeds it.
+			if w.Used() > 1000 && len(namesResident(w, names)) > 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func namesResident(w *WorkingSet, names []string) []string {
+	var out []string
+	for _, n := range names {
+		if w.Resident(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

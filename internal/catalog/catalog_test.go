@@ -1,0 +1,165 @@
+package catalog
+
+import (
+	"testing"
+
+	"stagedb/internal/value"
+)
+
+func usersSchema() Schema {
+	return Schema{Columns: []Column{
+		{Name: "id", Type: value.Int, PrimaryKey: true},
+		{Name: "name", Type: value.Text},
+		{Name: "score", Type: value.Float},
+	}}
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("users", usersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "users" || len(tbl.Schema.Columns) != 3 {
+		t.Fatalf("bad table: %+v", tbl)
+	}
+	if _, err := c.Create("users", usersSchema()); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	got, err := c.Get("users")
+	if err != nil || got != tbl {
+		t.Fatalf("get: %v %v", got, err)
+	}
+	if err := c.Drop("users"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("users"); err == nil {
+		t.Fatal("get after drop should fail")
+	}
+	if err := c.Drop("users"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestCreateRejectsBadSchemas(t *testing.T) {
+	c := New()
+	if _, err := c.Create("t", Schema{}); err == nil {
+		t.Fatal("empty schema should fail")
+	}
+	dup := Schema{Columns: []Column{{Name: "a", Type: value.Int}, {Name: "a", Type: value.Int}}}
+	if _, err := c.Create("t", dup); err == nil {
+		t.Fatal("duplicate columns should fail")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := usersSchema()
+	if s.ColumnIndex("name") != 1 || s.ColumnIndex("nope") != -1 {
+		t.Fatal("ColumnIndex")
+	}
+	if s.PrimaryKeyIndex() != 0 {
+		t.Fatal("PrimaryKeyIndex")
+	}
+	row, err := s.Validate(value.Row{value.NewInt(1), value.NewText("a"), value.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[2].Type() != value.Float {
+		t.Fatal("int should coerce to float column")
+	}
+	if _, err := s.Validate(value.Row{value.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if _, err := s.Validate(value.Row{value.NewText("x"), value.NewText("a"), value.NewFloat(1)}); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	c := New()
+	if _, err := c.Create("users", usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := c.AddIndex("users", "idx_name", "name", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.ColIdx != 1 {
+		t.Fatalf("colIdx=%d", ix.ColIdx)
+	}
+	if _, err := c.AddIndex("users", "idx_name", "name", false); err == nil {
+		t.Fatal("duplicate index name should fail")
+	}
+	if _, err := c.AddIndex("users", "i2", "nope", false); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if _, err := c.AddIndex("nope", "i3", "name", false); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+	tbl, _ := c.Get("users")
+	if tbl.IndexOn("name") == nil || tbl.IndexOn("score") != nil {
+		t.Fatal("IndexOn")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Create(n, usersSchema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.List()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List()=%v", got)
+		}
+	}
+}
+
+func TestStatsSelectivity(t *testing.T) {
+	ts := TableStats{
+		RowCount: 1000,
+		Columns: []ColumnStats{
+			{Distinct: 100, Min: value.NewInt(0), Max: value.NewInt(999)},
+		},
+	}
+	if got := ts.Selectivity(0); got != 0.01 {
+		t.Fatalf("selectivity=%v", got)
+	}
+	if got := ts.Selectivity(5); got != 0.1 {
+		t.Fatalf("out-of-range column default=%v", got)
+	}
+	sel := ts.RangeSelectivity(0, value.NewInt(0), value.NewInt(99))
+	if sel < 0.09 || sel > 0.11 {
+		t.Fatalf("range selectivity=%v, want ~0.1", sel)
+	}
+	if got := ts.RangeSelectivity(0, value.NewInt(500), value.NewNull()); got < 0.49 || got > 0.51 {
+		t.Fatalf("open-above selectivity=%v", got)
+	}
+	if got := ts.RangeSelectivity(0, value.NewInt(2000), value.NewInt(3000)); got != 1 {
+		// Clamped to 1 when beyond max? Out-of-range hi clamps; lo beyond max
+		// gives negative, clamped to 0 — verify it is within [0,1].
+		if got < 0 || got > 1 {
+			t.Fatalf("selectivity out of [0,1]: %v", got)
+		}
+	}
+}
+
+func TestUpdateStats(t *testing.T) {
+	c := New()
+	if _, err := c.Create("t", usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateStats("t", TableStats{RowCount: 42}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := c.Get("t")
+	if tbl.Stats.RowCount != 42 {
+		t.Fatal("stats not updated")
+	}
+	if err := c.UpdateStats("nope", TableStats{}); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+}

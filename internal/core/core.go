@@ -1,0 +1,465 @@
+// Package core implements the paper's primary contribution: the staged
+// server runtime of §4.1. A database server is decomposed into
+// self-contained Stages connected by bounded Queues. Work travels in
+// Packets, each carrying a query's state and private data (its "backpack").
+// A stage owns its code and data, runs its own worker pool, and yields
+// control cooperatively at stage boundaries; queues exert back-pressure by
+// blocking producers when full (§4.1.1).
+//
+// Two levels of scheduling exist (§4.1): local scheduling inside a stage
+// (workers draining the stage queue in batches, exploiting the stage's
+// affinity to the cache) and global scheduling across stages (an optional
+// Gate that admits one stage at a time in rotation, reproducing the
+// cohort/staged policies studied in internal/queuesim on real goroutines —
+// note that the Go runtime schedules the underlying threads, so on real
+// hardware the gate provides ordering, not true processor affinity; the
+// timing experiments therefore run on the simulators, see DESIGN.md §2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stagedb/internal/metrics"
+)
+
+// Packet is the unit of work exchanged between stages (§4.1.1: class packet
+// with clientInfo, queryInfo, routeInfo). In a shared-memory system the
+// backpack holds pointers, not copies.
+type Packet struct {
+	// Client identifies the submitting client/connection.
+	Client int
+	// Query identifies the query this packet works for (several packets may
+	// serve one query inside the execution engine).
+	Query int
+	// Route is the remaining stage itinerary; Forward sends the packet to
+	// Route[0]. Precompiled queries route connect->execute directly by
+	// starting with a shorter route (§4.1).
+	Route []string
+	// Backpack is the query's state and private data.
+	Backpack any
+	// Err records a failure that stages downstream may inspect.
+	Err error
+
+	enqueued time.Time
+}
+
+// Verdict is what a stage handler decides about a packet (§4.1.1: destroy,
+// forward, or re-enqueue).
+type Verdict int
+
+// Handler verdicts.
+const (
+	// Done destroys the packet; the query is finished at this stage.
+	Done Verdict = iota
+	// Forward sends the packet to the next stage on its route.
+	Forward
+	// Requeue puts the packet back on this stage's queue (the client must
+	// wait on some condition).
+	Requeue
+)
+
+// Handler is the stage-specific server code invoked by dequeue.
+type Handler func(pkt *Packet) (Verdict, error)
+
+// ErrStopped is returned by Enqueue after the server shut down.
+var ErrStopped = errors.New("core: server stopped")
+
+// StageConfig parameterizes one stage.
+type StageConfig struct {
+	// Name identifies the stage (and its queue) for routing.
+	Name string
+	// Workers is the thread pool size (§4.1.1: more than one worker masks
+	// I/O within the stage). Default 1.
+	Workers int
+	// QueueCap bounds the stage queue; enqueueing into a full queue blocks
+	// the producer (back-pressure flow control). Default 128.
+	QueueCap int
+	// Batch is the local scheduling knob: a worker drains up to Batch
+	// packets per activation, amortizing the stage's working-set load.
+	// Default 1.
+	Batch int
+	// Handler is the stage's server code.
+	Handler Handler
+}
+
+// Stage is an independent mini-server: queue, worker pool, statistics.
+type Stage struct {
+	cfg   StageConfig
+	srv   *Server
+	queue chan *Packet
+	stats *metrics.StageStats
+	gate  Gate
+}
+
+// Name returns the stage's routing name.
+func (s *Stage) Name() string { return s.cfg.Name }
+
+// Stats exposes the per-stage monitor (§5.2: each stage provides its own
+// monitoring).
+func (s *Stage) Stats() *metrics.StageStats { return s.stats }
+
+// QueueLen reports packets waiting in the stage queue.
+func (s *Stage) QueueLen() int { return len(s.queue) }
+
+// Enqueue submits a packet to the stage, blocking while the queue is full
+// (back-pressure: the producing stage thread freezes, the rest of the
+// system keeps running). It fails with ErrStopped after shutdown.
+func (s *Stage) Enqueue(pkt *Packet) error {
+	pkt.enqueued = time.Now()
+	select {
+	case <-s.srv.stopped:
+		return ErrStopped
+	default:
+	}
+	select {
+	case s.queue <- pkt:
+		s.stats.OnEnqueue()
+		s.srv.pending.Add(1)
+		return nil
+	case <-s.srv.stopped:
+		return ErrStopped
+	}
+}
+
+// worker is the stage thread loop: dequeue, run stage code, route.
+func (s *Stage) worker() {
+	defer s.srv.wg.Done()
+	for {
+		select {
+		case pkt := <-s.queue:
+			s.gate.Acquire(s.cfg.Name)
+			s.process(pkt)
+			// Local batching: drain up to Batch-1 more packets while the
+			// stage's working set is hot.
+			for drained := 1; drained < s.cfg.Batch; drained++ {
+				select {
+				case next := <-s.queue:
+					s.process(next)
+				default:
+					drained = s.cfg.Batch
+				}
+			}
+			s.gate.Release(s.cfg.Name)
+		case <-s.srv.stopped:
+			return
+		}
+	}
+}
+
+func (s *Stage) process(pkt *Packet) {
+	s.stats.OnDequeue()
+	s.srv.pending.Add(-1)
+	start := time.Now()
+	verdict, err := s.cfg.Handler(pkt)
+	s.stats.OnService(time.Since(start))
+	if err != nil {
+		pkt.Err = err
+		// Failed packets drain to the final stage on their route so the
+		// client learns the outcome; with no route left they are destroyed.
+		if len(pkt.Route) > 0 {
+			last := pkt.Route[len(pkt.Route)-1]
+			pkt.Route = nil
+			if s.srv.forwardTo(last, pkt) {
+				return
+			}
+		}
+		s.srv.finish(pkt)
+		return
+	}
+	switch verdict {
+	case Done:
+		s.srv.finish(pkt)
+	case Forward:
+		if len(pkt.Route) == 0 {
+			s.srv.finish(pkt)
+			return
+		}
+		next := pkt.Route[0]
+		pkt.Route = pkt.Route[1:]
+		if !s.srv.forwardTo(next, pkt) {
+			pkt.Err = fmt.Errorf("core: unknown stage %q", next)
+			s.srv.finish(pkt)
+		}
+	case Requeue:
+		// Put it back for later; if the queue is somehow full the worker
+		// blocks, which is the documented back-pressure behaviour.
+		s.srv.pending.Add(1)
+		s.stats.OnEnqueue()
+		s.queue <- pkt
+	}
+}
+
+// Gate is the global (cross-stage) scheduler hook. Workers bracket each
+// activation with Acquire/Release; a Gate implementation can serialize
+// stages, rotate priorities, or do nothing (free concurrency).
+type Gate interface {
+	Acquire(stage string)
+	Release(stage string)
+}
+
+// FreeGate lets all stages run concurrently (the default: rely on the Go
+// scheduler, stages provide structure and back-pressure).
+type FreeGate struct{}
+
+// Acquire implements Gate.
+func (FreeGate) Acquire(string) {}
+
+// Release implements Gate.
+func (FreeGate) Release(string) {}
+
+// RotatingGate admits one stage at a time and rotates in declaration order,
+// the software analogue of the paper's "rotate thread-group priorities among
+// stages" (§4.3). A stage holds the turn for up to Quantum before the gate
+// moves on.
+type RotatingGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	order   []string
+	current int
+	holder  int // nesting count of the current stage's workers
+	turnAt  time.Time
+	Quantum time.Duration
+}
+
+// NewRotatingGate builds a gate rotating over stages in the given order.
+func NewRotatingGate(order []string, quantum time.Duration) *RotatingGate {
+	g := &RotatingGate{order: order, Quantum: quantum}
+	g.cond = sync.NewCond(&g.mu)
+	g.turnAt = time.Now()
+	return g
+}
+
+func (g *RotatingGate) indexOf(stage string) int {
+	for i, s := range g.order {
+		if s == stage {
+			return i
+		}
+	}
+	return -1
+}
+
+// Acquire implements Gate: blocks until it is the stage's turn.
+func (g *RotatingGate) Acquire(stage string) {
+	idx := g.indexOf(stage)
+	if idx < 0 {
+		return // unknown stages are ungated
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.current == idx {
+			g.holder++
+			return
+		}
+		// If the current stage is idle (no holders) and its quantum passed,
+		// advance the turn.
+		if g.holder == 0 {
+			g.current = (g.current + 1) % len(g.order)
+			g.turnAt = time.Now()
+			g.cond.Broadcast()
+			continue
+		}
+		g.cond.Wait()
+	}
+}
+
+// Release implements Gate.
+func (g *RotatingGate) Release(stage string) {
+	idx := g.indexOf(stage)
+	if idx < 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.holder--
+	if g.holder == 0 && (g.Quantum <= 0 || time.Since(g.turnAt) >= g.Quantum) {
+		g.current = (g.current + 1) % len(g.order)
+		g.turnAt = time.Now()
+	}
+	g.cond.Broadcast()
+}
+
+// Server is a set of stages with routing. Create with NewServer, add stages,
+// then Start.
+type Server struct {
+	mu      sync.Mutex
+	stages  map[string]*Stage
+	order   []string
+	gate    Gate
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	pending  counter // packets in queues or in service
+	finished func(*Packet)
+}
+
+// counter is a tiny atomic-ish counter guarded by a mutex (hot path is
+// uncontended enough for the engine's purposes and keeps the code obvious).
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) Add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *counter) Load() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// NewServer returns an empty staged server with a FreeGate.
+func NewServer() *Server {
+	return &Server{
+		stages:  make(map[string]*Stage),
+		gate:    FreeGate{},
+		stopped: make(chan struct{}),
+	}
+}
+
+// SetGate installs the global scheduler; call before Start.
+func (s *Server) SetGate(g Gate) { s.gate = g }
+
+// OnFinish registers a callback invoked when a packet is destroyed (its
+// query finished or failed). Call before Start.
+func (s *Server) OnFinish(fn func(*Packet)) { s.finished = fn }
+
+// AddStage registers a stage. It panics on duplicate names or after Start —
+// stage topology is fixed at startup, matching the paper's design where
+// stages are the unit of system composition.
+func (s *Server) AddStage(cfg StageConfig) *Stage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("core: AddStage after Start")
+	}
+	if cfg.Name == "" || cfg.Handler == nil {
+		panic("core: stage needs a name and a handler")
+	}
+	if _, dup := s.stages[cfg.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate stage %q", cfg.Name))
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 128
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	st := &Stage{
+		cfg:   cfg,
+		srv:   s,
+		queue: make(chan *Packet, cfg.QueueCap),
+		stats: metrics.NewStageStats(cfg.Name),
+	}
+	s.stages[cfg.Name] = st
+	s.order = append(s.order, cfg.Name)
+	return st
+}
+
+// Stage returns a registered stage by name, or nil.
+func (s *Server) Stage(name string) *Stage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stages[name]
+}
+
+// StageNames returns stages in registration order.
+func (s *Server) StageNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Start launches every stage's worker pool.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, name := range s.order {
+		st := s.stages[name]
+		st.gate = s.gate
+		for i := 0; i < st.cfg.Workers; i++ {
+			s.wg.Add(1)
+			go st.worker()
+		}
+	}
+}
+
+// Submit routes a packet to the first stage of its route.
+func (s *Server) Submit(pkt *Packet) error {
+	if len(pkt.Route) == 0 {
+		return fmt.Errorf("core: packet has no route")
+	}
+	first := pkt.Route[0]
+	pkt.Route = pkt.Route[1:]
+	st := s.Stage(first)
+	if st == nil {
+		return fmt.Errorf("core: unknown stage %q", first)
+	}
+	return st.Enqueue(pkt)
+}
+
+// forwardTo enqueues pkt at the named stage; false when unknown.
+func (s *Server) forwardTo(name string, pkt *Packet) bool {
+	st := s.Stage(name)
+	if st == nil {
+		return false
+	}
+	// Ignore ErrStopped: shutdown destroys in-flight packets.
+	_ = st.Enqueue(pkt)
+	return true
+}
+
+func (s *Server) finish(pkt *Packet) {
+	if s.finished != nil {
+		s.finished(pkt)
+	}
+}
+
+// Pending reports packets currently queued or in service.
+func (s *Server) Pending() int64 { return s.pending.Load() }
+
+// Stop shuts the server down. In-flight packets may be dropped; callers
+// should drain work before stopping (Pending() == 0).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case <-s.stopped:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	close(s.stopped)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Snapshot returns per-stage statistics in registration order (§5.2 easy
+// monitoring).
+func (s *Server) Snapshot() []metrics.StageSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]metrics.StageSnapshot, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.stages[name].stats.Snapshot())
+	}
+	return out
+}

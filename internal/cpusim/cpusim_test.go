@@ -1,0 +1,269 @@
+package cpusim
+
+import (
+	"testing"
+	"time"
+
+	"stagedb/internal/disk"
+	"stagedb/internal/vclock"
+)
+
+// mods returns parser/optimizer modules with 100 KB common sets, which at
+// 1 GB/s bandwidth cost ~95 µs to load.
+func mods() (*Module, *Module) {
+	return &Module{Name: "parse", CommonBytes: 100 << 10},
+		&Module{Name: "optimize", CommonBytes: 100 << 10}
+}
+
+func cfgNoCtx() Config {
+	return Config{
+		CtxSwitch:    0,
+		CacheBytes:   512 << 10,
+		MemBandwidth: 1 << 30,
+	}
+}
+
+func job(id int, priv int64, segs ...Segment) *Job {
+	return &Job{ID: id, Segments: segs, PrivateBytes: priv}
+}
+
+// loadTime is the model's working-set fill time at 1 GB/s.
+func loadTime(bytes int64) time.Duration {
+	bw := int64(1) << 30
+	return time.Duration(float64(bytes) / float64(bw) * float64(time.Second))
+}
+
+func TestSingleJobRunsToCompletion(t *testing.T) {
+	clk := vclock.NewClock()
+	m := NewMachine(clk, cfgNoCtx(), Cooperative{})
+	parse, opt := mods()
+	j := job(0, 0,
+		Segment{Module: parse, CPU: 10 * time.Millisecond},
+		Segment{Module: opt, CPU: 20 * time.Millisecond},
+	)
+	m.AddWorkers(1)
+	m.Submit(j)
+	clk.Run()
+	if !j.Done() {
+		t.Fatal("job did not complete")
+	}
+	// Response = 10ms + 20ms + two module loads (100KB each at 1GB/s).
+	load := loadTime(100 << 10)
+	want := 30*time.Millisecond + 2*load
+	if got := j.ResponseTime(); got != want {
+		t.Fatalf("response=%v, want %v", got, want)
+	}
+	if m.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy=%v", m.BusyTime())
+	}
+	if m.OverheadTime() != 2*load {
+		t.Fatalf("overhead=%v", m.OverheadTime())
+	}
+}
+
+func TestModuleReuseSkipsLoad(t *testing.T) {
+	clk := vclock.NewClock()
+	m := NewMachine(clk, cfgNoCtx(), Cooperative{})
+	parse, _ := mods()
+	j1 := job(1, 0, Segment{Module: parse, CPU: 10 * time.Millisecond})
+	j2 := job(2, 0, Segment{Module: parse, CPU: 10 * time.Millisecond})
+	m.AddWorkers(1)
+	m.Submit(j1, j2)
+	clk.Run()
+	if m.CacheLoads() != 1 {
+		t.Fatalf("loads=%d, want 1 (second parse reuses the module set)", m.CacheLoads())
+	}
+	if m.CacheReuses() != 1 {
+		t.Fatalf("reuses=%d, want 1", m.CacheReuses())
+	}
+}
+
+func TestPreemptionEvictsAndReloads(t *testing.T) {
+	// Two threads ping-pong under a small quantum with private sets that
+	// together exceed the cache: every resumption reloads private state.
+	clk := vclock.NewClock()
+	cfg := cfgNoCtx()
+	cfg.CacheBytes = 300 << 10
+	m := NewMachine(clk, cfg, RoundRobin{Q: time.Millisecond})
+	parse, _ := mods()
+	j1 := job(1, 200<<10, Segment{Module: parse, CPU: 5 * time.Millisecond})
+	j2 := job(2, 200<<10, Segment{Module: parse, CPU: 5 * time.Millisecond})
+	m.AddWorkers(2)
+	m.Submit(j1, j2)
+	clk.Run()
+	// Each job runs 5 slices; each dispatch after the first reloads the
+	// 200KB private set because the other thread's set evicted it.
+	if m.CacheLoads() < 8 {
+		t.Fatalf("loads=%d, want >=8 (thrashing private sets)", m.CacheLoads())
+	}
+	if m.OverheadTime() == 0 {
+		t.Fatal("expected reload overhead")
+	}
+}
+
+func TestAffinityBeatsRoundRobinOnFig1Workload(t *testing.T) {
+	// Figure 1: four queries, each parse then optimize, one CPU, no I/O.
+	run := func(p Policy) time.Duration {
+		clk := vclock.NewClock()
+		cfg := Default2003()
+		cfg.CacheBytes = 256 << 10 // parse+optimize don't both fit with privates
+		m := NewMachine(clk, cfg, p)
+		parse := &Module{Name: "parse", CommonBytes: 100 << 10}
+		opt := &Module{Name: "optimize", CommonBytes: 100 << 10}
+		var jobs []*Job
+		for i := 0; i < 4; i++ {
+			jobs = append(jobs, job(i, 64<<10,
+				Segment{Module: parse, CPU: 5 * time.Millisecond},
+				Segment{Module: opt, CPU: 5 * time.Millisecond},
+			))
+		}
+		m.AddWorkers(4)
+		m.Submit(jobs...)
+		clk.Run()
+		for _, j := range jobs {
+			if !j.Done() {
+				t.Fatalf("%s: job %d incomplete", p.Name(), j.ID)
+			}
+		}
+		return time.Duration(clk.Now())
+	}
+	rr := run(RoundRobin{Q: time.Millisecond})
+	aff := run(Affinity{})
+	if aff >= rr {
+		t.Fatalf("affinity (%v) should beat round-robin (%v)", aff, rr)
+	}
+}
+
+func TestIOOverlapWithMoreWorkers(t *testing.T) {
+	// Jobs: 1ms CPU then a disk read. One worker serializes I/O with CPU;
+	// four workers overlap them.
+	run := func(workers int) time.Duration {
+		clk := vclock.NewClock()
+		cfg := cfgNoCtx()
+		cfg.Disk = disk.New(clk, disk.Config{
+			Channels: 8, SeekMin: 5 * time.Millisecond, SeekMax: 5 * time.Millisecond,
+			BytesPerSecond: 1 << 30, Seed: 1,
+		})
+		m := NewMachine(clk, cfg, Cooperative{})
+		parse, _ := mods()
+		var jobs []*Job
+		for i := 0; i < 8; i++ {
+			jobs = append(jobs, job(i, 0, Segment{Module: parse, CPU: time.Millisecond, IOBytes: 4096}))
+		}
+		m.AddWorkers(workers)
+		m.Submit(jobs...)
+		clk.Run()
+		return time.Duration(clk.Now())
+	}
+	one, four := run(1), run(4)
+	if four >= one {
+		t.Fatalf("4 workers (%v) should beat 1 (%v) on I/O-bound jobs", four, one)
+	}
+}
+
+func TestContextSwitchCharged(t *testing.T) {
+	clk := vclock.NewClock()
+	cfg := cfgNoCtx()
+	cfg.CtxSwitch = 100 * time.Microsecond
+	m := NewMachine(clk, cfg, Cooperative{})
+	parse, _ := mods()
+	j1 := job(1, 0, Segment{Module: parse, CPU: time.Millisecond})
+	j2 := job(2, 0, Segment{Module: parse, CPU: time.Millisecond})
+	m.AddWorkers(2) // two threads: switching between them costs
+	m.Submit(j1, j2)
+	clk.Run()
+	load := loadTime(100 << 10)
+	wantOverhead := load + 100*time.Microsecond // one module load + one switch
+	if m.OverheadTime() != wantOverhead {
+		t.Fatalf("overhead=%v, want %v", m.OverheadTime(), wantOverhead)
+	}
+}
+
+func TestTraceSpansCoverTimeline(t *testing.T) {
+	clk := vclock.NewClock()
+	cfg := Default2003()
+	cfg.Trace = true
+	m := NewMachine(clk, cfg, RoundRobin{Q: 2 * time.Millisecond})
+	parse, opt := mods()
+	j1 := job(1, 32<<10,
+		Segment{Module: parse, CPU: 5 * time.Millisecond},
+		Segment{Module: opt, CPU: 5 * time.Millisecond})
+	j2 := job(2, 32<<10,
+		Segment{Module: parse, CPU: 5 * time.Millisecond},
+		Segment{Module: opt, CPU: 5 * time.Millisecond})
+	m.AddWorkers(2)
+	m.Submit(j1, j2)
+	clk.Run()
+	spans := m.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var prevTo vclock.Time
+	var execTotal time.Duration
+	for i, s := range spans {
+		if s.To < s.From {
+			t.Fatalf("span %d inverted: %+v", i, s)
+		}
+		if s.From < prevTo && s.Kind != SpanIO {
+			t.Fatalf("span %d overlaps previous (CPU is serial): %+v", i, s)
+		}
+		if s.Kind != SpanIO {
+			prevTo = s.To
+		}
+		if s.Kind == SpanExec {
+			execTotal += s.To.Sub(s.From)
+		}
+	}
+	if execTotal != 20*time.Millisecond {
+		t.Fatalf("exec spans total %v, want 20ms", execTotal)
+	}
+}
+
+func TestWorkerPoolDrainsQueue(t *testing.T) {
+	clk := vclock.NewClock()
+	m := NewMachine(clk, cfgNoCtx(), Cooperative{})
+	parse, _ := mods()
+	var jobs []*Job
+	for i := 0; i < 50; i++ {
+		jobs = append(jobs, job(i, 0, Segment{Module: parse, CPU: time.Millisecond}))
+	}
+	m.AddWorkers(3)
+	m.Submit(jobs...)
+	clk.Run()
+	if len(m.Completed()) != 50 {
+		t.Fatalf("completed %d/50", len(m.Completed()))
+	}
+	for _, j := range jobs {
+		if !j.Done() {
+			t.Fatalf("job %d not done", j.ID)
+		}
+	}
+}
+
+func TestSubmitAfterStartIsServed(t *testing.T) {
+	clk := vclock.NewClock()
+	m := NewMachine(clk, cfgNoCtx(), Cooperative{})
+	parse, _ := mods()
+	j1 := job(1, 0, Segment{Module: parse, CPU: 10 * time.Millisecond})
+	m.AddWorkers(1)
+	m.Submit(j1)
+	var late *Job
+	clk.Schedule(2*time.Millisecond, func() {
+		late = job(2, 0, Segment{Module: parse, CPU: time.Millisecond})
+		m.Submit(late)
+	})
+	clk.Run()
+	if !late.Done() {
+		t.Fatal("late job not served")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (RoundRobin{Q: time.Millisecond}).Name() == "" ||
+		(Cooperative{}).Name() == "" || (Affinity{}).Name() == "" {
+		t.Fatal("policies must have names")
+	}
+	if (Affinity{}).Quantum() != 0 {
+		t.Fatal("affinity must be cooperative")
+	}
+}

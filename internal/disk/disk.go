@@ -1,0 +1,139 @@
+// Package disk simulates the storage device of the paper's testbed.
+//
+// The Figure 2 experiment needs I/O that a pool of threads can overlap:
+// Workload A's short queries "almost always incur disk I/O", and throughput
+// keeps improving until about twenty threads keep the device busy. We model
+// a device with a fixed number of independent channels (spindles or, on the
+// paper's hardware, the effect of OS prefetching plus a striped disk): up to
+// Channels requests are serviced concurrently; excess requests queue FIFO.
+//
+// Service time per request is Seek + size/TransferRate, with Seek drawn
+// uniformly from [SeekMin, SeekMax] — a standard single-disk approximation.
+package disk
+
+import (
+	"time"
+
+	"stagedb/internal/vclock"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// Channels is the number of requests serviceable concurrently.
+	Channels int
+	// SeekMin and SeekMax bound the uniformly distributed positioning time.
+	SeekMin, SeekMax time.Duration
+	// BytesPerSecond is the sequential transfer rate.
+	BytesPerSecond int64
+	// Seed selects the deterministic seek-time stream.
+	Seed uint64
+}
+
+// Default2003 approximates the paper's setup: an IDE-era disk with OS
+// read-ahead, ~5-10 ms positioning, 40 MB/s transfer and enough request
+// parallelism (prefetch depth) that ~20 outstanding requests keep it busy.
+func Default2003() Config {
+	return Config{
+		Channels:       16,
+		SeekMin:        4 * time.Millisecond,
+		SeekMax:        10 * time.Millisecond,
+		BytesPerSecond: 40 << 20,
+		Seed:           1,
+	}
+}
+
+// Disk is the simulated device. All methods must be called from the
+// simulation goroutine (the vclock event loop); the type is not safe for
+// concurrent use, matching the deterministic single-threaded simulators.
+type Disk struct {
+	cfg     Config
+	clk     *vclock.Clock
+	rng     *vclock.RNG
+	busy    int
+	waiting []request
+
+	served     uint64
+	totalQueue time.Duration
+	totalServe time.Duration
+}
+
+type request struct {
+	size     int64
+	arrived  vclock.Time
+	complete func()
+}
+
+// New returns a device attached to the given clock.
+func New(clk *vclock.Clock, cfg Config) *Disk {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.BytesPerSecond <= 0 {
+		cfg.BytesPerSecond = 40 << 20
+	}
+	return &Disk{cfg: cfg, clk: clk, rng: vclock.NewRNG(cfg.Seed)}
+}
+
+// Read submits a request for size bytes; complete runs on the clock when the
+// transfer finishes. Requests are serviced in arrival order when all
+// channels are busy.
+func (d *Disk) Read(size int64, complete func()) {
+	r := request{size: size, arrived: d.clk.Now(), complete: complete}
+	if d.busy < d.cfg.Channels {
+		d.start(r)
+		return
+	}
+	d.waiting = append(d.waiting, r)
+}
+
+// Write is identical to Read in this model.
+func (d *Disk) Write(size int64, complete func()) { d.Read(size, complete) }
+
+func (d *Disk) start(r request) {
+	d.busy++
+	queueWait := d.clk.Now().Sub(r.arrived)
+	service := d.serviceTime(r.size)
+	d.totalQueue += queueWait
+	d.totalServe += service
+	d.served++
+	d.clk.Schedule(service, func() {
+		d.busy--
+		if len(d.waiting) > 0 {
+			next := d.waiting[0]
+			d.waiting = d.waiting[1:]
+			d.start(next)
+		}
+		r.complete()
+	})
+}
+
+func (d *Disk) serviceTime(size int64) time.Duration {
+	seek := d.rng.Uniform(d.cfg.SeekMin, d.cfg.SeekMax)
+	transfer := time.Duration(float64(size) / float64(d.cfg.BytesPerSecond) * float64(time.Second))
+	return seek + transfer
+}
+
+// QueueLen reports requests waiting for a channel.
+func (d *Disk) QueueLen() int { return len(d.waiting) }
+
+// InFlight reports requests currently being serviced.
+func (d *Disk) InFlight() int { return d.busy }
+
+// Served reports completed-or-started request count.
+func (d *Disk) Served() uint64 { return d.served }
+
+// MeanQueueWait reports the average time requests spent waiting for a channel.
+func (d *Disk) MeanQueueWait() time.Duration {
+	if d.served == 0 {
+		return 0
+	}
+	return d.totalQueue / time.Duration(d.served)
+}
+
+// MeanServiceTime reports the average positioning+transfer time.
+func (d *Disk) MeanServiceTime() time.Duration {
+	if d.served == 0 {
+		return 0
+	}
+	return d.totalServe / time.Duration(d.served)
+}

@@ -1,0 +1,117 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"stagedb/internal/vclock"
+)
+
+func fixedSeek(channels int) Config {
+	return Config{
+		Channels:       channels,
+		SeekMin:        5 * time.Millisecond,
+		SeekMax:        5 * time.Millisecond,
+		BytesPerSecond: 1 << 20, // 1 MB/s: 1 KB = ~1ms transfer
+		Seed:           1,
+	}
+}
+
+func TestSingleRequestLatency(t *testing.T) {
+	clk := vclock.NewClock()
+	d := New(clk, fixedSeek(1))
+	var done vclock.Time
+	d.Read(1<<20, func() { done = clk.Now() }) // 1 MB at 1 MB/s = 1 s + 5 ms seek
+	clk.Run()
+	want := vclock.Time(time.Second + 5*time.Millisecond)
+	if done != want {
+		t.Fatalf("completion at %v, want %v", done, want)
+	}
+}
+
+func TestSerialQueueingOnOneChannel(t *testing.T) {
+	clk := vclock.NewClock()
+	d := New(clk, fixedSeek(1))
+	var first, second vclock.Time
+	d.Read(0, func() { first = clk.Now() })
+	d.Read(0, func() { second = clk.Now() })
+	if d.InFlight() != 1 || d.QueueLen() != 1 {
+		t.Fatalf("inflight=%d queue=%d", d.InFlight(), d.QueueLen())
+	}
+	clk.Run()
+	if first != vclock.Time(5*time.Millisecond) {
+		t.Fatalf("first at %v", first)
+	}
+	if second != vclock.Time(10*time.Millisecond) {
+		t.Fatalf("second at %v, want 10ms (serialized)", second)
+	}
+}
+
+func TestParallelChannelsOverlap(t *testing.T) {
+	clk := vclock.NewClock()
+	d := New(clk, fixedSeek(4))
+	var times []vclock.Time
+	for i := 0; i < 4; i++ {
+		d.Read(0, func() { times = append(times, clk.Now()) })
+	}
+	clk.Run()
+	for _, tm := range times {
+		if tm != vclock.Time(5*time.Millisecond) {
+			t.Fatalf("parallel requests should all complete at 5ms, got %v", times)
+		}
+	}
+}
+
+func TestFIFOOrderUnderContention(t *testing.T) {
+	clk := vclock.NewClock()
+	d := New(clk, fixedSeek(1))
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		d.Read(0, func() { order = append(order, i) })
+	}
+	clk.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestThroughputSaturatesWithChannels(t *testing.T) {
+	// With C channels and fixed 5ms requests, completing N requests takes
+	// ceil(N/C)*5ms; more channels => more throughput, up to C=N.
+	elapsedFor := func(channels, n int) vclock.Time {
+		clk := vclock.NewClock()
+		d := New(clk, fixedSeek(channels))
+		for i := 0; i < n; i++ {
+			d.Read(0, func() {})
+		}
+		clk.Run()
+		return clk.Now()
+	}
+	if e1, e4 := elapsedFor(1, 8), elapsedFor(4, 8); e4*3 > e1 {
+		t.Fatalf("4 channels (%v) should be ~4x faster than 1 (%v)", e4, e1)
+	}
+	if e8, e16 := elapsedFor(8, 8), elapsedFor(16, 8); e8 != e16 {
+		t.Fatalf("beyond saturation extra channels should not help: %v vs %v", e8, e16)
+	}
+}
+
+func TestStats(t *testing.T) {
+	clk := vclock.NewClock()
+	d := New(clk, fixedSeek(1))
+	d.Read(0, func() {})
+	d.Read(0, func() {})
+	clk.Run()
+	if d.Served() != 2 {
+		t.Fatalf("served=%d", d.Served())
+	}
+	if d.MeanServiceTime() != 5*time.Millisecond {
+		t.Fatalf("mean service=%v", d.MeanServiceTime())
+	}
+	// Second request waited 5ms; mean queue wait = 2.5ms.
+	if d.MeanQueueWait() != 2500*time.Microsecond {
+		t.Fatalf("mean queue wait=%v", d.MeanQueueWait())
+	}
+}

@@ -1,0 +1,898 @@
+// Package engine assembles the database: catalog, storage, transactions,
+// planner and executor, behind a session-oriented SQL interface. The same
+// kernel is fronted two ways:
+//
+//   - Threaded: the conventional worker-pool model of §3.1 — each worker
+//     carries one query through parse, optimize and execute.
+//   - Staged: the paper's §4.1 design — connect, parse, optimize, execute
+//     and disconnect stages connected by queues; inside execute, operators
+//     run on their owning execution-engine stages with page-based dataflow.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stagedb/internal/catalog"
+	"stagedb/internal/exec"
+	"stagedb/internal/plan"
+	"stagedb/internal/sql"
+	"stagedb/internal/storage"
+	"stagedb/internal/txn"
+	"stagedb/internal/value"
+)
+
+// Config sizes the database kernel.
+type Config struct {
+	// PoolFrames is the buffer-pool capacity in pages (default 1024).
+	PoolFrames int
+	// PageRows is the executor's rows-per-page exchange unit (§4.4c).
+	PageRows int
+	// BufferPages bounds each staged-exchange buffer.
+	BufferPages int
+	// PlanOptions steer the optimizer.
+	PlanOptions plan.Options
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns of a SELECT (nil otherwise).
+	Columns []string
+	// Rows holds SELECT output.
+	Rows []value.Row
+	// Affected counts rows touched by DML.
+	Affected int64
+}
+
+// DB is the database kernel: shared, thread-safe state behind both engines.
+type DB struct {
+	cfg   Config
+	cat   *catalog.Catalog
+	store *storage.Store
+	pool  *storage.Pool
+	tm    *txn.Manager
+
+	mu      sync.RWMutex
+	heaps   map[string]*storage.Heap
+	indexes map[string]*storage.BTree
+}
+
+// NewDB returns an empty database.
+func NewDB(cfg Config) *DB {
+	if cfg.PoolFrames <= 0 {
+		cfg.PoolFrames = 1024
+	}
+	store := storage.NewStore()
+	return &DB{
+		cfg:     cfg,
+		cat:     catalog.New(),
+		store:   store,
+		pool:    storage.NewPool(store, cfg.PoolFrames),
+		tm:      txn.NewManager(),
+		heaps:   make(map[string]*storage.Heap),
+		indexes: make(map[string]*storage.BTree),
+	}
+}
+
+// Catalog exposes the schema for planners and tools.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// SetPlanOptions changes the optimizer options (ablation benches force join
+// algorithms or disable rewrites through this).
+func (db *DB) SetPlanOptions(opt plan.Options) { db.cfg.PlanOptions = opt }
+
+// WAL exposes the write-ahead log (crash-recovery tests, checkpointing).
+func (db *DB) WAL() *txn.WAL { return db.tm.Log }
+
+// HeapOf implements exec.Tables.
+func (db *DB) HeapOf(t *catalog.Table) (*storage.Heap, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h, ok := db.heaps[t.Name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no heap for table %s", t.Name)
+	}
+	return h, nil
+}
+
+// IndexOf implements exec.Tables.
+func (db *DB) IndexOf(ix *catalog.Index) (*storage.BTree, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bt, ok := db.indexes[ix.Name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no index %s", ix.Name)
+	}
+	return bt, nil
+}
+
+// Session is one client connection. Sessions are not safe for concurrent
+// use; each client drives its own.
+type Session struct {
+	db       *DB
+	id       int
+	current  txn.ID
+	inTxn    bool
+	runnerFn func(node plan.Node) ([]value.Row, error) // SELECT driver
+}
+
+var sessionIDs struct {
+	mu sync.Mutex
+	n  int
+}
+
+// NewSession opens a session whose SELECTs run on the pull driver.
+func (db *DB) NewSession() *Session {
+	sessionIDs.mu.Lock()
+	sessionIDs.n++
+	id := sessionIDs.n
+	sessionIDs.mu.Unlock()
+	s := &Session{db: db, id: id}
+	s.runnerFn = func(node plan.Node) ([]value.Row, error) {
+		op, err := exec.Build(node, db, db.cfg.PageRows)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Run(op)
+	}
+	return s
+}
+
+// SetRunner overrides the SELECT driver (the staged engine installs
+// exec.RunStaged here).
+func (s *Session) SetRunner(fn func(plan.Node) ([]value.Row, error)) { s.runnerFn = fn }
+
+// ID returns the session's identifier.
+func (s *Session) ID() int { return s.id }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.inTxn }
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
+	switch stmt.(type) {
+	case *sql.Begin:
+		if s.inTxn {
+			return nil, fmt.Errorf("engine: transaction already open")
+		}
+		s.current = s.db.tm.Begin()
+		s.inTxn = true
+		return &Result{}, nil
+	case *sql.Commit:
+		if !s.inTxn {
+			return nil, fmt.Errorf("engine: no transaction open")
+		}
+		s.inTxn = false
+		return &Result{}, s.db.tm.Commit(s.current)
+	case *sql.Rollback:
+		if !s.inTxn {
+			return nil, fmt.Errorf("engine: no transaction open")
+		}
+		s.inTxn = false
+		return &Result{}, s.db.rollback(s.current)
+	}
+
+	// Auto-commit wrapper for single statements.
+	id := s.current
+	auto := !s.inTxn
+	if auto {
+		id = s.db.tm.Begin()
+	}
+	res, err := s.db.execInTxn(id, stmt, s.runnerFn)
+	if auto {
+		if err != nil {
+			s.db.rollback(id)
+		} else if cerr := s.db.tm.Commit(id); cerr != nil {
+			return nil, cerr
+		}
+	} else if err == txn.ErrDeadlock {
+		// Deadlock victims are rolled back whole.
+		s.db.rollback(id)
+		s.inTxn = false
+	}
+	return res, err
+}
+
+// execInTxn dispatches one statement inside transaction id.
+func (db *DB) execInTxn(id txn.ID, stmt sql.Statement, runner func(plan.Node) ([]value.Row, error)) (*Result, error) {
+	switch x := stmt.(type) {
+	case *sql.CreateTable:
+		return db.createTable(id, x)
+	case *sql.CreateIndex:
+		return db.createIndex(id, x)
+	case *sql.DropTable:
+		return db.dropTable(id, x)
+	case *sql.Insert:
+		return db.insert(id, x)
+	case *sql.Update:
+		return db.update(id, x)
+	case *sql.Delete:
+		return db.delete(id, x)
+	case *sql.Select:
+		return db.query(id, x, runner)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// --- DDL ---
+
+func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
+	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
+		return nil, err
+	}
+	cols := make([]catalog.Column, len(stmt.Columns))
+	for i, c := range stmt.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey}
+	}
+	tbl, err := db.cat.Create(stmt.Name, catalog.Schema{Columns: cols})
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.heaps[stmt.Name] = storage.NewHeap(db.pool)
+	db.mu.Unlock()
+	if pk := tbl.Schema.PrimaryKeyIndex(); pk >= 0 {
+		name := "pk_" + stmt.Name
+		if _, err := db.cat.AddIndex(stmt.Name, name, tbl.Schema.Columns[pk].Name, true); err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		db.indexes[name] = storage.NewBTree()
+		db.mu.Unlock()
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
+	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
+		return nil, err
+	}
+	ix, err := db.cat.AddIndex(stmt.Table, stmt.Name, stmt.Column, false)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.cat.Get(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := db.HeapOf(tbl)
+	if err != nil {
+		return nil, err
+	}
+	bt := storage.NewBTree()
+	var scanErr error
+	h.Scan(func(rid storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(tbl.Schema, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		bt.Insert(row[ix.ColIdx], rid)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	db.mu.Lock()
+	db.indexes[stmt.Name] = bt
+	db.mu.Unlock()
+	return &Result{}, nil
+}
+
+func (db *DB) dropTable(id txn.ID, stmt *sql.DropTable) (*Result, error) {
+	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
+		return nil, err
+	}
+	if err := db.tm.Locks.Lock(id, "table:"+stmt.Name, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	tbl, err := db.cat.Get(stmt.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range tbl.Indexes {
+		db.mu.Lock()
+		delete(db.indexes, ix.Name)
+		db.mu.Unlock()
+	}
+	if err := db.cat.Drop(stmt.Name); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	delete(db.heaps, stmt.Name)
+	db.mu.Unlock()
+	return &Result{}, nil
+}
+
+// --- DML ---
+
+func (db *DB) insert(id txn.ID, stmt *sql.Insert) (*Result, error) {
+	tbl, err := db.cat.Get(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	h, err := db.HeapOf(tbl)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := make([]int, len(stmt.Columns))
+	for i, name := range stmt.Columns {
+		ci := tbl.Schema.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %s", stmt.Table, name)
+		}
+		colIdx[i] = ci
+	}
+	var affected int64
+	for _, exprRow := range stmt.Rows {
+		row := make(value.Row, len(tbl.Schema.Columns))
+		for i := range row {
+			row[i] = value.NewNull()
+		}
+		if len(stmt.Columns) == 0 {
+			if len(exprRow) != len(row) {
+				return nil, fmt.Errorf("engine: INSERT arity mismatch (%d values, %d columns)", len(exprRow), len(row))
+			}
+			for i, e := range exprRow {
+				v, err := evalConstExpr(e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		} else {
+			if len(exprRow) != len(stmt.Columns) {
+				return nil, fmt.Errorf("engine: INSERT arity mismatch")
+			}
+			for i, e := range exprRow {
+				v, err := evalConstExpr(e)
+				if err != nil {
+					return nil, err
+				}
+				row[colIdx[i]] = v
+			}
+		}
+		norm, err := tbl.Schema.Validate(row)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.insertRow(id, tbl, h, norm); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// insertRow encodes, stores, indexes, and logs one row.
+func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row value.Row) error {
+	// Primary-key uniqueness.
+	if pk := tbl.Schema.PrimaryKeyIndex(); pk >= 0 {
+		if ixMeta := tbl.IndexOn(tbl.Schema.Columns[pk].Name); ixMeta != nil && ixMeta.Unique {
+			bt, err := db.IndexOf(ixMeta)
+			if err == nil && len(bt.Search(row[pk])) > 0 {
+				return fmt.Errorf("engine: duplicate primary key %s in %s", row[pk], tbl.Name)
+			}
+		}
+	}
+	rec, err := storage.EncodeRow(tbl.Schema, row)
+	if err != nil {
+		return err
+	}
+	rid, err := h.Insert(rec)
+	if err != nil {
+		return err
+	}
+	for _, ixMeta := range tbl.Indexes {
+		bt, err := db.IndexOf(ixMeta)
+		if err != nil {
+			return err
+		}
+		bt.Insert(row[ixMeta.ColIdx], rid)
+	}
+	return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name, RID: rid, After: rec})
+}
+
+func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
+	tbl, err := db.cat.Get(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	h, err := db.HeapOf(tbl)
+	if err != nil {
+		return nil, err
+	}
+	var pred plan.Expr
+	if stmt.Where != nil {
+		pred, err = plan.BindTableExpr(tbl, stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sets := make([]struct {
+		col  int
+		expr plan.Expr
+	}, len(stmt.Sets))
+	for i, a := range stmt.Sets {
+		ci := tbl.Schema.ColumnIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %s", stmt.Table, a.Column)
+		}
+		e, err := plan.BindTableExpr(tbl, a.Value)
+		if err != nil {
+			return nil, err
+		}
+		sets[i].col, sets[i].expr = ci, e
+	}
+
+	// Collect targets first: updating while scanning would revisit moved rows.
+	type target struct {
+		rid storage.RID
+		row value.Row
+		rec []byte
+	}
+	var targets []target
+	var scanErr error
+	h.Scan(func(rid storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(tbl.Schema, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if pred != nil {
+			ok, err := plan.EvalPredicate(pred, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		targets = append(targets, target{rid: rid, row: row, rec: cp})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	var affected int64
+	for _, tg := range targets {
+		newRow := tg.row.Clone()
+		for _, set := range sets {
+			v, err := set.expr.Eval(tg.row)
+			if err != nil {
+				return nil, err
+			}
+			newRow[set.col] = v
+		}
+		norm, err := tbl.Schema.Validate(newRow)
+		if err != nil {
+			return nil, err
+		}
+		newRec, err := storage.EncodeRow(tbl.Schema, norm)
+		if err != nil {
+			return nil, err
+		}
+		newRID, err := h.Update(tg.rid, newRec)
+		if err != nil {
+			return nil, err
+		}
+		for _, ixMeta := range tbl.Indexes {
+			bt, err := db.IndexOf(ixMeta)
+			if err != nil {
+				return nil, err
+			}
+			bt.Delete(tg.row[ixMeta.ColIdx], tg.rid)
+			bt.Insert(norm[ixMeta.ColIdx], newRID)
+		}
+		if newRID == tg.rid {
+			err = db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecUpdate, Table: tbl.Name,
+				RID: tg.rid, Before: tg.rec, After: newRec})
+		} else {
+			// The record moved: log logically as delete(old) + insert(new)
+			// so both undo and recovery replay see stable locations.
+			err = db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
+				RID: tg.rid, Before: tg.rec})
+			if err == nil {
+				err = db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name,
+					RID: newRID, After: newRec})
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
+	tbl, err := db.cat.Get(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	h, err := db.HeapOf(tbl)
+	if err != nil {
+		return nil, err
+	}
+	var pred plan.Expr
+	if stmt.Where != nil {
+		pred, err = plan.BindTableExpr(tbl, stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type target struct {
+		rid storage.RID
+		row value.Row
+		rec []byte
+	}
+	var targets []target
+	var scanErr error
+	h.Scan(func(rid storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(tbl.Schema, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if pred != nil {
+			ok, err := plan.EvalPredicate(pred, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		targets = append(targets, target{rid: rid, row: row, rec: cp})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	var affected int64
+	for _, tg := range targets {
+		if err := h.Delete(tg.rid); err != nil {
+			return nil, err
+		}
+		for _, ixMeta := range tbl.Indexes {
+			bt, err := db.IndexOf(ixMeta)
+			if err != nil {
+				return nil, err
+			}
+			bt.Delete(tg.row[ixMeta.ColIdx], tg.rid)
+		}
+		err := db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
+			RID: tg.rid, Before: tg.rec})
+		if err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// --- SELECT ---
+
+func (db *DB) query(id txn.ID, stmt *sql.Select, runner func(plan.Node) ([]value.Row, error)) (*Result, error) {
+	// Shared locks on every referenced table, in sorted order to avoid
+	// lock-order deadlocks between readers and writers.
+	var tables []string
+	for _, ref := range stmt.From {
+		tables = append(tables, ref.Table)
+	}
+	for _, j := range stmt.Joins {
+		tables = append(tables, j.Table.Table)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		if err := db.tm.Locks.Lock(id, "table:"+t, txn.Shared); err != nil {
+			return nil, err
+		}
+	}
+	node, err := plan.BindSelect(db.cat, stmt, db.cfg.PlanOptions)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runner(node)
+	if err != nil {
+		return nil, err
+	}
+	schema := node.Schema()
+	cols := make([]string, len(schema))
+	for i, c := range schema {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// Plan binds a SELECT for EXPLAIN-style inspection without executing it.
+func (db *DB) Plan(stmt *sql.Select) (plan.Node, error) {
+	return plan.BindSelect(db.cat, stmt, db.cfg.PlanOptions)
+}
+
+// --- rollback / recovery ---
+
+// rollback aborts a transaction and applies its undo records.
+func (db *DB) rollback(id txn.ID) error {
+	undo, err := db.tm.Abort(id)
+	if err != nil {
+		return err
+	}
+	for _, rec := range undo {
+		if err := db.undoOne(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) undoOne(rec txn.Record) error {
+	tbl, err := db.cat.Get(rec.Table)
+	if err != nil {
+		// Table dropped after the op; nothing to undo into.
+		return nil
+	}
+	h, err := db.HeapOf(tbl)
+	if err != nil {
+		return err
+	}
+	switch rec.Kind {
+	case txn.RecInsert:
+		row, err := storage.DecodeRow(tbl.Schema, rec.After)
+		if err != nil {
+			return err
+		}
+		if err := h.Delete(rec.RID); err != nil {
+			return err
+		}
+		for _, ixMeta := range tbl.Indexes {
+			bt, err := db.IndexOf(ixMeta)
+			if err != nil {
+				return err
+			}
+			bt.Delete(row[ixMeta.ColIdx], rec.RID)
+		}
+	case txn.RecDelete:
+		row, err := storage.DecodeRow(tbl.Schema, rec.Before)
+		if err != nil {
+			return err
+		}
+		rid, err := h.Insert(rec.Before)
+		if err != nil {
+			return err
+		}
+		for _, ixMeta := range tbl.Indexes {
+			bt, err := db.IndexOf(ixMeta)
+			if err != nil {
+				return err
+			}
+			bt.Insert(row[ixMeta.ColIdx], rid)
+		}
+	case txn.RecUpdate:
+		newRow, err := storage.DecodeRow(tbl.Schema, rec.After)
+		if err != nil {
+			return err
+		}
+		oldRow, err := storage.DecodeRow(tbl.Schema, rec.Before)
+		if err != nil {
+			return err
+		}
+		rid, err := h.Update(rec.RID, rec.Before)
+		if err != nil {
+			return err
+		}
+		for _, ixMeta := range tbl.Indexes {
+			bt, err := db.IndexOf(ixMeta)
+			if err != nil {
+				return err
+			}
+			bt.Delete(newRow[ixMeta.ColIdx], rec.RID)
+			bt.Insert(oldRow[ixMeta.ColIdx], rid)
+		}
+	}
+	return nil
+}
+
+// Replay applies the committed operations of a WAL (crash recovery). The
+// schema must already exist (DDL is replayed by the caller); data pages are
+// rebuilt from the log's after-images.
+func (db *DB) Replay(records []txn.Record) error {
+	planned := txn.Analyze(records)
+	// Recovered RIDs differ from logged ones; track the mapping.
+	ridMap := make(map[string]map[storage.RID]storage.RID)
+	mapped := func(table string, rid storage.RID) storage.RID {
+		if m, ok := ridMap[table]; ok {
+			if nr, ok := m[rid]; ok {
+				return nr
+			}
+		}
+		return rid
+	}
+	for _, rec := range planned.Ops {
+		tbl, err := db.cat.Get(rec.Table)
+		if err != nil {
+			return fmt.Errorf("engine: replay references unknown table %s (replay DDL first)", rec.Table)
+		}
+		h, err := db.HeapOf(tbl)
+		if err != nil {
+			return err
+		}
+		switch rec.Kind {
+		case txn.RecInsert:
+			row, err := storage.DecodeRow(tbl.Schema, rec.After)
+			if err != nil {
+				return err
+			}
+			rid, err := h.Insert(rec.After)
+			if err != nil {
+				return err
+			}
+			if ridMap[rec.Table] == nil {
+				ridMap[rec.Table] = make(map[storage.RID]storage.RID)
+			}
+			ridMap[rec.Table][rec.RID] = rid
+			for _, ixMeta := range tbl.Indexes {
+				bt, err := db.IndexOf(ixMeta)
+				if err != nil {
+					return err
+				}
+				bt.Insert(row[ixMeta.ColIdx], rid)
+			}
+		case txn.RecDelete:
+			rid := mapped(rec.Table, rec.RID)
+			row, err := storage.DecodeRow(tbl.Schema, rec.Before)
+			if err != nil {
+				return err
+			}
+			if err := h.Delete(rid); err != nil {
+				return err
+			}
+			for _, ixMeta := range tbl.Indexes {
+				bt, err := db.IndexOf(ixMeta)
+				if err != nil {
+					return err
+				}
+				bt.Delete(row[ixMeta.ColIdx], rid)
+			}
+		case txn.RecUpdate:
+			rid := mapped(rec.Table, rec.RID)
+			oldRow, err := storage.DecodeRow(tbl.Schema, rec.Before)
+			if err != nil {
+				return err
+			}
+			newRow, err := storage.DecodeRow(tbl.Schema, rec.After)
+			if err != nil {
+				return err
+			}
+			newRID, err := h.Update(rid, rec.After)
+			if err != nil {
+				return err
+			}
+			if newRID != rid {
+				if ridMap[rec.Table] == nil {
+					ridMap[rec.Table] = make(map[storage.RID]storage.RID)
+				}
+				ridMap[rec.Table][rec.RID] = newRID
+			}
+			for _, ixMeta := range tbl.Indexes {
+				bt, err := db.IndexOf(ixMeta)
+				if err != nil {
+					return err
+				}
+				bt.Delete(oldRow[ixMeta.ColIdx], rid)
+				bt.Insert(newRow[ixMeta.ColIdx], newRID)
+			}
+		}
+	}
+	return nil
+}
+
+// Analyze refreshes a table's statistics by scanning it.
+func (db *DB) Analyze(table string) error {
+	tbl, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	h, err := db.HeapOf(tbl)
+	if err != nil {
+		return err
+	}
+	stats := catalog.TableStats{Columns: make([]catalog.ColumnStats, len(tbl.Schema.Columns))}
+	distinct := make([]map[uint64]bool, len(tbl.Schema.Columns))
+	for i := range distinct {
+		distinct[i] = make(map[uint64]bool)
+	}
+	var scanErr error
+	h.Scan(func(_ storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(tbl.Schema, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		stats.RowCount++
+		for i, v := range row {
+			if v.IsNull() {
+				continue
+			}
+			distinct[i][v.Hash()] = true
+			cs := &stats.Columns[i]
+			if cs.Min.IsNull() {
+				cs.Min, cs.Max = v, v
+				continue
+			}
+			if c, err := value.Compare(v, cs.Min); err == nil && c < 0 {
+				cs.Min = v
+			}
+			if c, err := value.Compare(v, cs.Max); err == nil && c > 0 {
+				cs.Max = v
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	for i := range stats.Columns {
+		stats.Columns[i].Distinct = int64(len(distinct[i]))
+	}
+	return db.cat.UpdateStats(table, stats)
+}
+
+// evalConstExpr evaluates an INSERT value expression (literals and
+// arithmetic over literals).
+func evalConstExpr(e sql.Expr) (value.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Val, nil
+	case *sql.Unary:
+		v, err := evalConstExpr(x.E)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if x.Op == "-" {
+			return value.Arith('-', value.NewInt(0), v)
+		}
+		return value.Value{}, fmt.Errorf("engine: %s not allowed in VALUES", x.Op)
+	case *sql.Binary:
+		l, err := evalConstExpr(x.L)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := evalConstExpr(x.R)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch x.Op {
+		case "+", "-", "*", "/", "%":
+			return value.Arith(x.Op[0], l, r)
+		}
+		return value.Value{}, fmt.Errorf("engine: operator %s not allowed in VALUES", x.Op)
+	}
+	return value.Value{}, fmt.Errorf("engine: VALUES requires constant expressions, got %T", e)
+}

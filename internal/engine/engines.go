@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"stagedb/internal/core"
+	"stagedb/internal/exec"
+	"stagedb/internal/metrics"
+	"stagedb/internal/plan"
+	"stagedb/internal/sql"
+	"stagedb/internal/value"
+)
+
+// Request is one unit of client work submitted to a front end: a single
+// statement, or a whole transaction script. Submitting a multi-statement
+// transaction as one request matters on the worker-pool engine: if each
+// statement were a separate request, every worker could end up blocked on a
+// lock whose holder's COMMIT is stuck behind them in the queue — the
+// thread-pool sizing hazard of §3.1.1.
+type Request struct {
+	Session *Session
+	SQL     string
+	// Script, when non-empty, is a transaction executed atomically by one
+	// worker: on any error the open transaction is rolled back. SQL is
+	// ignored when Script is set.
+	Script []string
+
+	// Result and Err are populated before Done is closed.
+	Result *Result
+	Err    error
+	Done   chan struct{}
+}
+
+// NewRequest pairs a statement with its session.
+func NewRequest(s *Session, sqlText string) *Request {
+	return &Request{Session: s, SQL: sqlText, Done: make(chan struct{})}
+}
+
+// NewScriptRequest pairs a transaction script with its session.
+func NewScriptRequest(s *Session, stmts []string) *Request {
+	return &Request{Session: s, Script: stmts, Done: make(chan struct{})}
+}
+
+// run executes the request's work on the current goroutine.
+func (r *Request) run() {
+	if len(r.Script) == 0 {
+		r.Result, r.Err = r.Session.Exec(r.SQL)
+		return
+	}
+	for _, q := range r.Script {
+		r.Result, r.Err = r.Session.Exec(q)
+		if r.Err != nil {
+			if r.Session.InTxn() {
+				r.Session.Exec("ROLLBACK")
+			}
+			return
+		}
+	}
+}
+
+// Wait blocks until the request completes and returns its outcome.
+func (r *Request) Wait() (*Result, error) {
+	<-r.Done
+	return r.Result, r.Err
+}
+
+// Threaded is the conventional worker-pool front end of §3.1: a fixed pool
+// of workers, each carrying one query through all phases.
+type Threaded struct {
+	db    *DB
+	queue chan *Request
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewThreaded starts a threaded front end with the given pool size.
+func NewThreaded(db *DB, workers int) *Threaded {
+	if workers <= 0 {
+		workers = 8
+	}
+	t := &Threaded{db: db, queue: make(chan *Request, 256)}
+	for i := 0; i < workers; i++ {
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for req := range t.queue {
+				req.run()
+				close(req.Done)
+			}
+		}()
+	}
+	return t
+}
+
+// Submit queues a request; Wait on the request for its result.
+func (t *Threaded) Submit(req *Request) { t.queue <- req }
+
+// Exec is a convenience: submit and wait.
+func (t *Threaded) Exec(s *Session, sqlText string) (*Result, error) {
+	req := NewRequest(s, sqlText)
+	t.Submit(req)
+	return req.Wait()
+}
+
+// ExecTxn runs a whole transaction script as one request.
+func (t *Threaded) ExecTxn(s *Session, stmts []string) (*Result, error) {
+	req := NewScriptRequest(s, stmts)
+	t.Submit(req)
+	return req.Wait()
+}
+
+// Close drains and stops the pool.
+func (t *Threaded) Close() {
+	t.once.Do(func() { close(t.queue) })
+	t.wg.Wait()
+}
+
+// queryCtx is the packet backpack flowing through the staged engine: the
+// query's state accumulates as it passes each stage (§4.1.1 "the query's
+// backpack"). In this shared-memory implementation the packet carries a
+// pointer, not copies.
+type queryCtx struct {
+	req  *Request
+	stmt sql.Statement
+	node plan.Node
+}
+
+// Staged is the paper's front end: connect -> parse -> optimize -> execute
+// -> disconnect stages connected by queues, with the execution engine's
+// operators owned by fscan/iscan/sort/join/aggr stages (§4.3).
+type Staged struct {
+	db  *DB
+	srv *core.Server
+
+	execStats map[string]*metrics.StageStats
+	statsMu   sync.Mutex
+}
+
+// StagedConfig sizes the staged front end.
+type StagedConfig struct {
+	// Workers per top-level stage (§4.4a tunes these individually).
+	ConnectWorkers, ParseWorkers, OptimizeWorkers, ExecuteWorkers, DisconnectWorkers int
+	// QueueCap bounds each stage queue (back-pressure beyond it).
+	QueueCap int
+	// Batch is the per-stage cohort size for local scheduling.
+	Batch int
+	// Gate optionally installs a global scheduler over the five stages.
+	Gate core.Gate
+}
+
+// NewStaged starts the staged front end.
+func NewStaged(db *DB, cfg StagedConfig) *Staged {
+	def := func(v, d int) int {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
+	s := &Staged{db: db, srv: core.NewServer(), execStats: make(map[string]*metrics.StageStats)}
+
+	s.srv.AddStage(core.StageConfig{
+		Name: "connect", Workers: def(cfg.ConnectWorkers, 2),
+		QueueCap: def(cfg.QueueCap, 256), Batch: def(cfg.Batch, 1),
+		Handler: s.connect,
+	})
+	s.srv.AddStage(core.StageConfig{
+		Name: "parse", Workers: def(cfg.ParseWorkers, 2),
+		QueueCap: def(cfg.QueueCap, 256), Batch: def(cfg.Batch, 4),
+		Handler: s.parse,
+	})
+	s.srv.AddStage(core.StageConfig{
+		Name: "optimize", Workers: def(cfg.OptimizeWorkers, 2),
+		QueueCap: def(cfg.QueueCap, 256), Batch: def(cfg.Batch, 4),
+		Handler: s.optimize,
+	})
+	s.srv.AddStage(core.StageConfig{
+		Name: "execute", Workers: def(cfg.ExecuteWorkers, 4),
+		QueueCap: def(cfg.QueueCap, 256), Batch: def(cfg.Batch, 1),
+		Handler: s.execute,
+	})
+	s.srv.AddStage(core.StageConfig{
+		Name: "disconnect", Workers: def(cfg.DisconnectWorkers, 2),
+		QueueCap: def(cfg.QueueCap, 256), Batch: def(cfg.Batch, 1),
+		Handler: s.disconnect,
+	})
+	if cfg.Gate != nil {
+		s.srv.SetGate(cfg.Gate)
+	}
+	s.srv.OnFinish(func(pkt *core.Packet) {
+		// A packet destroyed before disconnect (routing error) must still
+		// release its client.
+		qc := pkt.Backpack.(*queryCtx)
+		select {
+		case <-qc.req.Done:
+		default:
+			if pkt.Err != nil && qc.req.Err == nil {
+				qc.req.Err = pkt.Err
+			}
+			close(qc.req.Done)
+		}
+	})
+	s.srv.Start()
+	return s
+}
+
+// Server exposes the underlying staged server (monitoring, tuning).
+func (s *Staged) Server() *core.Server { return s.srv }
+
+// Submit routes a request through the staged pipeline. Precompiled requests
+// (already parsed and planned) could route connect->execute directly; this
+// entry point routes the full itinerary.
+func (s *Staged) Submit(req *Request) error {
+	pkt := &core.Packet{
+		Client:   req.Session.ID(),
+		Route:    []string{"connect", "parse", "optimize", "execute", "disconnect"},
+		Backpack: &queryCtx{req: req},
+	}
+	return s.srv.Submit(pkt)
+}
+
+// Exec is a convenience: submit and wait.
+func (s *Staged) Exec(sess *Session, sqlText string) (*Result, error) {
+	req := NewRequest(sess, sqlText)
+	if err := s.Submit(req); err != nil {
+		return nil, err
+	}
+	return req.Wait()
+}
+
+// ExecTxn runs a whole transaction script as one request.
+func (s *Staged) ExecTxn(sess *Session, stmts []string) (*Result, error) {
+	req := NewScriptRequest(sess, stmts)
+	if err := s.Submit(req); err != nil {
+		return nil, err
+	}
+	return req.Wait()
+}
+
+// Close stops the staged server. Outstanding requests should be drained
+// first.
+func (s *Staged) Close() { s.srv.Stop() }
+
+// Snapshot returns the per-stage monitors, including the execution-engine
+// stages (§5.2).
+func (s *Staged) Snapshot() []metrics.StageSnapshot {
+	out := s.srv.Snapshot()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	for _, st := range s.execStats {
+		out = append(out, st.Snapshot())
+	}
+	return out
+}
+
+// --- stage handlers ---
+
+// connect authenticates the client and starts the query's packet on its
+// way (client state creation in the paper's connect stage).
+func (s *Staged) connect(pkt *core.Packet) (core.Verdict, error) {
+	qc := pkt.Backpack.(*queryCtx)
+	if qc.req.Session == nil {
+		return core.Done, fmt.Errorf("engine: request without session")
+	}
+	return core.Forward, nil
+}
+
+// parse runs the SQL front end (syntactic/semantic check of Figure 3).
+// Transaction scripts are parsed statement-by-statement inside execute.
+func (s *Staged) parse(pkt *core.Packet) (core.Verdict, error) {
+	qc := pkt.Backpack.(*queryCtx)
+	if len(qc.req.Script) > 0 {
+		return core.Forward, nil
+	}
+	stmt, err := sql.Parse(qc.req.SQL)
+	if err != nil {
+		return core.Done, err
+	}
+	qc.stmt = stmt
+	return core.Forward, nil
+}
+
+// optimize plans SELECTs (other statements pass through: their "plans" are
+// trivial and built inside execute).
+func (s *Staged) optimize(pkt *core.Packet) (core.Verdict, error) {
+	qc := pkt.Backpack.(*queryCtx)
+	if len(qc.req.Script) > 0 {
+		return core.Forward, nil
+	}
+	if sel, ok := qc.stmt.(*sql.Select); ok {
+		node, err := plan.BindSelect(s.db.cat, sel, s.db.cfg.PlanOptions)
+		if err != nil {
+			return core.Done, err
+		}
+		qc.node = node
+	}
+	return core.Forward, nil
+}
+
+// execute runs the statement. SELECT plans run on the staged execution
+// engine: one task per operator, owned by its fscan/iscan/sort/join/aggr
+// stage, with page-based dataflow (§4.1.2).
+func (s *Staged) execute(pkt *core.Packet) (core.Verdict, error) {
+	qc := pkt.Backpack.(*queryCtx)
+	sess := qc.req.Session
+	sess.SetRunner(func(node plan.Node) ([]value.Row, error) {
+		return exec.RunStaged(node, s.db, s.execRunner(), s.db.cfg.PageRows, s.db.cfg.BufferPages)
+	})
+	if len(qc.req.Script) > 0 {
+		qc.req.run()
+		return core.Forward, nil
+	}
+	qc.req.Result, qc.req.Err = sess.ExecStmt(qc.stmt)
+	return core.Forward, nil
+}
+
+// disconnect finishes the request: deliver results, destroy client state.
+func (s *Staged) disconnect(pkt *core.Packet) (core.Verdict, error) {
+	qc := pkt.Backpack.(*queryCtx)
+	if pkt.Err != nil && qc.req.Err == nil {
+		qc.req.Err = pkt.Err
+	}
+	close(qc.req.Done)
+	return core.Done, nil
+}
+
+// execRunner returns the StageRunner for execution-engine operators. Tasks
+// are accounted against their owning stage's monitor; they run on their own
+// goroutines because operator drive loops block on page exchanges, and a
+// blocked task must not occupy one of the stage's dequeue workers (the
+// paper's stage threads re-enqueue blocked packets instead — with
+// goroutines the Go scheduler provides the equivalent suspension; see the
+// package comment of internal/core for the fidelity discussion).
+func (s *Staged) execRunner() exec.StageRunner {
+	return stageAccountingRunner{s: s}
+}
+
+type stageAccountingRunner struct{ s *Staged }
+
+// Submit implements exec.StageRunner.
+func (r stageAccountingRunner) Submit(stage string, task func()) {
+	st := r.s.execStage(stage)
+	st.OnEnqueue()
+	go func() {
+		st.OnDequeue()
+		task()
+	}()
+}
+
+func (r stageAccountingRunner) String() string { return "staged" }
+
+func (s *Staged) execStage(name string) *metrics.StageStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st, ok := s.execStats[name]
+	if !ok {
+		st = metrics.NewStageStats(name)
+		s.execStats[name] = st
+	}
+	return st
+}

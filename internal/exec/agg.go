@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"stagedb/internal/plan"
+	"stagedb/internal/value"
+)
+
+// --- aggregate ---
+
+type aggState struct {
+	groupKey value.Row
+	count    int64   // per-agg COUNT / COUNT(*) and AVG denominator
+	counts   []int64 // non-null arg count per agg
+	sums     []float64
+	sumIsInt []bool
+	sumInts  []int64
+	mins     []value.Value
+	maxs     []value.Value
+	firstIdx int // arrival order for deterministic output
+}
+
+type aggregateOp struct {
+	node     *plan.Aggregate
+	child    Operator
+	pageRows int
+
+	out []value.Row
+	pos int
+}
+
+func (a *aggregateOp) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	rows, err := drain(a.child)
+	if err != nil {
+		return err
+	}
+	groups := make(map[uint64][]*aggState)
+	var order []*aggState
+	nAggs := len(a.node.Aggs)
+
+	find := func(key value.Row) *aggState {
+		cols := make([]int, len(key))
+		for i := range cols {
+			cols[i] = i
+		}
+		h := key.Hash(cols)
+		for _, st := range groups[h] {
+			if rowsEqual(st.groupKey, key) {
+				return st
+			}
+		}
+		st := &aggState{
+			groupKey: key.Clone(),
+			counts:   make([]int64, nAggs),
+			sums:     make([]float64, nAggs),
+			sumIsInt: make([]bool, nAggs),
+			sumInts:  make([]int64, nAggs),
+			mins:     make([]value.Value, nAggs),
+			maxs:     make([]value.Value, nAggs),
+			firstIdx: len(order),
+		}
+		for i := range st.sumIsInt {
+			st.sumIsInt[i] = true
+		}
+		groups[h] = append(groups[h], st)
+		order = append(order, st)
+		return st
+	}
+
+	for _, row := range rows {
+		key := make(value.Row, len(a.node.GroupBy))
+		for i, g := range a.node.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		st := find(key)
+		st.count++
+		for i, spec := range a.node.Aggs {
+			if spec.Kind == plan.AggCountStar {
+				st.counts[i]++
+				continue
+			}
+			v, err := spec.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			switch spec.Kind {
+			case plan.AggCount:
+				// counted above
+			case plan.AggSum, plan.AggAvg:
+				if v.Type() == value.Float {
+					st.sumIsInt[i] = false
+				}
+				st.sums[i] += v.Float()
+				if v.Type() == value.Int {
+					st.sumInts[i] += v.Int()
+				}
+			case plan.AggMin:
+				if st.mins[i].IsNull() {
+					st.mins[i] = v
+				} else if c, err := value.Compare(v, st.mins[i]); err == nil && c < 0 {
+					st.mins[i] = v
+				}
+			case plan.AggMax:
+				if st.maxs[i].IsNull() {
+					st.maxs[i] = v
+				} else if c, err := value.Compare(v, st.maxs[i]); err == nil && c > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+	}
+
+	// Global aggregate with no input rows still yields one row.
+	if len(a.node.GroupBy) == 0 && len(order) == 0 {
+		find(value.Row{})
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i].firstIdx < order[j].firstIdx })
+	a.out = a.out[:0]
+	for _, st := range order {
+		row := make(value.Row, 0, len(st.groupKey)+nAggs)
+		row = append(row, st.groupKey...)
+		for i, spec := range a.node.Aggs {
+			row = append(row, finishAgg(spec, st, i))
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func finishAgg(spec plan.AggSpec, st *aggState, i int) value.Value {
+	switch spec.Kind {
+	case plan.AggCount, plan.AggCountStar:
+		return value.NewInt(st.counts[i])
+	case plan.AggSum:
+		if st.counts[i] == 0 {
+			return value.NewNull()
+		}
+		if st.sumIsInt[i] {
+			return value.NewInt(st.sumInts[i])
+		}
+		return value.NewFloat(st.sums[i])
+	case plan.AggAvg:
+		if st.counts[i] == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(st.sums[i] / float64(st.counts[i]))
+	case plan.AggMin:
+		return st.mins[i]
+	case plan.AggMax:
+		return st.maxs[i]
+	}
+	return value.NewNull()
+}
+
+func (a *aggregateOp) Next() (*Page, error) { return slicePage(&a.pos, a.out, a.pageRows), nil }
+
+func (a *aggregateOp) Close() error {
+	a.out = nil
+	return a.child.Close()
+}
+
+// --- sort ---
+
+type sortOp struct {
+	node     *plan.Sort
+	child    Operator
+	pageRows int
+
+	out []value.Row
+	pos int
+}
+
+func (s *sortOp) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	rows, err := drain(s.child)
+	if err != nil {
+		return err
+	}
+	// Precompute sort keys per row to avoid re-evaluating during comparison.
+	type keyed struct {
+		row  value.Row
+		keys value.Row
+	}
+	items := make([]keyed, len(rows))
+	for i, row := range rows {
+		ks := make(value.Row, len(s.node.Keys))
+		for j, k := range s.node.Keys {
+			v, err := k.Expr.Eval(row)
+			if err != nil {
+				return err
+			}
+			ks[j] = v
+		}
+		items[i] = keyed{row: row, keys: ks}
+	}
+	var sortErr error
+	sort.SliceStable(items, func(a, b int) bool {
+		for j, k := range s.node.Keys {
+			c, err := value.Compare(items[a].keys[j], items[b].keys[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return fmt.Errorf("exec: sort: %v", sortErr)
+	}
+	s.out = make([]value.Row, len(items))
+	for i, it := range items {
+		s.out[i] = it.row
+	}
+	s.pos = 0
+	return nil
+}
+
+func (s *sortOp) Next() (*Page, error) { return slicePage(&s.pos, s.out, s.pageRows), nil }
+
+func (s *sortOp) Close() error {
+	s.out = nil
+	return s.child.Close()
+}

@@ -1,0 +1,437 @@
+// Package exec executes physical plans. Operators exchange fixed-capacity
+// row pages; the same operator kernels serve both drivers:
+//
+//   - Run: the classic pull (Volcano) driver used by the thread-per-worker
+//     baseline engine — the caller's goroutine pulls pages through the tree.
+//   - RunStaged: the paper's §4.1.2 execution scheme — every operator runs
+//     on its owning stage, operators are activated bottom-up (leaves first,
+//     "page push"), and pages flow through bounded producer-consumer buffers
+//     with back-pressure.
+package exec
+
+import (
+	"fmt"
+
+	"stagedb/internal/catalog"
+	"stagedb/internal/plan"
+	"stagedb/internal/storage"
+	"stagedb/internal/value"
+)
+
+// DefaultPageRows is the default number of rows per exchanged page; §4.4(c)
+// identifies it as a self-tuning knob.
+const DefaultPageRows = 64
+
+// Page is a batch of rows exchanged between operators.
+type Page struct {
+	Rows []value.Row
+}
+
+// Tables resolves table names to their physical storage. The engine
+// implements it; tests use a map.
+type Tables interface {
+	// HeapOf returns the heap file storing the table.
+	HeapOf(t *catalog.Table) (*storage.Heap, error)
+	// IndexOf returns the B+tree for a catalog index.
+	IndexOf(ix *catalog.Index) (*storage.BTree, error)
+}
+
+// Operator produces pages. Implementations are single-consumer.
+type Operator interface {
+	// Open prepares the operator (recursively opening children).
+	Open() error
+	// Next returns the next page, or nil at end of stream.
+	Next() (*Page, error)
+	// Close releases resources (recursively).
+	Close() error
+}
+
+// Build converts a plan into an operator tree. pageRows controls exchange
+// batch size (0 uses DefaultPageRows).
+func Build(n plan.Node, tables Tables, pageRows int) (Operator, error) {
+	if pageRows <= 0 {
+		pageRows = DefaultPageRows
+	}
+	var children []Operator
+	for _, c := range n.Children() {
+		op, err := Build(c, tables, pageRows)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, op)
+	}
+	return BuildNode(n, children, tables, pageRows)
+}
+
+// BuildNode constructs the operator for a single plan node over
+// already-built child operators. The staged driver uses it to splice
+// exchanges between nodes.
+func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int) (Operator, error) {
+	if pageRows <= 0 {
+		pageRows = DefaultPageRows
+	}
+	want := len(n.Children())
+	if len(children) != want {
+		return nil, fmt.Errorf("exec: node %T wants %d children, got %d", n, want, len(children))
+	}
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		h, err := tables.HeapOf(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &seqScan{node: x, heap: h, pageRows: pageRows}, nil
+	case *plan.IndexScan:
+		h, err := tables.HeapOf(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := tables.IndexOf(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &indexScan{node: x, heap: h, tree: bt, pageRows: pageRows}, nil
+	case *plan.Filter:
+		return &filterOp{child: children[0], pred: x.Pred, pageRows: pageRows}, nil
+	case *plan.Project:
+		return &projectOp{child: children[0], exprs: x.Exprs, pageRows: pageRows}, nil
+	case *plan.Join:
+		l, r := children[0], children[1]
+		switch x.Algo {
+		case plan.HashJoin:
+			return &hashJoin{node: x, left: l, right: r, pageRows: pageRows}, nil
+		case plan.SortMergeJoin:
+			return &mergeJoin{node: x, left: l, right: r, pageRows: pageRows}, nil
+		default:
+			return &nestedLoopJoin{node: x, left: l, right: r, pageRows: pageRows}, nil
+		}
+	case *plan.Aggregate:
+		return &aggregateOp{node: x, child: children[0], pageRows: pageRows}, nil
+	case *plan.Sort:
+		return &sortOp{node: x, child: children[0], pageRows: pageRows}, nil
+	case *plan.Limit:
+		return &limitOp{child: children[0], n: x.N, offset: x.Offset}, nil
+	case *plan.Distinct:
+		return &distinctOp{child: children[0], pageRows: pageRows}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+}
+
+// Run pulls the entire result through the operator tree (Volcano driver).
+func Run(op Operator) ([]value.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []value.Row
+	for {
+		pg, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pg == nil {
+			return out, nil
+		}
+		out = append(out, pg.Rows...)
+	}
+}
+
+// --- scans ---
+
+type seqScan struct {
+	node     *plan.SeqScan
+	heap     *storage.Heap
+	pageRows int
+
+	rows []value.Row // materialized matching rows
+	pos  int
+}
+
+func (s *seqScan) Open() error {
+	s.rows = nil
+	s.pos = 0
+	var scanErr error
+	err := s.heap.Scan(func(rid storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if s.node.Filter != nil {
+			ok, err := plan.EvalPredicate(s.node.Filter, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		s.rows = append(s.rows, row)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+func (s *seqScan) Next() (*Page, error) { return slicePage(&s.pos, s.rows, s.pageRows), nil }
+
+func (s *seqScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+type indexScan struct {
+	node     *plan.IndexScan
+	heap     *storage.Heap
+	tree     *storage.BTree
+	pageRows int
+
+	rows []value.Row
+	pos  int
+}
+
+func (s *indexScan) Open() error {
+	s.rows = nil
+	s.pos = 0
+	var visitErr error
+	s.tree.Range(s.node.Lo, s.node.Hi, func(_ value.Value, rid storage.RID) bool {
+		rec, err := s.heap.Get(rid)
+		if err != nil {
+			visitErr = err
+			return false
+		}
+		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
+		if err != nil {
+			visitErr = err
+			return false
+		}
+		if s.node.Filter != nil {
+			ok, err := plan.EvalPredicate(s.node.Filter, row)
+			if err != nil {
+				visitErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		s.rows = append(s.rows, row)
+		return true
+	})
+	return visitErr
+}
+
+func (s *indexScan) Next() (*Page, error) { return slicePage(&s.pos, s.rows, s.pageRows), nil }
+
+func (s *indexScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// slicePage cuts the next batch from rows.
+func slicePage(pos *int, rows []value.Row, pageRows int) *Page {
+	if *pos >= len(rows) {
+		return nil
+	}
+	end := *pos + pageRows
+	if end > len(rows) {
+		end = len(rows)
+	}
+	pg := &Page{Rows: rows[*pos:end]}
+	*pos = end
+	return pg
+}
+
+// --- filter / project ---
+
+type filterOp struct {
+	child    Operator
+	pred     plan.Expr
+	pageRows int
+}
+
+func (f *filterOp) Open() error { return f.child.Open() }
+
+func (f *filterOp) Next() (*Page, error) {
+	out := &Page{}
+	for {
+		pg, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pg == nil {
+			if len(out.Rows) == 0 {
+				return nil, nil
+			}
+			return out, nil
+		}
+		for _, row := range pg.Rows {
+			ok, err := plan.EvalPredicate(f.pred, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		if len(out.Rows) >= f.pageRows {
+			return out, nil
+		}
+	}
+}
+
+func (f *filterOp) Close() error { return f.child.Close() }
+
+type projectOp struct {
+	child    Operator
+	exprs    []plan.Expr
+	pageRows int
+}
+
+func (p *projectOp) Open() error { return p.child.Open() }
+
+func (p *projectOp) Next() (*Page, error) {
+	pg, err := p.child.Next()
+	if err != nil || pg == nil {
+		return nil, err
+	}
+	out := &Page{Rows: make([]value.Row, len(pg.Rows))}
+	for i, row := range pg.Rows {
+		nr := make(value.Row, len(p.exprs))
+		for j, e := range p.exprs {
+			v, err := e.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			nr[j] = v
+		}
+		out.Rows[i] = nr
+	}
+	return out, nil
+}
+
+func (p *projectOp) Close() error { return p.child.Close() }
+
+// --- limit / distinct ---
+
+type limitOp struct {
+	child     Operator
+	n, offset int
+	skipped   int
+	emitted   int
+}
+
+func (l *limitOp) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.child.Open()
+}
+
+func (l *limitOp) Next() (*Page, error) {
+	if l.n >= 0 && l.emitted >= l.n {
+		return nil, nil
+	}
+	for {
+		pg, err := l.child.Next()
+		if err != nil || pg == nil {
+			return nil, err
+		}
+		rows := pg.Rows
+		// Apply offset.
+		if l.skipped < l.offset {
+			skip := l.offset - l.skipped
+			if skip >= len(rows) {
+				l.skipped += len(rows)
+				continue
+			}
+			rows = rows[skip:]
+			l.skipped = l.offset
+		}
+		if l.n >= 0 && l.emitted+len(rows) > l.n {
+			rows = rows[:l.n-l.emitted]
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		l.emitted += len(rows)
+		return &Page{Rows: rows}, nil
+	}
+}
+
+func (l *limitOp) Close() error { return l.child.Close() }
+
+type distinctOp struct {
+	child    Operator
+	pageRows int
+	seen     map[uint64][]value.Row
+}
+
+func (d *distinctOp) Open() error {
+	d.seen = make(map[uint64][]value.Row)
+	return d.child.Open()
+}
+
+func (d *distinctOp) Next() (*Page, error) {
+	out := &Page{}
+	for {
+		pg, err := d.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pg == nil {
+			if len(out.Rows) == 0 {
+				return nil, nil
+			}
+			return out, nil
+		}
+		for _, row := range pg.Rows {
+			if d.addIfNew(row) {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		if len(out.Rows) >= d.pageRows {
+			return out, nil
+		}
+	}
+}
+
+func (d *distinctOp) addIfNew(row value.Row) bool {
+	cols := make([]int, len(row))
+	for i := range cols {
+		cols[i] = i
+	}
+	h := row.Hash(cols)
+	for _, prev := range d.seen[h] {
+		if rowsEqual(prev, row) {
+			return false
+		}
+	}
+	d.seen[h] = append(d.seen[h], row)
+	return true
+}
+
+func (d *distinctOp) Close() error {
+	d.seen = nil
+	return d.child.Close()
+}
+
+func rowsEqual(a, b value.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		an, bn := a[i].IsNull(), b[i].IsNull()
+		if an != bn {
+			return false
+		}
+		if an {
+			continue
+		}
+		if !value.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

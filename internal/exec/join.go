@@ -1,0 +1,306 @@
+package exec
+
+import (
+	"sort"
+
+	"stagedb/internal/plan"
+	"stagedb/internal/value"
+)
+
+// drain pulls an operator to completion and returns all its rows.
+func drain(op Operator) ([]value.Row, error) {
+	var out []value.Row
+	for {
+		pg, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pg == nil {
+			return out, nil
+		}
+		out = append(out, pg.Rows...)
+	}
+}
+
+func concatRow(l, r value.Row) value.Row {
+	out := make(value.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// keysNull reports whether any key column of the row is NULL (NULL never
+// joins).
+func keysNull(row value.Row, keys []int) bool {
+	for _, k := range keys {
+		if row[k].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// passResidual applies the join's residual condition, when present.
+func passResidual(residual plan.Expr, row value.Row) (bool, error) {
+	if residual == nil {
+		return true, nil
+	}
+	return plan.EvalPredicate(residual, row)
+}
+
+// --- hash join ---
+
+// hashJoin builds a hash table on the right (build) input and probes with
+// the left.
+type hashJoin struct {
+	node     *plan.Join
+	left     Operator
+	right    Operator
+	pageRows int
+
+	table map[uint64][]value.Row
+	out   []value.Row
+	pos   int
+}
+
+func (j *hashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	buildRows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[uint64][]value.Row, len(buildRows))
+	for _, row := range buildRows {
+		if keysNull(row, j.node.RightKey) {
+			continue
+		}
+		h := row.Hash(j.node.RightKey)
+		j.table[h] = append(j.table[h], row)
+	}
+	probeRows, err := drain(j.left)
+	if err != nil {
+		return err
+	}
+	j.out = j.out[:0]
+	for _, l := range probeRows {
+		if keysNull(l, j.node.LeftKeys) {
+			continue
+		}
+		h := l.Hash(j.node.LeftKeys)
+		for _, r := range j.table[h] {
+			if !keysEqual(l, j.node.LeftKeys, r, j.node.RightKey) {
+				continue
+			}
+			combined := concatRow(l, r)
+			ok, err := passResidual(j.node.Residual, combined)
+			if err != nil {
+				return err
+			}
+			if ok {
+				j.out = append(j.out, combined)
+			}
+		}
+	}
+	j.pos = 0
+	return nil
+}
+
+func keysEqual(l value.Row, lk []int, r value.Row, rk []int) bool {
+	for i := range lk {
+		if !value.Equal(l[lk[i]], r[rk[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *hashJoin) Next() (*Page, error) { return slicePage(&j.pos, j.out, j.pageRows), nil }
+
+func (j *hashJoin) Close() error {
+	j.table, j.out = nil, nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// --- sort-merge join ---
+
+type mergeJoin struct {
+	node     *plan.Join
+	left     Operator
+	right    Operator
+	pageRows int
+
+	out []value.Row
+	pos int
+}
+
+func (j *mergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	lrows, err := drain(j.left)
+	if err != nil {
+		return err
+	}
+	rrows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	var sortErr error
+	sortBy := func(rows []value.Row, keys []int) {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for _, k := range keys {
+				c, err := value.Compare(rows[a][k], rows[b][k])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	sortBy(lrows, j.node.LeftKeys)
+	sortBy(rrows, j.node.RightKey)
+	if sortErr != nil {
+		return sortErr
+	}
+
+	// Merge with duplicate-group handling.
+	j.out = j.out[:0]
+	li, ri := 0, 0
+	for li < len(lrows) && ri < len(rrows) {
+		if keysNull(lrows[li], j.node.LeftKeys) {
+			li++
+			continue
+		}
+		if keysNull(rrows[ri], j.node.RightKey) {
+			ri++
+			continue
+		}
+		c := compareKeys(lrows[li], j.node.LeftKeys, rrows[ri], j.node.RightKey)
+		switch {
+		case c < 0:
+			li++
+		case c > 0:
+			ri++
+		default:
+			// Group of equal keys on the right.
+			rEnd := ri
+			for rEnd < len(rrows) && compareKeys(lrows[li], j.node.LeftKeys, rrows[rEnd], j.node.RightKey) == 0 {
+				rEnd++
+			}
+			for li < len(lrows) && compareKeys(lrows[li], j.node.LeftKeys, rrows[ri], j.node.RightKey) == 0 {
+				for k := ri; k < rEnd; k++ {
+					combined := concatRow(lrows[li], rrows[k])
+					ok, err := passResidual(j.node.Residual, combined)
+					if err != nil {
+						return err
+					}
+					if ok {
+						j.out = append(j.out, combined)
+					}
+				}
+				li++
+			}
+			ri = rEnd
+		}
+	}
+	j.pos = 0
+	return nil
+}
+
+func compareKeys(l value.Row, lk []int, r value.Row, rk []int) int {
+	for i := range lk {
+		c, err := value.Compare(l[lk[i]], r[rk[i]])
+		if err != nil {
+			return -1
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (j *mergeJoin) Next() (*Page, error) { return slicePage(&j.pos, j.out, j.pageRows), nil }
+
+func (j *mergeJoin) Close() error {
+	j.out = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// --- nested-loop join ---
+
+type nestedLoopJoin struct {
+	node     *plan.Join
+	left     Operator
+	right    Operator
+	pageRows int
+
+	out []value.Row
+	pos int
+}
+
+func (j *nestedLoopJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	inner, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	outer, err := drain(j.left)
+	if err != nil {
+		return err
+	}
+	j.out = j.out[:0]
+	for _, l := range outer {
+		for _, r := range inner {
+			if len(j.node.LeftKeys) > 0 && !keysEqual(l, j.node.LeftKeys, r, j.node.RightKey) {
+				continue
+			}
+			combined := concatRow(l, r)
+			ok, err := passResidual(j.node.Residual, combined)
+			if err != nil {
+				return err
+			}
+			if ok {
+				j.out = append(j.out, combined)
+			}
+		}
+	}
+	j.pos = 0
+	return nil
+}
+
+func (j *nestedLoopJoin) Next() (*Page, error) { return slicePage(&j.pos, j.out, j.pageRows), nil }
+
+func (j *nestedLoopJoin) Close() error {
+	j.out = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}

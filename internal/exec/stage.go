@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"sync"
+
+	"stagedb/internal/plan"
+	"stagedb/internal/value"
+)
+
+// StageRunner schedules a task onto the stage that owns a plan operator
+// (§4.1.2: "each relational operator is assigned to a stage"). The staged
+// engine submits tasks into stage queues; GoRunner runs each task on its own
+// goroutine for tests and standalone use.
+type StageRunner interface {
+	Submit(stage string, task func())
+}
+
+// GoRunner is a StageRunner that ignores stage identity and spawns a
+// goroutine per task.
+type GoRunner struct{}
+
+// Submit implements StageRunner.
+func (GoRunner) Submit(_ string, task func()) { go task() }
+
+// pipeline is one staged query execution: a tree of operator tasks joined by
+// bounded page buffers.
+type pipeline struct {
+	tables      Tables
+	runner      StageRunner
+	pageRows    int
+	bufferPages int
+
+	done     chan struct{} // closed on failure or cancellation
+	failOnce sync.Once
+	err      error
+}
+
+func (p *pipeline) fail(err error) {
+	p.failOnce.Do(func() {
+		p.err = err
+		close(p.done)
+	})
+}
+
+// exchange is the intermediate result buffer of §4.1.2: a bounded
+// producer-consumer page queue. Enqueueing into a full buffer blocks the
+// producing stage thread (back-pressure); the consumer sees a closed channel
+// at end of stream.
+type exchange struct {
+	ch   chan *Page
+	done <-chan struct{}
+}
+
+func newExchange(bufferPages int, done <-chan struct{}) *exchange {
+	if bufferPages <= 0 {
+		bufferPages = 4
+	}
+	return &exchange{ch: make(chan *Page, bufferPages), done: done}
+}
+
+// send delivers a page, blocking on back-pressure. It reports false when the
+// pipeline failed (producer should stop).
+func (e *exchange) send(pg *Page) bool {
+	select {
+	case e.ch <- pg:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+func (e *exchange) close() { close(e.ch) }
+
+// Open implements Operator.
+func (e *exchange) Open() error { return nil }
+
+// Next implements Operator: it blocks on the producing stage.
+func (e *exchange) Next() (*Page, error) {
+	select {
+	case pg, ok := <-e.ch:
+		if !ok {
+			return nil, nil
+		}
+		return pg, nil
+	case <-e.done:
+		// Drain anything already buffered before giving up, so producers
+		// that finished before the failure do not lose pages; the pipeline
+		// error is reported by RunStaged.
+		select {
+		case pg, ok := <-e.ch:
+			if !ok {
+				return nil, nil
+			}
+			return pg, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (e *exchange) Close() error { return nil }
+
+// launch builds the operator for n with its children replaced by exchanges,
+// then submits its drive loop to the node's stage. Children are launched
+// first: activation proceeds bottom-up with respect to the operator tree,
+// the paper's "page push" model.
+func (p *pipeline) launch(n plan.Node) (*exchange, error) {
+	var childSources []Operator
+	for _, c := range n.Children() {
+		src, err := p.launch(c)
+		if err != nil {
+			return nil, err
+		}
+		childSources = append(childSources, src)
+	}
+	op, err := BuildNode(n, childSources, p.tables, p.pageRows)
+	if err != nil {
+		return nil, err
+	}
+	out := newExchange(p.bufferPages, p.done)
+	p.runner.Submit(plan.StageOf(n), func() {
+		defer out.close()
+		if err := op.Open(); err != nil {
+			p.fail(err)
+			return
+		}
+		defer op.Close()
+		for {
+			pg, err := op.Next()
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			if pg == nil {
+				return
+			}
+			if !out.send(pg) {
+				return
+			}
+		}
+	})
+	return out, nil
+}
+
+// RunStaged executes the plan with one task per operator, each owned by its
+// stage, connected by bounded page buffers. It returns the full result set.
+func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferPages int) ([]value.Row, error) {
+	p := &pipeline{
+		tables:      tables,
+		runner:      runner,
+		pageRows:    pageRows,
+		bufferPages: bufferPages,
+		done:        make(chan struct{}),
+	}
+	root, err := p.launch(n)
+	if err != nil {
+		p.fail(err)
+		return nil, err
+	}
+	var rows []value.Row
+	for {
+		pg, err := root.Next()
+		if err != nil {
+			break
+		}
+		if pg == nil {
+			break
+		}
+		rows = append(rows, pg.Rows...)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return rows, nil
+}

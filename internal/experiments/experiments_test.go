@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"stagedb/internal/queuesim"
+)
+
+func TestFig1AffinityBeatsRoundRobin(t *testing.T) {
+	res := Fig1(80)
+	if res.AffinityElapsed >= res.RoundRobinElapsed {
+		t.Fatalf("affinity (%v) should finish before round-robin (%v)",
+			res.AffinityElapsed, res.RoundRobinElapsed)
+	}
+	if res.AffinityOverhead >= res.RoundRobinOverhead {
+		t.Fatalf("affinity overhead (%v) should be below round-robin (%v)",
+			res.AffinityOverhead, res.RoundRobinOverhead)
+	}
+	for _, tr := range []string{res.RoundRobinTrace, res.AffinityTrace} {
+		if !strings.Contains(tr, "thread 0") || !strings.Contains(tr, "legend") {
+			t.Fatalf("trace rendering broken:\n%s", tr)
+		}
+	}
+	// The RR trace must show module reloads (the Figure 1 pathology).
+	if !strings.Contains(res.RoundRobinTrace, "M") {
+		t.Fatal("round-robin trace shows no module loads")
+	}
+}
+
+func TestFig2WorkloadAShape(t *testing.T) {
+	points := Fig2("A", nil, 120, 42)
+	byThreads := map[int]Fig2Point{}
+	for _, p := range points {
+		byThreads[p.Threads] = p
+	}
+	// Throughput at 20 threads should approach the max; 1 thread far below.
+	if byThreads[1].PctOfMax > 55 {
+		t.Fatalf("1 thread at %.0f%% of max — I/O overlap missing", byThreads[1].PctOfMax)
+	}
+	if byThreads[20].PctOfMax < 90 {
+		t.Fatalf("20 threads at %.0f%% of max — should be near peak", byThreads[20].PctOfMax)
+	}
+	// Plateau: 50..200 threads stay within a few percent of the 20-thread point.
+	for _, n := range []int{50, 100, 200} {
+		if byThreads[n].PctOfMax < 85 {
+			t.Fatalf("%d threads at %.0f%% — plateau missing", n, byThreads[n].PctOfMax)
+		}
+	}
+}
+
+func TestFig2WorkloadBShape(t *testing.T) {
+	points := Fig2("B", nil, 60, 42)
+	byThreads := map[int]Fig2Point{}
+	for _, p := range points {
+		byThreads[p.Threads] = p
+	}
+	// B peaks at a small pool and degrades beyond ~5 threads.
+	small := byThreads[2].PctOfMax
+	if small < 90 {
+		t.Fatalf("2 threads at %.0f%% — small pools should be near peak", small)
+	}
+	if byThreads[200].PctOfMax > byThreads[5].PctOfMax {
+		t.Fatalf("B should degrade with pool size: 5->%.0f%%, 200->%.0f%%",
+			byThreads[5].PctOfMax, byThreads[200].PctOfMax)
+	}
+	if byThreads[200].PctOfMax > 90 {
+		t.Fatalf("200 threads at %.0f%% — thrashing should cost more", byThreads[200].PctOfMax)
+	}
+}
+
+func TestAffinityImprovementSingleDigits(t *testing.T) {
+	res := Affinity()
+	if res.WarmCost >= res.ColdCost {
+		t.Fatalf("warm parse (%v) should be cheaper than cold (%v)", res.WarmCost, res.ColdCost)
+	}
+	// The paper measured 7%; the model should land in single digits to ~20%.
+	if res.ImprovementPct < 2 || res.ImprovementPct > 25 {
+		t.Fatalf("improvement %.1f%%, want within [2,25]%% of the paper's 7%%", res.ImprovementPct)
+	}
+}
+
+func TestAffinityDeterministic(t *testing.T) {
+	a, b := Affinity(), Affinity()
+	if a != b {
+		t.Fatalf("affinity experiment not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFig5StagedPoliciesWin(t *testing.T) {
+	rows := Fig5([]float64{0, 0.1, 0.4}, 0.95, 4000)
+	if len(rows) != 3 {
+		t.Fatal("rows")
+	}
+	find := func(row Fig5Row, name string) queuesim.Result {
+		for _, r := range row.Results {
+			if r.Policy.Name() == name {
+				return r
+			}
+		}
+		t.Fatalf("policy %s missing", name)
+		return queuesim.Result{}
+	}
+	// At l=0 the staged policies hold no advantage over FCFS.
+	r0 := rows[0]
+	if find(r0, "T-gated(2)").MeanResponse < find(r0, "FCFS").MeanResponse {
+		t.Fatal("at l=0 batching should not beat FCFS")
+	}
+	// At l=10% and beyond they beat both baselines, and the gap grows.
+	for _, row := range rows[1:] {
+		tg := find(row, "T-gated(2)").MeanResponse
+		if tg >= find(row, "PS").MeanResponse || tg >= find(row, "FCFS").MeanResponse {
+			t.Fatalf("l=%.0f%%: staged policy should win", row.LoadFraction*100)
+		}
+	}
+	g1 := float64(find(rows[1], "PS").MeanResponse) / float64(find(rows[1], "T-gated(2)").MeanResponse)
+	g2 := float64(find(rows[2], "PS").MeanResponse) / float64(find(rows[2], "T-gated(2)").MeanResponse)
+	if g2 <= g1 {
+		t.Fatalf("gap should grow with l: %.2f then %.2f", g1, g2)
+	}
+	table := Fig5Table(rows)
+	if !strings.Contains(table, "T-gated(2)") || !strings.Contains(table, "40%") {
+		t.Fatalf("table rendering:\n%s", table)
+	}
+}
+
+func TestTable1Rendered(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"PRIVATE", "SHARED", "COMMON", "keywords=", "catalog"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGranularitySweetSpot(t *testing.T) {
+	points := Granularity([]int{1, 5, 40}, 16, 1)
+	if len(points) != 3 {
+		t.Fatal("points")
+	}
+	mono, mid, fine := points[0], points[1], points[2]
+	// One huge stage cannot fit in the 128 KB cache: heavy reload overhead.
+	if mid.Elapsed >= mono.Elapsed {
+		t.Fatalf("5 stages (%v) should beat 1 monolithic stage (%v)", mid.Elapsed, mono.Elapsed)
+	}
+	// Very fine staging pays boundary overhead versus the sweet spot.
+	if mid.Elapsed >= fine.Elapsed {
+		t.Fatalf("5 stages (%v) should beat 40 stages (%v)", mid.Elapsed, fine.Elapsed)
+	}
+}
+
+func TestPolicyLoadLowLoadNearTie(t *testing.T) {
+	rows := PolicyLoad([]float64{0.5, 0.95}, 0.3, 3000)
+	low, high := rows[0], rows[1]
+	// At rho=0.5 all policies are within 3x of each other.
+	var lo, hi float64
+	for _, r := range low.Results {
+		s := r.MeanResponse.Seconds()
+		if lo == 0 || s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi/lo > 3 {
+		t.Fatalf("at rho=0.5 spread %.1fx is too wide", hi/lo)
+	}
+	// At rho=0.95 the staged policies clearly win.
+	var tg, ps float64
+	for _, r := range high.Results {
+		switch r.Policy.Name() {
+		case "T-gated(2)":
+			tg = r.MeanResponse.Seconds()
+		case "PS":
+			ps = r.MeanResponse.Seconds()
+		}
+	}
+	if tg >= ps {
+		t.Fatal("at rho=0.95, l=30%, T-gated(2) should beat PS")
+	}
+}

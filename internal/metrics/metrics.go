@@ -1,0 +1,315 @@
+// Package metrics provides the measurement primitives used by both the
+// simulators and the live engine: counters, running means, response-time
+// histograms with percentile queries, and per-stage utilization tracking.
+//
+// The paper argues (§5.2) that a staged design makes the system easy to
+// monitor because every stage exposes its own queue length, utilization, and
+// service-time statistics; StageStats is that per-stage monitor.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Mean accumulates a running mean and variance (Welford's algorithm).
+type Mean struct {
+	mu    sync.Mutex
+	n     int64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+	first bool
+}
+
+// Observe folds one sample into the accumulator.
+func (m *Mean) Observe(x float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.first {
+		m.min, m.max, m.first = x, x, true
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of samples observed.
+func (m *Mean) N() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Value returns the sample mean, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mean
+}
+
+// Stddev returns the sample standard deviation, or 0 with fewer than two
+// samples.
+func (m *Mean) Stddev() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n < 2 {
+		return 0
+	}
+	return math.Sqrt(m.m2 / float64(m.n-1))
+}
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (m *Mean) Min() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.min
+}
+
+// Max returns the largest observed sample, or 0 with no samples.
+func (m *Mean) Max() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.max
+}
+
+// Histogram records duration samples and answers percentile queries. It keeps
+// raw samples; experiments in this repository observe at most a few hundred
+// thousand, so exactness is worth the memory.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using nearest-rank,
+// or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// StageStats is the per-stage monitor of §5.2: queue length, busy time,
+// serviced packets, and service-time distribution.
+type StageStats struct {
+	Name string
+
+	mu        sync.Mutex
+	enqueued  int64
+	dequeued  int64
+	busy      time.Duration
+	service   Histogram
+	queueLen  int
+	maxQueue  int
+	ioBlocked int64
+}
+
+// NewStageStats returns a monitor for the named stage.
+func NewStageStats(name string) *StageStats { return &StageStats{Name: name} }
+
+// OnEnqueue records a packet arrival.
+func (s *StageStats) OnEnqueue() {
+	s.mu.Lock()
+	s.enqueued++
+	s.queueLen++
+	if s.queueLen > s.maxQueue {
+		s.maxQueue = s.queueLen
+	}
+	s.mu.Unlock()
+}
+
+// OnDequeue records a packet departure from the queue into service.
+func (s *StageStats) OnDequeue() {
+	s.mu.Lock()
+	s.dequeued++
+	if s.queueLen > 0 {
+		s.queueLen--
+	}
+	s.mu.Unlock()
+}
+
+// OnService records one completed service of the given duration.
+func (s *StageStats) OnService(d time.Duration) {
+	s.mu.Lock()
+	s.busy += d
+	s.mu.Unlock()
+	s.service.Observe(d)
+}
+
+// OnIOBlock records a worker thread blocking on I/O inside the stage. The
+// self-tuner (§4.4a) sizes stage thread pools from this signal.
+func (s *StageStats) OnIOBlock() {
+	s.mu.Lock()
+	s.ioBlocked++
+	s.mu.Unlock()
+}
+
+// Snapshot returns a point-in-time copy of the stage's statistics.
+func (s *StageStats) Snapshot() StageSnapshot {
+	s.mu.Lock()
+	snap := StageSnapshot{
+		Name:      s.Name,
+		Enqueued:  s.enqueued,
+		Dequeued:  s.dequeued,
+		Busy:      s.busy,
+		QueueLen:  s.queueLen,
+		MaxQueue:  s.maxQueue,
+		IOBlocked: s.ioBlocked,
+	}
+	s.mu.Unlock()
+	snap.MeanService = s.service.Mean()
+	snap.Serviced = s.service.N()
+	return snap
+}
+
+// StageSnapshot is an immutable view of one stage's counters.
+type StageSnapshot struct {
+	Name        string
+	Enqueued    int64
+	Dequeued    int64
+	Serviced    int
+	Busy        time.Duration
+	MeanService time.Duration
+	QueueLen    int
+	MaxQueue    int
+	IOBlocked   int64
+}
+
+// Utilization reports busy time as a fraction of elapsed.
+func (s StageSnapshot) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(elapsed)
+}
+
+// Table renders rows as a fixed-width text table with the given header. It is
+// the output format of cmd/figures, mirroring the paper's tables.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,307 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"stagedb/internal/catalog"
+	"stagedb/internal/value"
+)
+
+// Node is a physical plan operator. Plans are trees of Nodes executed by
+// internal/exec (either pull-based or staged).
+type Node interface {
+	// Schema describes the node's output columns.
+	Schema() Schema
+	// Children returns input nodes (nil for leaves).
+	Children() []Node
+	// Rows estimates output cardinality for costing and EXPLAIN.
+	Rows() float64
+	// String is the EXPLAIN row for this node.
+	String() string
+}
+
+// SeqScan reads a table heap sequentially, applying an optional pushed-down
+// filter.
+type SeqScan struct {
+	Table   *catalog.Table
+	Binding string // alias the query used
+	Filter  Expr   // may be nil
+	Est     float64
+	out     Schema
+}
+
+// Schema implements Node.
+func (n *SeqScan) Schema() Schema { return n.out }
+
+// Children implements Node.
+func (n *SeqScan) Children() []Node { return nil }
+
+// Rows implements Node.
+func (n *SeqScan) Rows() float64 { return n.Est }
+
+func (n *SeqScan) String() string {
+	s := fmt.Sprintf("SeqScan %s", n.Binding)
+	if n.Filter != nil {
+		s += " filter=" + n.Filter.String()
+	}
+	return s
+}
+
+// IndexScan reads a table through a B+tree index over [Lo, Hi] (NULL bound =
+// open), applying an optional residual filter.
+type IndexScan struct {
+	Table   *catalog.Table
+	Binding string
+	Index   *catalog.Index
+	Lo, Hi  value.Value
+	Filter  Expr
+	Est     float64
+	out     Schema
+}
+
+// Schema implements Node.
+func (n *IndexScan) Schema() Schema { return n.out }
+
+// Children implements Node.
+func (n *IndexScan) Children() []Node { return nil }
+
+// Rows implements Node.
+func (n *IndexScan) Rows() float64 { return n.Est }
+
+func (n *IndexScan) String() string {
+	s := fmt.Sprintf("IndexScan %s via %s [%s, %s]", n.Binding, n.Index.Name, n.Lo, n.Hi)
+	if n.Filter != nil {
+		s += " filter=" + n.Filter.String()
+	}
+	return s
+}
+
+// scanSchema builds the output schema of a table scan.
+func scanSchema(t *catalog.Table, binding string) Schema {
+	out := make(Schema, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		out[i] = ColInfo{Table: binding, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// JoinAlgo selects the join implementation.
+type JoinAlgo int
+
+// Join algorithms (the paper's execute-stage "join" stage bundles all
+// three, §4.3).
+const (
+	HashJoin JoinAlgo = iota
+	SortMergeJoin
+	NestedLoopJoin
+)
+
+func (a JoinAlgo) String() string {
+	switch a {
+	case HashJoin:
+		return "HashJoin"
+	case SortMergeJoin:
+		return "SortMergeJoin"
+	case NestedLoopJoin:
+		return "NestedLoopJoin"
+	}
+	return fmt.Sprintf("JoinAlgo(%d)", int(a))
+}
+
+// Join combines two inputs. Equi-key joins set LeftKeys/RightKeys (positions
+// in each side's schema); Residual holds any extra condition evaluated on
+// the concatenated row.
+type Join struct {
+	Algo     JoinAlgo
+	L, R     Node
+	LeftKeys []int
+	RightKey []int
+	Residual Expr
+	Est      float64
+	out      Schema
+}
+
+// Schema implements Node.
+func (n *Join) Schema() Schema { return n.out }
+
+// Children implements Node.
+func (n *Join) Children() []Node { return []Node{n.L, n.R} }
+
+// Rows implements Node.
+func (n *Join) Rows() float64 { return n.Est }
+
+func (n *Join) String() string {
+	s := n.Algo.String()
+	if len(n.LeftKeys) > 0 {
+		s += fmt.Sprintf(" keys=%v=%v", n.LeftKeys, n.RightKey)
+	}
+	if n.Residual != nil {
+		s += " residual=" + n.Residual.String()
+	}
+	return s
+}
+
+// Filter drops rows failing Pred.
+type Filter struct {
+	Child Node
+	Pred  Expr
+	Est   float64
+}
+
+// Schema implements Node.
+func (n *Filter) Schema() Schema { return n.Child.Schema() }
+
+// Children implements Node.
+func (n *Filter) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *Filter) Rows() float64 { return n.Est }
+
+func (n *Filter) String() string { return "Filter " + n.Pred.String() }
+
+// Project computes output expressions.
+type Project struct {
+	Child Node
+	Exprs []Expr
+	out   Schema
+}
+
+// Schema implements Node.
+func (n *Project) Schema() Schema { return n.out }
+
+// Children implements Node.
+func (n *Project) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *Project) Rows() float64 { return n.Child.Rows() }
+
+func (n *Project) String() string {
+	parts := make([]string, len(n.Exprs))
+	for i, e := range n.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// Aggregate groups by GroupBy expressions and computes Aggs. Output schema
+// is group columns followed by aggregate results.
+type Aggregate struct {
+	Child   Node
+	GroupBy []Expr
+	Aggs    []AggSpec
+	Est     float64
+	out     Schema
+}
+
+// Schema implements Node.
+func (n *Aggregate) Schema() Schema { return n.out }
+
+// Children implements Node.
+func (n *Aggregate) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *Aggregate) Rows() float64 { return n.Est }
+
+func (n *Aggregate) String() string {
+	return fmt.Sprintf("Aggregate groups=%d aggs=%d", len(n.GroupBy), len(n.Aggs))
+}
+
+// SortKey is one ORDER BY key over the child's output.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort orders rows by Keys.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (n *Sort) Schema() Schema { return n.Child.Schema() }
+
+// Children implements Node.
+func (n *Sort) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *Sort) Rows() float64 { return n.Child.Rows() }
+
+func (n *Sort) String() string { return fmt.Sprintf("Sort keys=%d", len(n.Keys)) }
+
+// Limit passes at most N rows after skipping Offset.
+type Limit struct {
+	Child     Node
+	N, Offset int
+}
+
+// Schema implements Node.
+func (n *Limit) Schema() Schema { return n.Child.Schema() }
+
+// Children implements Node.
+func (n *Limit) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *Limit) Rows() float64 {
+	r := n.Child.Rows()
+	if n.N >= 0 && float64(n.N) < r {
+		return float64(n.N)
+	}
+	return r
+}
+
+func (n *Limit) String() string { return fmt.Sprintf("Limit %d offset %d", n.N, n.Offset) }
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (n *Distinct) Schema() Schema { return n.Child.Schema() }
+
+// Children implements Node.
+func (n *Distinct) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *Distinct) Rows() float64 { return n.Child.Rows() * 0.9 }
+
+func (n *Distinct) String() string { return "Distinct" }
+
+// Explain renders the plan tree, one node per line, children indented.
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.String())
+		b.WriteString(fmt.Sprintf("  (~%.0f rows)", n.Rows()))
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// StageOf maps a plan node to the execution-engine stage that owns it in the
+// staged engine (§4.3): fscan, iscan, sort, join, aggr, or exec for the
+// remaining glue operators.
+func StageOf(n Node) string {
+	switch x := n.(type) {
+	case *SeqScan:
+		return "fscan:" + x.Table.Name
+	case *IndexScan:
+		return "iscan:" + x.Table.Name
+	case *Sort:
+		return "sort"
+	case *Join:
+		return "join"
+	case *Aggregate:
+		return "aggr"
+	default:
+		return "exec"
+	}
+}

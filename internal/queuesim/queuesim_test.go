@@ -1,0 +1,154 @@
+package queuesim
+
+import (
+	"testing"
+	"time"
+)
+
+func testCfg(loadFraction, rho float64) Config {
+	cfg := DefaultConfig(loadFraction, rho)
+	cfg.Jobs = 4000
+	cfg.Warmup = 500
+	return cfg
+}
+
+func TestAllPoliciesCompleteAtLowLoad(t *testing.T) {
+	for _, p := range Figure5Policies() {
+		res := Run(testCfg(0.2, 0.3), p)
+		if res.Completed != 4000 {
+			t.Fatalf("%s: completed %d, want 4000", p.Name(), res.Completed)
+		}
+		if res.Dropped != 0 {
+			t.Fatalf("%s: dropped %d at low load", p.Name(), res.Dropped)
+		}
+		// At rho=0.3 response should be near the bare demand (100ms),
+		// certainly under 400ms for every policy.
+		if res.MeanResponse < 90*time.Millisecond || res.MeanResponse > 400*time.Millisecond {
+			t.Fatalf("%s: mean response %v implausible at rho=0.3", p.Name(), res.MeanResponse)
+		}
+	}
+}
+
+func TestFCFSMatchesMD1AtZeroLoadFraction(t *testing.T) {
+	// With l=0 service is deterministic 100ms; M/D/1 at rho=0.95 has
+	// E[W] = lambda*E[S^2]/(2(1-rho)) = 0.95s, so E[RT] ~ 1.05s.
+	cfg := testCfg(0, 0.95)
+	cfg.Jobs = 12000
+	res := Run(cfg, Policy{Kind: FCFS})
+	if res.MeanResponse < 800*time.Millisecond || res.MeanResponse > 1400*time.Millisecond {
+		t.Fatalf("FCFS mean response %v, want ~1.05s (M/D/1)", res.MeanResponse)
+	}
+}
+
+func TestPSSlowerThanFCFSForDeterministicDemand(t *testing.T) {
+	// Processor sharing with equal-size jobs roughly doubles response time
+	// versus FCFS (E[RT]_PS = E[S]/(1-rho) = 2s at rho=.95, l=0).
+	cfg := testCfg(0, 0.95)
+	ps := Run(cfg, Policy{Kind: PS})
+	fcfs := Run(cfg, Policy{Kind: FCFS})
+	if ps.MeanResponse <= fcfs.MeanResponse {
+		t.Fatalf("PS (%v) should be slower than FCFS (%v) for equal jobs", ps.MeanResponse, fcfs.MeanResponse)
+	}
+	if ps.MeanResponse < 1500*time.Millisecond || ps.MeanResponse > 2600*time.Millisecond {
+		t.Fatalf("PS mean response %v, want ~2s (M/D/1-PS)", ps.MeanResponse)
+	}
+}
+
+func TestStagedPoliciesAmortizeLoad(t *testing.T) {
+	// At l=40% and rho=0.95 the staged policies reuse the module set within
+	// a batch, so they pay far less l and respond faster than PS and FCFS.
+	cfg := testCfg(0.4, 0.95)
+	fcfs := Run(cfg, Policy{Kind: FCFS})
+	for _, p := range []Policy{{Kind: NonGated}, {Kind: DGated}, {Kind: TGated, K: 2}} {
+		res := Run(cfg, p)
+		if res.MeanResponse >= fcfs.MeanResponse {
+			t.Fatalf("%s (%v) should beat FCFS (%v) at l=40%%", p.Name(), res.MeanResponse, fcfs.MeanResponse)
+		}
+		if res.LoadPaid >= fcfs.LoadPaid {
+			t.Fatalf("%s paid %v of load, FCFS paid %v — no reuse?", p.Name(), res.LoadPaid, fcfs.LoadPaid)
+		}
+		if res.MeanBatch <= 1.1 {
+			t.Fatalf("%s mean batch %.2f, expected >1 at high load", p.Name(), res.MeanBatch)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := testCfg(0.3, 0.9)
+	a := Run(cfg, Policy{Kind: DGated})
+	b := Run(cfg, Policy{Kind: DGated})
+	if a.MeanResponse != b.MeanResponse || a.Completed != b.Completed {
+		t.Fatalf("same seed diverged: %v vs %v", a.MeanResponse, b.MeanResponse)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 7
+	c := Run(cfg2, Policy{Kind: DGated})
+	if c.MeanResponse == a.MeanResponse {
+		t.Fatal("different seeds produced identical means (suspicious)")
+	}
+}
+
+func TestRepayOnResumeHurtsPS(t *testing.T) {
+	cfg := testCfg(0.3, 0.9)
+	base := Run(cfg, Policy{Kind: PS})
+	cfg.RepayOnResume = true
+	repay := Run(cfg, Policy{Kind: PS})
+	if repay.MeanResponse <= base.MeanResponse {
+		t.Fatalf("repay-on-resume (%v) should be slower than per-visit (%v)",
+			repay.MeanResponse, base.MeanResponse)
+	}
+}
+
+func TestGatedBoundsBatchVersusNonGated(t *testing.T) {
+	// Under the same run, the D-gated policy's gate caps each visit to the
+	// arrivals present at its start, so its mean batch is no larger than
+	// non-gated's (which also serves late arrivals).
+	cfg := testCfg(0.4, 0.95)
+	ng := Run(cfg, Policy{Kind: NonGated})
+	dg := Run(cfg, Policy{Kind: DGated})
+	if dg.MeanBatch > ng.MeanBatch*1.25 {
+		t.Fatalf("D-gated batch %.2f should not exceed non-gated %.2f", dg.MeanBatch, ng.MeanBatch)
+	}
+}
+
+func TestBusyFractionTracksLoad(t *testing.T) {
+	cfg := testCfg(0, 0.7)
+	res := Run(cfg, Policy{Kind: FCFS})
+	if res.BusyFrac < 0.6 || res.BusyFrac > 0.8 {
+		t.Fatalf("busy fraction %.3f, want ~0.7", res.BusyFrac)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := []string{"T-gated(2)", "D-gated", "non-gated", "FCFS", "PS"}
+	for i, p := range Figure5Policies() {
+		if p.Name() != want[i] {
+			t.Fatalf("policy %d name %q, want %q", i, p.Name(), want[i])
+		}
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	res := Run(Config{Jobs: 100, Seed: 1, Rho: 0.5, TotalDemand: 10 * time.Millisecond}, Policy{Kind: TGated})
+	if res.Completed != 100 {
+		t.Fatalf("completed %d, want 100", res.Completed)
+	}
+}
+
+func TestFig5CrossoverShape(t *testing.T) {
+	// The paper's headline: staged policies overtake the baselines once l
+	// exceeds ~2% of execution time, and the gap grows with l.
+	gapAt := func(lf float64) float64 {
+		cfg := testCfg(lf, 0.95)
+		ps := Run(cfg, Policy{Kind: PS})
+		tg := Run(cfg, Policy{Kind: TGated, K: 2})
+		return float64(ps.MeanResponse) / float64(tg.MeanResponse)
+	}
+	g10, g40 := gapAt(0.10), gapAt(0.40)
+	if g10 <= 1.0 {
+		t.Fatalf("at l=10%% T-gated(2) should already beat PS (ratio %.2f)", g10)
+	}
+	if g40 <= g10 {
+		t.Fatalf("gap should grow with l: ratio %.2f at 10%% vs %.2f at 40%%", g10, g40)
+	}
+}

@@ -1,0 +1,353 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"stagedb/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// String renders the statement back to SQL-ish text for diagnostics.
+	String() string
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       value.Type
+	PrimaryKey bool
+}
+
+// CreateTable is CREATE TABLE name (col type [PRIMARY KEY], ...).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+func (s *CreateTable) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+		if c.PrimaryKey {
+			parts[i] += " PRIMARY KEY"
+		}
+	}
+	return "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ")"
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt()            {}
+func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
+
+// CreateIndex is CREATE INDEX name ON table (column).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndex) stmt() {}
+func (s *CreateIndex) String() string {
+	return "CREATE INDEX " + s.Name + " ON " + s.Table + " (" + s.Column + ")"
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*Insert) stmt() {}
+func (s *Insert) String() string {
+	return fmt.Sprintf("INSERT INTO %s (%d rows)", s.Table, len(s.Rows))
+}
+
+// Assignment is one SET clause of UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE table SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []Assignment
+	Where Expr
+}
+
+func (*Update) stmt()            {}
+func (s *Update) String() string { return "UPDATE " + s.Table }
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*Delete) stmt()            {}
+func (s *Delete) String() string { return "DELETE FROM " + s.Table }
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // empty when none
+}
+
+// Name returns the alias when present, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is one JOIN clause.
+type Join struct {
+	Table TableRef
+	On    Expr
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT query.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // comma-list; cross product before Where
+	Joins    []Join     // explicit JOIN ... ON ...
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+func (*Select) stmt() {}
+func (s *Select) String() string {
+	var names []string
+	for _, t := range s.From {
+		names = append(names, t.Name())
+	}
+	return "SELECT FROM " + strings.Join(names, ", ")
+}
+
+// Begin, Commit and Rollback control transactions.
+type (
+	// Begin starts a transaction.
+	Begin struct{}
+	// Commit commits the current transaction.
+	Commit struct{}
+	// Rollback aborts the current transaction.
+	Rollback struct{}
+)
+
+func (*Begin) stmt()             {}
+func (*Begin) String() string    { return "BEGIN" }
+func (*Commit) stmt()            {}
+func (*Commit) String() string   { return "COMMIT" }
+func (*Rollback) stmt()          {}
+func (*Rollback) String() string { return "ROLLBACK" }
+
+// Expr is any scalar expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct{ Val value.Value }
+
+func (*Literal) expr()            {}
+func (e *Literal) String() string { return e.Val.String() }
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+func (*ColumnRef) expr() {}
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+// Binary applies an infix operator: AND OR = != < <= > >= + - * / %.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+// Unary applies NOT or numeric negation.
+type Unary struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+func (*Unary) expr()            {}
+func (e *Unary) String() string { return e.Op + " " + e.E.String() }
+
+// Call is an aggregate or scalar function call.
+type Call struct {
+	Name string // upper-cased
+	Star bool   // COUNT(*)
+	Args []Expr
+}
+
+func (*Call) expr() {}
+func (e *Call) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Between is expr [NOT] BETWEEN lo AND hi.
+type Between struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Between) expr() {}
+func (e *Between) String() string {
+	op := " BETWEEN "
+	if e.Not {
+		op = " NOT BETWEEN "
+	}
+	return e.E.String() + op + e.Lo.String() + " AND " + e.Hi.String()
+}
+
+// InList is expr [NOT] IN (v1, v2, ...).
+type InList struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*InList) expr() {}
+func (e *InList) String() string {
+	items := make([]string, len(e.List))
+	for i, x := range e.List {
+		items[i] = x.String()
+	}
+	op := " IN ("
+	if e.Not {
+		op = " NOT IN ("
+	}
+	return e.E.String() + op + strings.Join(items, ", ") + ")"
+}
+
+// LikeExpr is expr [NOT] LIKE pattern.
+type LikeExpr struct {
+	E, Pattern Expr
+	Not        bool
+}
+
+func (*LikeExpr) expr() {}
+func (e *LikeExpr) String() string {
+	op := " LIKE "
+	if e.Not {
+		op = " NOT LIKE "
+	}
+	return e.E.String() + op + e.Pattern.String()
+}
+
+// IsNull is expr IS [NOT] NULL.
+type IsNull struct {
+	E   Expr
+	Not bool
+}
+
+func (*IsNull) expr() {}
+func (e *IsNull) String() string {
+	if e.Not {
+		return e.E.String() + " IS NOT NULL"
+	}
+	return e.E.String() + " IS NULL"
+}
+
+// Walk visits e and all sub-expressions in depth-first order, calling fn for
+// each; fn returning false prunes the subtree.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Binary:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Unary:
+		Walk(x.E, fn)
+	case *Call:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *Between:
+		Walk(x.E, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *InList:
+		Walk(x.E, fn)
+		for _, a := range x.List {
+			Walk(a, fn)
+		}
+	case *LikeExpr:
+		Walk(x.E, fn)
+		Walk(x.Pattern, fn)
+	case *IsNull:
+		Walk(x.E, fn)
+	}
+}
+
+// IsAggregate reports whether the call name is an aggregate function.
+func IsAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// HasAggregate reports whether e contains an aggregate call.
+func HasAggregate(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Call); ok && IsAggregate(c.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"fmt"
+
+	"stagedb/internal/value"
+)
+
+// btreeOrder is the maximum number of keys per node.
+const btreeOrder = 64
+
+// BTree is an in-memory B+tree mapping column values to RIDs. Duplicate keys
+// are supported (each key holds a postings list). Deletion removes entries
+// lazily without rebalancing, as in several production systems; structure
+// height only grows on inserts.
+//
+// BTree is not safe for concurrent mutation; the engine serializes index
+// updates through the lock manager.
+type BTree struct {
+	root   node
+	height int
+	size   int // live (key, RID) pairs
+}
+
+type node interface {
+	// insert returns a split: the new right sibling and its separator key,
+	// or nil when no split happened.
+	insert(key value.Value, rid RID) (sep value.Value, right node)
+	// remove deletes one (key, rid) pair; reports whether it was found.
+	remove(key value.Value, rid RID) bool
+	// search returns the postings for key.
+	search(key value.Value) []RID
+	// firstLeaf descends to the leftmost leaf.
+	firstLeaf() *leaf
+	// seekLeaf descends to the leaf that would contain key.
+	seekLeaf(key value.Value) *leaf
+}
+
+type leaf struct {
+	keys []value.Value
+	vals [][]RID
+	next *leaf
+}
+
+type inner struct {
+	keys     []value.Value
+	children []node
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &leaf{}, height: 1}
+}
+
+// Len reports the number of live (key, RID) pairs.
+func (t *BTree) Len() int { return t.size }
+
+// Height reports the tree height in nodes (1 = a single leaf).
+func (t *BTree) Height() int { return t.height }
+
+func mustCompare(a, b value.Value) int {
+	c, err := value.Compare(a, b)
+	if err != nil {
+		panic(fmt.Sprintf("storage: incomparable btree keys %s and %s", a, b))
+	}
+	return c
+}
+
+// lowerBound returns the first index i with keys[i] >= key.
+func lowerBound(keys []value.Value, key value.Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mustCompare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index i with keys[i] > key.
+func upperBound(keys []value.Value, key value.Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mustCompare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds one (key, rid) pair. NULL keys are not indexed (SQL semantics:
+// IS NULL predicates never use the index).
+func (t *BTree) Insert(key value.Value, rid RID) {
+	if key.IsNull() {
+		return
+	}
+	sep, right := t.root.insert(key, rid)
+	t.size++
+	if right != nil {
+		t.root = &inner{keys: []value.Value{sep}, children: []node{t.root, right}}
+		t.height++
+	}
+}
+
+// Delete removes one (key, rid) pair; it reports whether the pair existed.
+func (t *BTree) Delete(key value.Value, rid RID) bool {
+	if key.IsNull() {
+		return false
+	}
+	if t.root.remove(key, rid) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+// Search returns the RIDs stored under key (nil when absent).
+func (t *BTree) Search(key value.Value) []RID {
+	if key.IsNull() {
+		return nil
+	}
+	return t.root.search(key)
+}
+
+// Range visits (key, rid) pairs with lo <= key <= hi in key order. A NULL lo
+// means unbounded below; a NULL hi unbounded above. Returning false stops.
+func (t *BTree) Range(lo, hi value.Value, visit func(key value.Value, rid RID) bool) {
+	var lf *leaf
+	var idx int
+	if lo.IsNull() {
+		lf = t.root.firstLeaf()
+	} else {
+		lf = t.root.seekLeaf(lo)
+		idx = lowerBound(lf.keys, lo)
+	}
+	for lf != nil {
+		for ; idx < len(lf.keys); idx++ {
+			if !hi.IsNull() && mustCompare(lf.keys[idx], hi) > 0 {
+				return
+			}
+			for _, rid := range lf.vals[idx] {
+				if !visit(lf.keys[idx], rid) {
+					return
+				}
+			}
+		}
+		lf = lf.next
+		idx = 0
+	}
+}
+
+// --- leaf ---
+
+func (l *leaf) search(key value.Value) []RID {
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && mustCompare(l.keys[i], key) == 0 {
+		out := make([]RID, len(l.vals[i]))
+		copy(out, l.vals[i])
+		return out
+	}
+	return nil
+}
+
+func (l *leaf) insert(key value.Value, rid RID) (value.Value, node) {
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && mustCompare(l.keys[i], key) == 0 {
+		l.vals[i] = append(l.vals[i], rid)
+		return value.Value{}, nil
+	}
+	l.keys = append(l.keys, value.Value{})
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.vals = append(l.vals, nil)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = []RID{rid}
+	if len(l.keys) <= btreeOrder {
+		return value.Value{}, nil
+	}
+	// Split.
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([]value.Value(nil), l.keys[mid:]...),
+		vals: append([][]RID(nil), l.vals[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	l.next = right
+	return right.keys[0], right
+}
+
+func (l *leaf) remove(key value.Value, rid RID) bool {
+	i := lowerBound(l.keys, key)
+	if i >= len(l.keys) || mustCompare(l.keys[i], key) != 0 {
+		return false
+	}
+	posting := l.vals[i]
+	for j, r := range posting {
+		if r == rid {
+			posting = append(posting[:j], posting[j+1:]...)
+			if len(posting) == 0 {
+				l.keys = append(l.keys[:i], l.keys[i+1:]...)
+				l.vals = append(l.vals[:i], l.vals[i+1:]...)
+			} else {
+				l.vals[i] = posting
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (l *leaf) firstLeaf() *leaf               { return l }
+func (l *leaf) seekLeaf(key value.Value) *leaf { return l }
+
+// --- inner ---
+
+func (n *inner) childFor(key value.Value) int { return upperBound(n.keys, key) }
+
+func (n *inner) search(key value.Value) []RID {
+	return n.children[n.childFor(key)].search(key)
+}
+
+func (n *inner) insert(key value.Value, rid RID) (value.Value, node) {
+	ci := n.childFor(key)
+	sep, right := n.children[ci].insert(key, rid)
+	if right == nil {
+		return value.Value{}, nil
+	}
+	n.keys = append(n.keys, value.Value{})
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.keys) <= btreeOrder {
+		return value.Value{}, nil
+	}
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	rightNode := &inner{
+		keys:     append([]value.Value(nil), n.keys[mid+1:]...),
+		children: append([]node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sepUp, rightNode
+}
+
+func (n *inner) remove(key value.Value, rid RID) bool {
+	return n.children[n.childFor(key)].remove(key, rid)
+}
+
+func (n *inner) firstLeaf() *leaf { return n.children[0].firstLeaf() }
+
+func (n *inner) seekLeaf(key value.Value) *leaf {
+	return n.children[n.childFor(key)].seekLeaf(key)
+}

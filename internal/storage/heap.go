@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Heap is an unordered record file over the buffer pool: a list of slotted
+// pages with a simple "last page with room" insertion policy.
+type Heap struct {
+	mu    sync.Mutex
+	pool  *Pool
+	pages []PageID
+}
+
+// NewHeap returns an empty heap file backed by pool.
+func NewHeap(pool *Pool) *Heap {
+	return &Heap{pool: pool}
+}
+
+// Insert stores rec and returns its RID.
+func (h *Heap) Insert(rec []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try the last page first; the common case for bulk loads.
+	if n := len(h.pages); n > 0 {
+		id := h.pages[n-1]
+		pg, err := h.pool.Pin(id)
+		if err != nil {
+			return RID{}, err
+		}
+		if pg.FreeSpace() >= len(rec) {
+			slot, err := pg.Insert(rec)
+			h.pool.Unpin(id, err == nil)
+			if err != nil {
+				return RID{}, err
+			}
+			return RID{Page: id, Slot: slot}, nil
+		}
+		h.pool.Unpin(id, false)
+	}
+	pg, id, err := h.pool.NewPage()
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pg.Insert(rec)
+	h.pool.Unpin(id, err == nil)
+	if err != nil {
+		return RID{}, err
+	}
+	h.pages = append(h.pages, id)
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Get copies the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	pg, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	rec, err := pg.Get(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Delete tombstones the record at rid.
+func (h *Heap) Delete(rid RID) error {
+	pg, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = pg.Delete(rid.Slot)
+	h.pool.Unpin(rid.Page, err == nil)
+	return err
+}
+
+// Update replaces the record at rid, in place when it fits, otherwise by
+// delete+insert. It returns the (possibly moved) RID.
+func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
+	pg, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	ok, err := pg.Update(rid.Slot, rec)
+	if err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	if ok {
+		h.pool.Unpin(rid.Page, true)
+		return rid, nil
+	}
+	if err := pg.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	h.pool.Unpin(rid.Page, true)
+	return h.Insert(rec)
+}
+
+// Scan visits every live record in RID order. The rec slice is only valid
+// for the duration of the callback. Returning false stops the scan.
+func (h *Heap) Scan(visit func(rid RID, rec []byte) bool) error {
+	h.mu.Lock()
+	pages := make([]PageID, len(h.pages))
+	copy(pages, h.pages)
+	h.mu.Unlock()
+	for _, id := range pages {
+		pg, err := h.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		n := pg.SlotCount()
+		for slot := uint16(0); slot < n; slot++ {
+			if !pg.Live(slot) {
+				continue
+			}
+			rec, err := pg.Get(slot)
+			if err != nil {
+				h.pool.Unpin(id, false)
+				return err
+			}
+			if !visit(RID{Page: id, Slot: slot}, rec) {
+				h.pool.Unpin(id, false)
+				return nil
+			}
+		}
+		h.pool.Unpin(id, false)
+	}
+	return nil
+}
+
+// Pages reports the number of pages in the heap.
+func (h *Heap) Pages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}
+
+// Count scans and counts live records (used by stats collection).
+func (h *Heap) Count() (int64, error) {
+	var n int64
+	err := h.Scan(func(RID, []byte) bool { n++; return true })
+	return n, err
+}
+
+// Truncate drops all pages from the heap (DROP TABLE support). Page storage
+// is not reclaimed from the store; ids are simply abandoned.
+func (h *Heap) Truncate() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pages = nil
+}
+
+// String describes the heap for diagnostics.
+func (h *Heap) String() string {
+	return fmt.Sprintf("heap{%d pages}", h.Pages())
+}

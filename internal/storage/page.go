@@ -1,0 +1,184 @@
+// Package storage implements the storage engine: slotted pages, a record
+// codec, a page store with a pinning buffer pool, heap files, and a B+tree
+// secondary index. It is the SHORE-equivalent substrate of the paper's
+// prototype (DESIGN.md §2), operating on an in-memory page store whose I/O
+// timing, when needed, is charged by the simulators.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed page size in bytes.
+const PageSize = 8192
+
+// PageID identifies a page in the store.
+type PageID uint32
+
+// InvalidPage is the zero, never-allocated page id.
+const InvalidPage PageID = 0
+
+// RID locates a record: page plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Page header layout:
+//
+//	0..3   page id
+//	4..5   slot count
+//	6..7   free-space low water mark (end of slot array)
+//	8..9   free-space high water mark (start of record data)
+//	10..17 page LSN (for WAL)
+//
+// The slot array grows upward from the header; record data grows downward
+// from the end of the page. Each slot is offset(2) + length(2); a slot with
+// offset 0 is a tombstone.
+const (
+	headerSize    = 18
+	slotSize      = 4
+	offPageID     = 0
+	offSlotCount  = 4
+	offFreeLow    = 6
+	offFreeHigh   = 8
+	offLSN        = 10
+	tombstoneMark = 0
+)
+
+// Page is one slotted page. Methods do not lock; callers synchronize via the
+// buffer pool pin protocol.
+type Page struct {
+	buf [PageSize]byte
+}
+
+// InitPage formats p as an empty page with the given id.
+func (p *Page) InitPage(id PageID) {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(p.buf[offPageID:], uint32(id))
+	binary.LittleEndian.PutUint16(p.buf[offSlotCount:], 0)
+	binary.LittleEndian.PutUint16(p.buf[offFreeLow:], headerSize)
+	binary.LittleEndian.PutUint16(p.buf[offFreeHigh:], PageSize)
+}
+
+// ID returns the page id stored in the header.
+func (p *Page) ID() PageID {
+	return PageID(binary.LittleEndian.Uint32(p.buf[offPageID:]))
+}
+
+// LSN returns the page's log sequence number.
+func (p *Page) LSN() uint64 { return binary.LittleEndian.Uint64(p.buf[offLSN:]) }
+
+// SetLSN stamps the page's log sequence number.
+func (p *Page) SetLSN(lsn uint64) { binary.LittleEndian.PutUint64(p.buf[offLSN:], lsn) }
+
+// SlotCount returns the number of slots, including tombstones.
+func (p *Page) SlotCount() uint16 {
+	return binary.LittleEndian.Uint16(p.buf[offSlotCount:])
+}
+
+func (p *Page) freeLow() uint16  { return binary.LittleEndian.Uint16(p.buf[offFreeLow:]) }
+func (p *Page) freeHigh() uint16 { return binary.LittleEndian.Uint16(p.buf[offFreeHigh:]) }
+
+// FreeSpace reports the bytes available for one new record (including its
+// slot entry).
+func (p *Page) FreeSpace() int {
+	free := int(p.freeHigh()) - int(p.freeLow())
+	free -= slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+func (p *Page) slotAt(i uint16) (off, length uint16) {
+	base := headerSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p.buf[base:]), binary.LittleEndian.Uint16(p.buf[base+2:])
+}
+
+func (p *Page) setSlot(i uint16, off, length uint16) {
+	base := headerSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:], off)
+	binary.LittleEndian.PutUint16(p.buf[base+2:], length)
+}
+
+// Insert stores rec and returns its slot. It fails when the page lacks room.
+func (p *Page) Insert(rec []byte) (uint16, error) {
+	if len(rec) == 0 || len(rec) > PageSize-headerSize-slotSize {
+		return 0, fmt.Errorf("storage: record size %d out of range", len(rec))
+	}
+	if p.FreeSpace() < len(rec) {
+		return 0, fmt.Errorf("storage: page %d full", p.ID())
+	}
+	n := p.SlotCount()
+	newHigh := p.freeHigh() - uint16(len(rec))
+	copy(p.buf[newHigh:], rec)
+	p.setSlot(n, newHigh, uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.buf[offSlotCount:], n+1)
+	binary.LittleEndian.PutUint16(p.buf[offFreeLow:], headerSize+uint16(int(n+1)*slotSize))
+	binary.LittleEndian.PutUint16(p.buf[offFreeHigh:], newHigh)
+	return n, nil
+}
+
+// Get returns the record bytes at slot (a view into the page; callers must
+// copy before unpinning). Tombstoned and out-of-range slots return an error.
+func (p *Page) Get(slot uint16) ([]byte, error) {
+	if slot >= p.SlotCount() {
+		return nil, fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
+	}
+	off, length := p.slotAt(slot)
+	if off == tombstoneMark {
+		return nil, fmt.Errorf("storage: slot %d on page %d is deleted", slot, p.ID())
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Delete tombstones the slot. Space is reclaimed only by page rebuilds
+// (compaction), as in most slotted-page implementations.
+func (p *Page) Delete(slot uint16) error {
+	if slot >= p.SlotCount() {
+		return fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
+	}
+	off, _ := p.slotAt(slot)
+	if off == tombstoneMark {
+		return fmt.Errorf("storage: slot %d on page %d already deleted", slot, p.ID())
+	}
+	p.setSlot(slot, tombstoneMark, 0)
+	return nil
+}
+
+// Update replaces the record at slot when the new record fits in place (same
+// or smaller size); it reports whether it did. Larger records must be moved
+// by the heap layer (delete + insert).
+func (p *Page) Update(slot uint16, rec []byte) (bool, error) {
+	if slot >= p.SlotCount() {
+		return false, fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
+	}
+	off, length := p.slotAt(slot)
+	if off == tombstoneMark {
+		return false, fmt.Errorf("storage: slot %d on page %d is deleted", slot, p.ID())
+	}
+	if len(rec) > int(length) {
+		return false, nil
+	}
+	copy(p.buf[off:], rec)
+	p.setSlot(slot, off, uint16(len(rec)))
+	return true, nil
+}
+
+// Live reports whether the slot holds a record.
+func (p *Page) Live(slot uint16) bool {
+	if slot >= p.SlotCount() {
+		return false
+	}
+	off, _ := p.slotAt(slot)
+	return off != tombstoneMark
+}
+
+// Bytes exposes the raw page for the store and WAL.
+func (p *Page) Bytes() []byte { return p.buf[:] }

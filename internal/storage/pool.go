@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Store is the page persistence layer: an in-memory "disk" of fixed-size
+// pages. Reads and writes are counted so experiments can charge simulated
+// I/O time per access.
+type Store struct {
+	mu     sync.Mutex
+	pages  map[PageID][]byte
+	nextID PageID
+	reads  uint64
+	writes uint64
+}
+
+// NewStore returns an empty store. Page ids start at 1; 0 is invalid.
+func NewStore() *Store {
+	return &Store{pages: make(map[PageID][]byte), nextID: 1}
+}
+
+// Allocate reserves a new page id with zeroed content.
+func (s *Store) Allocate() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.pages[id] = make([]byte, PageSize)
+	return id
+}
+
+// ReadPage copies the page contents into dst.
+func (s *Store) ReadPage(id PageID, dst []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(dst, src)
+	s.reads++
+	return nil
+}
+
+// WritePage persists the page contents.
+func (s *Store) WritePage(id PageID, src []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, ok := s.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(dst, src)
+	s.writes++
+	return nil
+}
+
+// Reads and Writes report I/O counts since construction.
+func (s *Store) Reads() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}
+
+// Writes reports the number of page writes.
+func (s *Store) Writes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// PageCount reports the number of allocated pages.
+func (s *Store) PageCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+type frame struct {
+	id    PageID
+	page  Page
+	pins  int
+	dirty bool
+	lru   *list.Element // nil while pinned (not evictable)
+}
+
+// Pool is a pinning LRU buffer pool over a Store. Pin returns the in-memory
+// page, reading it from the store on a miss and evicting an unpinned page
+// (flushing it if dirty) when the pool is full. Unpin releases the page and
+// records whether it was modified.
+type Pool struct {
+	mu       sync.Mutex
+	store    *Store
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of PageID; front = most recent
+	hits     uint64
+	misses   uint64
+}
+
+// NewPool returns a pool of the given frame capacity over store.
+func NewPool(store *Store, capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Pin fetches the page and increments its pin count. Pinned pages are never
+// evicted; every Pin must be paired with Unpin.
+func (p *Pool) Pin(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		p.hits++
+		if f.lru != nil {
+			p.lru.Remove(f.lru)
+			f.lru = nil
+		}
+		f.pins++
+		return &f.page, nil
+	}
+	p.misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, pins: 1}
+	if err := p.store.ReadPage(id, f.page.Bytes()); err != nil {
+		return nil, err
+	}
+	p.frames[id] = f
+	return &f.page, nil
+}
+
+// NewPage allocates a fresh page in the store, formats it, and pins it.
+func (p *Pool) NewPage() (*Page, PageID, error) {
+	id := p.store.Allocate()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, InvalidPage, err
+		}
+	}
+	f := &frame{id: id, pins: 1, dirty: true}
+	f.page.InitPage(id)
+	p.frames[id] = f
+	return &f.page, id, nil
+}
+
+// Unpin releases one pin; dirty marks the page modified.
+func (p *Pool) Unpin(id PageID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	f.dirty = f.dirty || dirty
+	f.pins--
+	if f.pins == 0 {
+		f.lru = p.lru.PushFront(id)
+	}
+}
+
+// evictLocked removes the least-recently-used unpinned frame.
+func (p *Pool) evictLocked() error {
+	e := p.lru.Back()
+	if e == nil {
+		return fmt.Errorf("storage: buffer pool full of pinned pages")
+	}
+	id := e.Value.(PageID)
+	f := p.frames[id]
+	if f.dirty {
+		if err := p.store.WritePage(id, f.page.Bytes()); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(e)
+	delete(p.frames, id)
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the store (checkpoint).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.dirty {
+			if err := p.store.WritePage(id, f.page.Bytes()); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// HitRatio reports pool hits / (hits+misses), or 0 before any access.
+func (p *Pool) HitRatio() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Misses reports pool misses (store reads caused by Pin).
+func (p *Pool) Misses() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.misses
+}

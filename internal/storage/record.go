@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"stagedb/internal/catalog"
+	"stagedb/internal/value"
+)
+
+// EncodeRow serializes row per schema: a null bitmap followed by the non-null
+// column payloads (Int/Float fixed 8 bytes, Bool 1 byte, Text uvarint length
+// plus bytes).
+func EncodeRow(schema catalog.Schema, row value.Row) ([]byte, error) {
+	if len(row) != len(schema.Columns) {
+		return nil, fmt.Errorf("storage: row/schema arity mismatch (%d vs %d)", len(row), len(schema.Columns))
+	}
+	bitmap := make([]byte, (len(row)+7)/8)
+	buf := make([]byte, 0, 64)
+	var tmp [10]byte
+	for i, v := range row {
+		if v.IsNull() {
+			bitmap[i/8] |= 1 << (i % 8)
+			continue
+		}
+		if v.Type() != schema.Columns[i].Type {
+			cv, err := v.Coerce(schema.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("storage: column %s: %v", schema.Columns[i].Name, err)
+			}
+			v = cv
+		}
+		switch v.Type() {
+		case value.Int:
+			binary.LittleEndian.PutUint64(tmp[:8], uint64(v.Int()))
+			buf = append(buf, tmp[:8]...)
+		case value.Float:
+			binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(v.Float()))
+			buf = append(buf, tmp[:8]...)
+		case value.Bool:
+			if v.Bool() {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case value.Text:
+			n := binary.PutUvarint(tmp[:], uint64(len(v.Text())))
+			buf = append(buf, tmp[:n]...)
+			buf = append(buf, v.Text()...)
+		default:
+			return nil, fmt.Errorf("storage: cannot encode %s", v.Type())
+		}
+	}
+	out := make([]byte, 0, len(bitmap)+len(buf))
+	out = append(out, bitmap...)
+	out = append(out, buf...)
+	return out, nil
+}
+
+// DecodeRow deserializes a record produced by EncodeRow.
+func DecodeRow(schema catalog.Schema, rec []byte) (value.Row, error) {
+	n := len(schema.Columns)
+	bitmapLen := (n + 7) / 8
+	if len(rec) < bitmapLen {
+		return nil, fmt.Errorf("storage: record too short for null bitmap")
+	}
+	bitmap := rec[:bitmapLen]
+	data := rec[bitmapLen:]
+	row := make(value.Row, n)
+	for i := 0; i < n; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			row[i] = value.NewNull()
+			continue
+		}
+		switch schema.Columns[i].Type {
+		case value.Int:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("storage: truncated int column %d", i)
+			}
+			row[i] = value.NewInt(int64(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		case value.Float:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("storage: truncated float column %d", i)
+			}
+			row[i] = value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		case value.Bool:
+			if len(data) < 1 {
+				return nil, fmt.Errorf("storage: truncated bool column %d", i)
+			}
+			row[i] = value.NewBool(data[0] != 0)
+			data = data[1:]
+		case value.Text:
+			length, consumed := binary.Uvarint(data)
+			if consumed <= 0 || uint64(len(data)-consumed) < length {
+				return nil, fmt.Errorf("storage: truncated text column %d", i)
+			}
+			row[i] = value.NewText(string(data[consumed : consumed+int(length)]))
+			data = data[consumed+int(length):]
+		default:
+			return nil, fmt.Errorf("storage: cannot decode %s", schema.Columns[i].Type)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes in record", len(data))
+	}
+	return row, nil
+}

@@ -1,0 +1,88 @@
+// Package trace renders cpusim execution traces as the ASCII analogue of the
+// paper's Figure 1: one lane per thread, time flowing right, with context
+// switches, working-set loads, and useful execution distinguished.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"stagedb/internal/cpusim"
+)
+
+// glyphFor maps a span kind to its lane character.
+func glyphFor(k cpusim.SpanKind) byte {
+	switch k {
+	case cpusim.SpanCtxSwitch:
+		return 'x'
+	case cpusim.SpanLoadPrivate:
+		return 'p'
+	case cpusim.SpanLoadModule:
+		return 'M'
+	case cpusim.SpanExec:
+		return '='
+	case cpusim.SpanIO:
+		return '.'
+	}
+	return '?'
+}
+
+// Render draws spans into a width-column timeline. Threads are lanes; the
+// legend explains the glyphs.
+func Render(spans []cpusim.Span, width int) string {
+	if len(spans) == 0 {
+		return "(empty trace)\n"
+	}
+	if width <= 0 {
+		width = 100
+	}
+	var end time.Duration
+	maxThread := 0
+	for _, s := range spans {
+		if d := time.Duration(s.To); d > end {
+			end = d
+		}
+		if s.Thread > maxThread {
+			maxThread = s.Thread
+		}
+	}
+	if end == 0 {
+		return "(zero-length trace)\n"
+	}
+	lanes := make([][]byte, maxThread+1)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(" ", width))
+	}
+	scale := func(t time.Duration) int {
+		c := int(int64(t) * int64(width) / int64(end))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, s := range spans {
+		from, to := scale(time.Duration(s.From)), scale(time.Duration(s.To))
+		g := glyphFor(s.Kind)
+		for c := from; c <= to && c < width; c++ {
+			lanes[s.Thread][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time -> (total %v)\n", end)
+	for i, lane := range lanes {
+		fmt.Fprintf(&b, "thread %d |%s|\n", i, lane)
+	}
+	b.WriteString("legend: = execute   M load module set   p reload private state   x context switch   . I/O wait\n")
+	return b.String()
+}
+
+// Summarize reports the time breakdown of a trace: useful execution versus
+// each overhead category (the CPU time breakdown boxes of Figure 1).
+func Summarize(spans []cpusim.Span) map[cpusim.SpanKind]time.Duration {
+	out := make(map[cpusim.SpanKind]time.Duration)
+	for _, s := range spans {
+		out[s.Kind] += time.Duration(s.To - s.From)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stagedb/internal/cpusim"
+	"stagedb/internal/vclock"
+)
+
+func span(th int, kind cpusim.SpanKind, fromMS, toMS int64) cpusim.Span {
+	return cpusim.Span{
+		Thread: th, Kind: kind,
+		From: vclock.Time(fromMS * int64(time.Millisecond)),
+		To:   vclock.Time(toMS * int64(time.Millisecond)),
+	}
+}
+
+func TestRenderLanesAndLegend(t *testing.T) {
+	spans := []cpusim.Span{
+		span(0, cpusim.SpanLoadModule, 0, 1),
+		span(0, cpusim.SpanExec, 1, 5),
+		span(1, cpusim.SpanCtxSwitch, 5, 6),
+		span(1, cpusim.SpanExec, 6, 10),
+	}
+	out := Render(spans, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 lanes + legend
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "M") || !strings.Contains(lines[1], "=") {
+		t.Fatalf("lane 0 content: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "x") {
+		t.Fatalf("lane 1 content: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "legend") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestRenderEmptyAndZero(t *testing.T) {
+	if out := Render(nil, 40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty: %q", out)
+	}
+	z := []cpusim.Span{span(0, cpusim.SpanExec, 0, 0)}
+	if out := Render(z, 40); !strings.Contains(out, "zero-length") {
+		t.Fatalf("zero: %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []cpusim.Span{
+		span(0, cpusim.SpanExec, 0, 10),
+		span(0, cpusim.SpanExec, 10, 15),
+		span(0, cpusim.SpanLoadModule, 15, 16),
+	}
+	sum := Summarize(spans)
+	if sum[cpusim.SpanExec] != 15*time.Millisecond {
+		t.Fatalf("exec total: %v", sum[cpusim.SpanExec])
+	}
+	if sum[cpusim.SpanLoadModule] != time.Millisecond {
+		t.Fatalf("load total: %v", sum[cpusim.SpanLoadModule])
+	}
+}

@@ -1,0 +1,255 @@
+// Package txn provides transactions: a strict two-phase-locking lock manager
+// with wait-for-graph deadlock detection, a write-ahead log with logical
+// redo/undo records, and recovery analysis.
+//
+// The paper (§3.2) notes that a monolithic design makes deadlock-free code
+// hard because "accesses to shared resources may not be contained within a
+// single module"; here the lock table is one self-contained module that the
+// staged engine's execute stage owns exclusively.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ID identifies a transaction.
+type ID uint64
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned to a transaction chosen as a deadlock victim. The
+// caller must abort that transaction.
+var ErrDeadlock = errors.New("txn: deadlock detected, transaction chosen as victim")
+
+type lockState struct {
+	holders map[ID]Mode
+	waiters []*waiter
+}
+
+type waiter struct {
+	txn  ID
+	mode Mode
+	ok   chan struct{} // closed when granted
+	err  error
+}
+
+// LockManager grants shared/exclusive locks on named resources to
+// transactions. Locks are held until ReleaseAll (strict 2PL). A lock request
+// that would close a cycle in the wait-for graph fails immediately with
+// ErrDeadlock for the requester.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	// waitsFor[a] = set of txns a is waiting on.
+	waitsFor map[ID]map[ID]bool
+	held     map[ID]map[string]bool
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks:    make(map[string]*lockState),
+		waitsFor: make(map[ID]map[ID]bool),
+		held:     make(map[ID]map[string]bool),
+	}
+}
+
+// Lock acquires the resource in the given mode for txn, blocking while
+// incompatible locks are held. Re-acquiring a held lock is a no-op; a Shared
+// holder requesting Exclusive upgrades when possible.
+func (lm *LockManager) Lock(txn ID, resource string, mode Mode) error {
+	lm.mu.Lock()
+	ls, ok := lm.locks[resource]
+	if !ok {
+		ls = &lockState{holders: make(map[ID]Mode)}
+		lm.locks[resource] = ls
+	}
+
+	if cur, holding := ls.holders[txn]; holding {
+		if cur == Exclusive || mode == Shared {
+			lm.mu.Unlock()
+			return nil // already sufficient
+		}
+		// Upgrade S -> X: grantable when txn is the only holder and nothing
+		// is queued ahead.
+		if len(ls.holders) == 1 && len(ls.waiters) == 0 {
+			ls.holders[txn] = Exclusive
+			lm.mu.Unlock()
+			return nil
+		}
+	}
+
+	if lm.grantableLocked(ls, txn, mode) && len(ls.waiters) == 0 {
+		ls.holders[txn] = mode
+		lm.noteHeldLocked(txn, resource)
+		lm.mu.Unlock()
+		return nil
+	}
+
+	// Would block: check for a deadlock before waiting.
+	blockers := lm.blockersLocked(ls, txn, mode)
+	if lm.wouldDeadlockLocked(txn, blockers) {
+		lm.mu.Unlock()
+		return ErrDeadlock
+	}
+	w := &waiter{txn: txn, mode: mode, ok: make(chan struct{})}
+	ls.waiters = append(ls.waiters, w)
+	if lm.waitsFor[txn] == nil {
+		lm.waitsFor[txn] = make(map[ID]bool)
+	}
+	for b := range blockers {
+		lm.waitsFor[txn][b] = true
+	}
+	lm.mu.Unlock()
+
+	<-w.ok
+	return w.err
+}
+
+// grantableLocked reports whether txn could hold resource in mode alongside
+// the current holders.
+func (lm *LockManager) grantableLocked(ls *lockState, txn ID, mode Mode) bool {
+	for holder, held := range ls.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// blockersLocked returns the set of transactions txn would wait on.
+func (lm *LockManager) blockersLocked(ls *lockState, txn ID, mode Mode) map[ID]bool {
+	out := make(map[ID]bool)
+	for holder, held := range ls.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			out[holder] = true
+		}
+	}
+	// Waiters queued ahead also block (FIFO fairness).
+	for _, w := range ls.waiters {
+		if w.txn != txn {
+			out[w.txn] = true
+		}
+	}
+	return out
+}
+
+// wouldDeadlockLocked reports whether making txn wait on blockers closes a
+// cycle in the wait-for graph.
+func (lm *LockManager) wouldDeadlockLocked(txn ID, blockers map[ID]bool) bool {
+	// DFS from each blocker following waitsFor; a path back to txn is a cycle.
+	var stack []ID
+	seen := make(map[ID]bool)
+	for b := range blockers {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == txn {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for next := range lm.waitsFor[cur] {
+			stack = append(stack, next)
+		}
+	}
+	return false
+}
+
+func (lm *LockManager) noteHeldLocked(txn ID, resource string) {
+	if lm.held[txn] == nil {
+		lm.held[txn] = make(map[string]bool)
+	}
+	lm.held[txn][resource] = true
+}
+
+// ReleaseAll releases every lock txn holds and cancels its waits, waking any
+// waiters that become grantable.
+func (lm *LockManager) ReleaseAll(txn ID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waitsFor, txn)
+	for resource := range lm.held[txn] {
+		if ls, ok := lm.locks[resource]; ok {
+			delete(ls.holders, txn)
+			lm.wakeLocked(resource, ls)
+		}
+	}
+	delete(lm.held, txn)
+	// Remove txn's queued waiters everywhere (it may have been waiting when
+	// aborted by deadlock elsewhere).
+	for resource, ls := range lm.locks {
+		changed := false
+		kept := ls.waiters[:0]
+		for _, w := range ls.waiters {
+			if w.txn == txn {
+				w.err = fmt.Errorf("txn: %d released while waiting", txn)
+				close(w.ok)
+				changed = true
+				continue
+			}
+			kept = append(kept, w)
+		}
+		ls.waiters = kept
+		if changed {
+			lm.wakeLocked(resource, ls)
+		}
+	}
+	// Drop edges pointing at txn.
+	for _, edges := range lm.waitsFor {
+		delete(edges, txn)
+	}
+}
+
+// wakeLocked grants queued waiters in FIFO order while compatible.
+func (lm *LockManager) wakeLocked(resource string, ls *lockState) {
+	for len(ls.waiters) > 0 {
+		w := ls.waiters[0]
+		if !lm.grantableLocked(ls, w.txn, w.mode) {
+			return
+		}
+		ls.waiters = ls.waiters[1:]
+		ls.holders[w.txn] = w.mode
+		lm.noteHeldLocked(w.txn, resource)
+		// The waiter no longer waits on anyone via this resource.
+		delete(lm.waitsFor, w.txn)
+		close(w.ok)
+	}
+}
+
+// HeldBy reports the resources txn currently holds (diagnostics).
+func (lm *LockManager) HeldBy(txn ID) []string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	var out []string
+	for r := range lm.held[txn] {
+		out = append(out, r)
+	}
+	return out
+}

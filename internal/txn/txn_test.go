@@ -1,0 +1,266 @@
+package txn
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"stagedb/internal/storage"
+)
+
+func TestLockSharedCompatible(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+}
+
+func TestLockExclusiveBlocks(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- lm.Lock(2, "r", Exclusive) }()
+	select {
+	case <-acquired:
+		t.Fatal("txn 2 should block while txn 1 holds X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	lm.ReleaseAll(2)
+}
+
+func TestLockReentrantAndUpgrade(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(1, "r", Exclusive); err != nil {
+		t.Fatal(err) // sole holder: immediate upgrade
+	}
+	if err := lm.Lock(1, "r", Shared); err != nil {
+		t.Fatal(err) // X covers S
+	}
+	lm.ReleaseAll(1)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Txn 1 waits for b (held by 2).
+		if err := lm.Lock(1, "b", Exclusive); err != nil {
+			t.Errorf("txn 1 lock b: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Txn 2 requesting a closes the cycle: it must be refused immediately.
+	err := lm.Lock(2, "a", Exclusive)
+	if err != ErrDeadlock {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	lm.ReleaseAll(2) // victim aborts; txn 1 proceeds
+	wg.Wait()
+	lm.ReleaseAll(1)
+}
+
+func TestFIFOFairnessNoStarvation(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan ID, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer queues first
+		defer wg.Done()
+		if err := lm.Lock(2, "r", Exclusive); err != nil {
+			t.Errorf("writer: %v", err)
+			return
+		}
+		got <- 2
+		lm.ReleaseAll(2)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	wg.Add(1)
+	go func() { // reader queues behind the writer
+		defer wg.Done()
+		if err := lm.Lock(3, "r", Shared); err != nil {
+			t.Errorf("reader: %v", err)
+			return
+		}
+		got <- 3
+		lm.ReleaseAll(3)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	lm.ReleaseAll(1)
+	first := <-got
+	if first != 2 {
+		t.Fatalf("writer should be served before the late reader, got %d first", first)
+	}
+	wg.Wait()
+}
+
+func TestWALAppendAndAnalyze(t *testing.T) {
+	w := NewWAL()
+	w.Append(Record{Txn: 1, Kind: RecBegin})
+	w.Append(Record{Txn: 1, Kind: RecInsert, Table: "t", RID: storage.RID{Page: 1, Slot: 0}, After: []byte("a")})
+	w.Append(Record{Txn: 2, Kind: RecBegin})
+	w.Append(Record{Txn: 2, Kind: RecInsert, Table: "t", RID: storage.RID{Page: 1, Slot: 1}, After: []byte("b")})
+	w.Append(Record{Txn: 1, Kind: RecCommit})
+	w.Append(Record{Txn: 3, Kind: RecBegin})
+	w.Append(Record{Txn: 3, Kind: RecDelete, Table: "t", RID: storage.RID{Page: 1, Slot: 0}, Before: []byte("a")})
+	w.Append(Record{Txn: 2, Kind: RecAbort})
+
+	plan := Analyze(w.Records())
+	if !plan.Committed[1] || plan.Committed[2] || plan.Committed[3] {
+		t.Fatalf("committed set wrong: %v", plan.Committed)
+	}
+	if !plan.Aborted[2] {
+		t.Fatal("txn 2 should be aborted")
+	}
+	if !plan.InFlight[3] {
+		t.Fatal("txn 3 should be in flight (lost)")
+	}
+	if len(plan.Ops) != 1 || plan.Ops[0].Txn != 1 {
+		t.Fatalf("redo ops wrong: %+v", plan.Ops)
+	}
+}
+
+func TestWALSerializeRoundTrip(t *testing.T) {
+	w := NewWAL()
+	w.Append(Record{Txn: 1, Kind: RecBegin})
+	w.Append(Record{Txn: 1, Kind: RecUpdate, Table: "users", RID: storage.RID{Page: 9, Slot: 3},
+		Before: []byte("old"), After: []byte("new")})
+	w.Append(Record{Txn: 1, Kind: RecCommit})
+
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records", len(records))
+	}
+	upd := records[1]
+	if upd.Kind != RecUpdate || upd.Table != "users" ||
+		upd.RID != (storage.RID{Page: 9, Slot: 3}) ||
+		string(upd.Before) != "old" || string(upd.After) != "new" {
+		t.Fatalf("round trip lost data: %+v", upd)
+	}
+	if records[0].LSN >= records[1].LSN || records[1].LSN >= records[2].LSN {
+		t.Fatal("LSNs must be increasing")
+	}
+}
+
+func TestWALTruncate(t *testing.T) {
+	w := NewWAL()
+	for i := 0; i < 10; i++ {
+		w.Append(Record{Txn: 1, Kind: RecInsert})
+	}
+	w.TruncateBefore(6)
+	records := w.Records()
+	if len(records) != 5 || records[0].LSN != 6 {
+		t.Fatalf("truncate wrong: %d records, first LSN %d", len(records), records[0].LSN)
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager()
+	id := m.Begin()
+	if err := m.LogOp(Record{Txn: id, Kind: RecInsert, Table: "t", After: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveCount() != 1 {
+		t.Fatal("one active txn expected")
+	}
+	if err := m.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatal("no active txns expected")
+	}
+	if err := m.Commit(id); err == nil {
+		t.Fatal("double commit should fail")
+	}
+	if err := m.LogOp(Record{Txn: id, Kind: RecInsert}); err == nil {
+		t.Fatal("logging on finished txn should fail")
+	}
+}
+
+func TestManagerAbortReturnsUndoInReverse(t *testing.T) {
+	m := NewManager()
+	id := m.Begin()
+	m.LogOp(Record{Txn: id, Kind: RecInsert, Table: "t", After: []byte("1")})
+	m.LogOp(Record{Txn: id, Kind: RecUpdate, Table: "t", Before: []byte("1"), After: []byte("2")})
+	undo, err := m.Abort(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undo) != 2 || undo[0].Kind != RecUpdate || undo[1].Kind != RecInsert {
+		t.Fatalf("undo order wrong: %+v", undo)
+	}
+	plan := Analyze(m.Log.Records())
+	if len(plan.Ops) != 0 {
+		t.Fatal("aborted txn must contribute no redo ops")
+	}
+}
+
+func TestManagerCommitSyncsLog(t *testing.T) {
+	m := NewManager()
+	id := m.Begin()
+	m.Commit(id)
+	if m.Log.Syncs() != 1 {
+		t.Fatalf("syncs=%d, want 1", m.Log.Syncs())
+	}
+}
+
+func TestConcurrentTransactionsSerializeOnLock(t *testing.T) {
+	m := NewManager()
+	const n = 8
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := m.Begin()
+			if err := m.Locks.Lock(id, "counter", Exclusive); err != nil {
+				t.Errorf("lock: %v", err)
+				return
+			}
+			v := counter
+			time.Sleep(time.Millisecond)
+			counter = v + 1
+			m.Commit(id)
+		}()
+	}
+	wg.Wait()
+	if counter != n {
+		t.Fatalf("counter=%d, want %d (lost updates)", counter, n)
+	}
+}

@@ -1,0 +1,372 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"stagedb/internal/storage"
+)
+
+// RecordKind enumerates WAL record types.
+type RecordKind uint8
+
+// WAL record kinds.
+const (
+	RecBegin RecordKind = iota
+	RecCommit
+	RecAbort
+	RecInsert
+	RecDelete
+	RecUpdate
+	RecCheckpoint
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	}
+	return fmt.Sprintf("RecordKind(%d)", int(k))
+}
+
+// Record is one logical WAL entry. Insert carries the after-image, Delete
+// the before-image, Update both.
+type Record struct {
+	LSN    uint64
+	Txn    ID
+	Kind   RecordKind
+	Table  string
+	RID    storage.RID
+	Before []byte
+	After  []byte
+}
+
+// WAL is an append-only in-memory log. WriteTo/ReadLog serialize it with a
+// binary framing, standing in for the paper's log disk.
+type WAL struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+	// SyncDelay simulations hook: count of forced flushes (commits).
+	syncs uint64
+}
+
+// NewWAL returns an empty log. LSNs start at 1.
+func NewWAL() *WAL { return &WAL{nextLSN: 1} }
+
+// Append adds a record, assigning and returning its LSN.
+func (w *WAL) Append(rec Record) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	w.records = append(w.records, rec)
+	if rec.Kind == RecCommit {
+		w.syncs++ // commit forces the log to stable storage
+	}
+	return rec.LSN
+}
+
+// Records returns a copy of the log.
+func (w *WAL) Records() []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, len(w.records))
+	copy(out, w.records)
+	return out
+}
+
+// Len returns the number of records.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}
+
+// Syncs reports commit-forced flushes (the I/O the engine charges for
+// logging, Workload A's only I/O in §3.1.1 Workload B).
+func (w *WAL) Syncs() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// TruncateBefore drops records with LSN < lsn (checkpointing).
+func (w *WAL) TruncateBefore(lsn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := 0
+	for i < len(w.records) && w.records[i].LSN < lsn {
+		i++
+	}
+	w.records = append([]Record(nil), w.records[i:]...)
+}
+
+// WriteTo serializes the log. The format is length-prefixed little-endian
+// framing per record.
+func (w *WAL) WriteTo(out io.Writer) (int64, error) {
+	w.mu.Lock()
+	records := make([]Record, len(w.records))
+	copy(records, w.records)
+	w.mu.Unlock()
+
+	bw := bufio.NewWriter(out)
+	var total int64
+	var scratch [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		n, err := bw.Write(scratch[:])
+		total += int64(n)
+		return err
+	}
+	writeBytes := func(b []byte) error {
+		if err := writeU64(uint64(len(b))); err != nil {
+			return err
+		}
+		n, err := bw.Write(b)
+		total += int64(n)
+		return err
+	}
+	for _, rec := range records {
+		if err := writeU64(rec.LSN); err != nil {
+			return total, err
+		}
+		if err := writeU64(uint64(rec.Txn)); err != nil {
+			return total, err
+		}
+		if err := writeU64(uint64(rec.Kind)); err != nil {
+			return total, err
+		}
+		if err := writeBytes([]byte(rec.Table)); err != nil {
+			return total, err
+		}
+		if err := writeU64(uint64(rec.RID.Page)); err != nil {
+			return total, err
+		}
+		if err := writeU64(uint64(rec.RID.Slot)); err != nil {
+			return total, err
+		}
+		if err := writeBytes(rec.Before); err != nil {
+			return total, err
+		}
+		if err := writeBytes(rec.After); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadLog parses a log serialized by WriteTo.
+func ReadLog(in io.Reader) ([]Record, error) {
+	br := bufio.NewReader(in)
+	var out []Record
+	var scratch [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	for {
+		lsn, err := readU64()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var rec Record
+		rec.LSN = lsn
+		id, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		rec.Txn = ID(id)
+		kind, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		rec.Kind = RecordKind(kind)
+		table, err := readBytes()
+		if err != nil {
+			return nil, err
+		}
+		rec.Table = string(table)
+		page, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		slot, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		rec.RID = storage.RID{Page: storage.PageID(page), Slot: uint16(slot)}
+		if rec.Before, err = readBytes(); err != nil {
+			return nil, err
+		}
+		if rec.After, err = readBytes(); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// RedoPlan is the outcome of recovery analysis: the data operations of
+// committed transactions, in log order, to replay against empty storage.
+type RedoPlan struct {
+	Committed map[ID]bool
+	Aborted   map[ID]bool
+	InFlight  map[ID]bool // neither committed nor aborted: lost at the crash
+	Ops       []Record    // committed data records in LSN order
+}
+
+// Analyze scans a log and builds the redo plan. Records of uncommitted
+// transactions are ignored (logical redo of committed work only — the
+// engine applies operations to storage at commit in this design, so no undo
+// phase is needed after a crash).
+func Analyze(records []Record) RedoPlan {
+	plan := RedoPlan{
+		Committed: make(map[ID]bool),
+		Aborted:   make(map[ID]bool),
+		InFlight:  make(map[ID]bool),
+	}
+	for _, rec := range records {
+		switch rec.Kind {
+		case RecBegin:
+			plan.InFlight[rec.Txn] = true
+		case RecCommit:
+			plan.Committed[rec.Txn] = true
+			delete(plan.InFlight, rec.Txn)
+		case RecAbort:
+			plan.Aborted[rec.Txn] = true
+			delete(plan.InFlight, rec.Txn)
+		}
+	}
+	for _, rec := range records {
+		switch rec.Kind {
+		case RecInsert, RecDelete, RecUpdate:
+			if plan.Committed[rec.Txn] {
+				plan.Ops = append(plan.Ops, rec)
+			}
+		}
+	}
+	return plan
+}
+
+// Manager hands out transaction IDs and couples the lock manager with the
+// log. The engine calls Begin, logs operations through Log, and finishes
+// with Commit or Abort; Abort returns the transaction's undo records in
+// reverse order for the engine to apply.
+type Manager struct {
+	mu     sync.Mutex
+	next   ID
+	active map[ID][]Record // per-txn data records, for undo
+
+	Locks *LockManager
+	Log   *WAL
+}
+
+// NewManager returns a manager with a fresh lock manager and log.
+func NewManager() *Manager {
+	return &Manager{
+		next:   1,
+		active: make(map[ID][]Record),
+		Locks:  NewLockManager(),
+		Log:    NewWAL(),
+	}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() ID {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	m.active[id] = nil
+	m.mu.Unlock()
+	m.Log.Append(Record{Txn: id, Kind: RecBegin})
+	return id
+}
+
+// LogOp records one data operation for txn.
+func (m *Manager) LogOp(rec Record) error {
+	m.mu.Lock()
+	_, ok := m.active[rec.Txn]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("txn: %d is not active", rec.Txn)
+	}
+	m.active[rec.Txn] = append(m.active[rec.Txn], rec)
+	m.mu.Unlock()
+	m.Log.Append(rec)
+	return nil
+}
+
+// Commit logs the commit and releases the transaction's locks.
+func (m *Manager) Commit(id ID) error {
+	m.mu.Lock()
+	if _, ok := m.active[id]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("txn: %d is not active", id)
+	}
+	delete(m.active, id)
+	m.mu.Unlock()
+	m.Log.Append(Record{Txn: id, Kind: RecCommit})
+	m.Locks.ReleaseAll(id)
+	return nil
+}
+
+// Abort logs the abort, releases locks, and returns the transaction's data
+// records in reverse order so the engine can undo them.
+func (m *Manager) Abort(id ID) ([]Record, error) {
+	m.mu.Lock()
+	ops, ok := m.active[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("txn: %d is not active", id)
+	}
+	delete(m.active, id)
+	m.mu.Unlock()
+	undo := make([]Record, 0, len(ops))
+	for i := len(ops) - 1; i >= 0; i-- {
+		undo = append(undo, ops[i])
+	}
+	m.Log.Append(Record{Txn: id, Kind: RecAbort})
+	m.Locks.ReleaseAll(id)
+	return undo, nil
+}
+
+// ActiveCount reports transactions in flight.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}

@@ -1,0 +1,347 @@
+// Package value defines the runtime value system shared by the catalog,
+// parser, optimizer, and execution engine: SQL types, typed values, NULL
+// semantics, comparison, arithmetic, and hashing.
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates column types.
+type Type int
+
+// Supported SQL column types.
+const (
+	Null  Type = iota // the type of the NULL literal before coercion
+	Int               // 64-bit signed integer
+	Float             // 64-bit IEEE float
+	Text              // variable-length string
+	Bool              // boolean
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Null:
+		return "NULL"
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Text:
+		return "TEXT"
+	case Bool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// ParseType maps a SQL type name to a Type. It accepts common synonyms.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return Int, nil
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return Float, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return Text, nil
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	}
+	return Null, fmt.Errorf("unknown type %q", s)
+}
+
+// Value is one SQL value. The zero Value is NULL.
+type Value struct {
+	typ Type
+	i   int64
+	f   float64
+	s   string
+	b   bool
+}
+
+// NewNull returns the NULL value.
+func NewNull() Value { return Value{} }
+
+// NewInt returns an Int value.
+func NewInt(v int64) Value { return Value{typ: Int, i: v} }
+
+// NewFloat returns a Float value.
+func NewFloat(v float64) Value { return Value{typ: Float, f: v} }
+
+// NewText returns a Text value.
+func NewText(v string) Value { return Value{typ: Text, s: v} }
+
+// NewBool returns a Bool value.
+func NewBool(v bool) Value { return Value{typ: Bool, b: v} }
+
+// Type returns the value's type (Null for NULL).
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == Null }
+
+// Int returns the integer payload; valid only when Type()==Int.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload, coercing Int.
+func (v Value) Float() float64 {
+	if v.typ == Int {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Text returns the string payload; valid only when Type()==Text.
+func (v Value) Text() string { return v.s }
+
+// Bool returns the boolean payload; valid only when Type()==Bool.
+func (v Value) Bool() bool { return v.b }
+
+// String renders the value as SQL literal text.
+func (v Value) String() string {
+	switch v.typ {
+	case Null:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Text:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case Bool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// Coerce converts v to type t when a lossless or standard SQL conversion
+// exists (Int->Float, NULL->anything). It fails otherwise.
+func (v Value) Coerce(t Type) (Value, error) {
+	if v.typ == t || v.typ == Null {
+		return v, nil
+	}
+	switch {
+	case v.typ == Int && t == Float:
+		return NewFloat(float64(v.i)), nil
+	case v.typ == Float && t == Int && v.f == math.Trunc(v.f):
+		return NewInt(int64(v.f)), nil
+	}
+	return Value{}, fmt.Errorf("cannot coerce %s to %s", v.typ, t)
+}
+
+// numeric reports whether the type participates in arithmetic.
+func numeric(t Type) bool { return t == Int || t == Float }
+
+// Compare orders two values: -1, 0, or +1. NULL compares less than any
+// non-NULL (used only for sorting; predicate comparison with NULL is handled
+// by the caller via IsNull). Comparing incompatible types returns an error.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0, nil
+		case a.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if numeric(a.typ) && numeric(b.typ) {
+		if a.typ == Int && b.typ == Int {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if a.typ != b.typ {
+		return 0, fmt.Errorf("cannot compare %s with %s", a.typ, b.typ)
+	}
+	switch a.typ {
+	case Text:
+		return strings.Compare(a.s, b.s), nil
+	case Bool:
+		switch {
+		case !a.b && b.b:
+			return -1, nil
+		case a.b && !b.b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("cannot compare %s values", a.typ)
+}
+
+// Equal reports SQL equality of two non-NULL values; either side NULL yields
+// false (SQL three-valued logic collapses to false in filters).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Arith applies +, -, *, / or % to numeric values. Division by zero and type
+// mismatches return errors. NULL operands yield NULL.
+func Arith(op byte, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return NewNull(), nil
+	}
+	if !numeric(a.typ) || !numeric(b.typ) {
+		if op == '+' && a.typ == Text && b.typ == Text {
+			return NewText(a.s + b.s), nil
+		}
+		return Value{}, fmt.Errorf("arithmetic %q on %s and %s", op, a.typ, b.typ)
+	}
+	if a.typ == Int && b.typ == Int {
+		switch op {
+		case '+':
+			return NewInt(a.i + b.i), nil
+		case '-':
+			return NewInt(a.i - b.i), nil
+		case '*':
+			return NewInt(a.i * b.i), nil
+		case '/':
+			if b.i == 0 {
+				return Value{}, fmt.Errorf("division by zero")
+			}
+			return NewInt(a.i / b.i), nil
+		case '%':
+			if b.i == 0 {
+				return Value{}, fmt.Errorf("division by zero")
+			}
+			return NewInt(a.i % b.i), nil
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch op {
+	case '+':
+		return NewFloat(af + bf), nil
+	case '-':
+		return NewFloat(af - bf), nil
+	case '*':
+		return NewFloat(af * bf), nil
+	case '/':
+		if bf == 0 {
+			return Value{}, fmt.Errorf("division by zero")
+		}
+		return NewFloat(af / bf), nil
+	case '%':
+		return Value{}, fmt.Errorf("modulo on floats")
+	}
+	return Value{}, fmt.Errorf("unknown operator %q", op)
+}
+
+// Hash returns a stable hash of the value, with Int and equal-valued Float
+// hashing alike so numeric join keys match across types.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	switch v.typ {
+	case Null:
+		h.Write([]byte{0})
+	case Int:
+		writeU64(h, uint64(v.i))
+	case Float:
+		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			writeU64(h, uint64(int64(v.f)))
+		} else {
+			writeU64(h, math.Float64bits(v.f))
+		}
+	case Text:
+		h.Write([]byte{2})
+		h.Write([]byte(v.s))
+	case Bool:
+		if v.b {
+			h.Write([]byte{4, 1})
+		} else {
+			h.Write([]byte{4, 0})
+		}
+	}
+	return h.Sum64()
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, u uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// Like implements the SQL LIKE operator with % and _ wildcards.
+func Like(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Dynamic programming over bytes (patterns in this codebase are ASCII).
+	n, m := len(s), len(p)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		if p[j] == '%' {
+			// dp stays: %'s row is prefix-or.
+			for i := 1; i <= n; i++ {
+				dp[i] = dp[i] || dp[i-1]
+			}
+			continue
+		}
+		prev := dp[0]
+		dp[0] = false
+		for i := 1; i <= n; i++ {
+			cur := dp[i]
+			dp[i] = prev && (p[j] == '_' || p[j] == s[i-1])
+			prev = cur
+		}
+	}
+	return dp[n]
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a copy of the row (values are immutable, so a shallow slice
+// copy suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as a comma-separated list.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Hash combines the hashes of the given column indexes of the row.
+func (r Row) Hash(cols []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range cols {
+		h = (h ^ r[c].Hash()) * 1099511628211
+	}
+	return h
+}

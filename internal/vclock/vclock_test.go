@@ -1,0 +1,195 @@
+package vclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockFiresInTimestampOrder(t *testing.T) {
+	c := NewClock()
+	var got []int
+	c.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	c.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	c.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if c.Now() != Time(30*time.Millisecond) {
+		t.Fatalf("clock at %v, want 30ms", c.Now())
+	}
+}
+
+func TestClockTiesBreakFIFO(t *testing.T) {
+	c := NewClock()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	e := c.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() should report true")
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	c := NewClock()
+	var trace []Time
+	c.Schedule(time.Millisecond, func() {
+		trace = append(trace, c.Now())
+		c.Schedule(2*time.Millisecond, func() {
+			trace = append(trace, c.Now())
+		})
+	})
+	c.Run()
+	if len(trace) != 2 {
+		t.Fatalf("want 2 events, got %d", len(trace))
+	}
+	if trace[1] != Time(3*time.Millisecond) {
+		t.Fatalf("nested event fired at %v, want 3ms", trace[1])
+	}
+}
+
+func TestRunUntilLeavesFutureEventsPending(t *testing.T) {
+	c := NewClock()
+	fired := 0
+	c.Schedule(time.Millisecond, func() { fired++ })
+	c.Schedule(time.Hour, func() { fired++ })
+	c.RunUntil(Time(time.Second))
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if c.Now() != Time(time.Second) {
+		t.Fatalf("clock at %v, want 1s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", c.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	c := NewClock()
+	c.Schedule(-time.Millisecond, func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	mean := 100 * time.Millisecond
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	want := float64(mean)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Exp mean %.3fms, want ~%.3fms", got/1e6, want/1e6)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	r := NewRNG(9)
+	lo, hi := 40*time.Millisecond, 80*time.Millisecond
+	for i := 0; i < 10000; i++ {
+		d := r.Uniform(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("Uniform out of bounds: %v", d)
+		}
+	}
+	if r.Uniform(lo, lo) != lo {
+		t.Fatal("degenerate Uniform should return lo")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestClockFiredCounter(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 5; i++ {
+		c.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	c.Run()
+	if c.Fired() != 5 {
+		t.Fatalf("Fired()=%d, want 5", c.Fired())
+	}
+}

@@ -1,0 +1,263 @@
+// Package stagedb is a staged relational database engine: a from-scratch Go
+// reproduction of "A Case for Staged Database Systems" (Harizopoulos &
+// Ailamaki, CIDR 2003).
+//
+// The engine decomposes query processing into self-contained stages —
+// connect, parse, optimize, execute, disconnect, with the execution engine
+// further staged into fscan/iscan/sort/join/aggr — connected by bounded
+// queues with back-pressure. A conventional thread-per-worker engine is
+// included as the baseline the paper argues against.
+//
+// Quick start:
+//
+//	db := stagedb.Open(stagedb.Options{})
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, name TEXT)`)
+//	db.Exec(`INSERT INTO t VALUES (1, 'ann')`)
+//	res, err := db.Query(`SELECT name FROM t WHERE id = 1`)
+//
+// The simulators and experiment harnesses behind the paper's figures live
+// under internal/ and are driven by cmd/figures and the benchmarks in
+// bench_test.go; see DESIGN.md and EXPERIMENTS.md.
+package stagedb
+
+import (
+	"fmt"
+	"strings"
+
+	"stagedb/internal/engine"
+	"stagedb/internal/metrics"
+	"stagedb/internal/plan"
+	"stagedb/internal/sql"
+	"stagedb/internal/value"
+)
+
+// Mode selects the server architecture.
+type Mode int
+
+// Server architectures.
+const (
+	// Staged runs the paper's design: five top-level stages plus staged
+	// relational operators (the default).
+	Staged Mode = iota
+	// Threaded runs the conventional worker-pool baseline of §3.1.
+	Threaded
+)
+
+// Options configures Open. The zero value is a usable staged engine.
+type Options struct {
+	// Mode selects staged (default) or threaded execution.
+	Mode Mode
+	// Workers sizes the threaded engine's pool, or each staged stage's
+	// default pool (0 = sensible defaults).
+	Workers int
+	// PageRows is the rows-per-page unit of the staged execution engine's
+	// dataflow (0 = 64). Paper §4.4(c) discusses tuning it.
+	PageRows int
+	// BufferPages bounds each inter-operator page buffer (0 = 4).
+	BufferPages int
+	// PoolFrames sizes the buffer pool in 8 KB pages (0 = 1024).
+	PoolFrames int
+}
+
+// Row is one result row.
+type Row = value.Row
+
+// Value is one SQL value.
+type Value = value.Value
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the output columns of a query.
+	Columns []string
+	// Rows holds query output.
+	Rows []Row
+	// Affected counts rows changed by DML.
+	Affected int64
+}
+
+// DB is an open database handle with a default session. For concurrent
+// clients, create one Conn per goroutine.
+type DB struct {
+	opts    Options
+	kernel  *engine.DB
+	staged  *engine.Staged
+	pool    *engine.Threaded
+	defConn *Conn
+}
+
+// Conn is one client connection (not safe for concurrent use).
+type Conn struct {
+	db   *DB
+	sess *engine.Session
+}
+
+// Open creates an empty in-memory database with the selected architecture.
+func Open(opts Options) *DB {
+	kernel := engine.NewDB(engine.Config{
+		PoolFrames:  opts.PoolFrames,
+		PageRows:    opts.PageRows,
+		BufferPages: opts.BufferPages,
+	})
+	db := &DB{opts: opts, kernel: kernel}
+	switch opts.Mode {
+	case Threaded:
+		db.pool = engine.NewThreaded(kernel, opts.Workers)
+	default:
+		db.staged = engine.NewStaged(kernel, engine.StagedConfig{
+			ConnectWorkers:    opts.Workers,
+			ParseWorkers:      opts.Workers,
+			OptimizeWorkers:   opts.Workers,
+			ExecuteWorkers:    opts.Workers,
+			DisconnectWorkers: opts.Workers,
+		})
+	}
+	db.defConn = db.Conn()
+	return db
+}
+
+// Conn opens a new client connection.
+func (db *DB) Conn() *Conn {
+	return &Conn{db: db, sess: db.kernel.NewSession()}
+}
+
+// Close shuts the engine down.
+func (db *DB) Close() {
+	if db.staged != nil {
+		db.staged.Close()
+	}
+	if db.pool != nil {
+		db.pool.Close()
+	}
+}
+
+// Exec runs a statement on the default connection.
+func (db *DB) Exec(sqlText string) (*Result, error) { return db.defConn.Exec(sqlText) }
+
+// Query runs a SELECT on the default connection.
+func (db *DB) Query(sqlText string) (*Result, error) { return db.defConn.Exec(sqlText) }
+
+// ExecScript runs a semicolon-separated script, stopping at the first error.
+func (db *DB) ExecScript(script string) error { return db.defConn.ExecScript(script) }
+
+// Analyze refreshes optimizer statistics for a table. Run it after bulk
+// loads so the planner sees realistic cardinalities.
+func (db *DB) Analyze(table string) error { return db.kernel.Analyze(table) }
+
+// Explain returns the physical plan for a SELECT without running it.
+func (db *DB) Explain(sqlText string) (string, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return "", fmt.Errorf("stagedb: EXPLAIN supports SELECT only")
+	}
+	node, err := db.kernel.Plan(sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(node), nil
+}
+
+// Stages returns per-stage monitoring snapshots (queue lengths, service
+// counts, busy time) when running the staged engine; nil otherwise. This is
+// the §5.2 "easy to monitor" surface.
+func (db *DB) Stages() []metrics.StageSnapshot {
+	if db.staged == nil {
+		return nil
+	}
+	return db.staged.Snapshot()
+}
+
+// Exec runs one statement on this connection. BEGIN/COMMIT/ROLLBACK manage
+// an explicit transaction; other statements auto-commit outside one.
+func (c *Conn) Exec(sqlText string) (*Result, error) {
+	var res *engine.Result
+	var err error
+	switch {
+	case c.db.staged != nil:
+		res, err = c.db.staged.Exec(c.sess, sqlText)
+	case c.db.pool != nil:
+		res, err = c.db.pool.Exec(c.sess, sqlText)
+	default:
+		res, err = c.sess.Exec(sqlText)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// Query is Exec for SELECT statements (same semantics, clearer call sites).
+func (c *Conn) Query(sqlText string) (*Result, error) { return c.Exec(sqlText) }
+
+// ExecTxn submits a whole transaction script as one unit of work. On the
+// worker-pool engine this keeps a single worker responsible for the whole
+// transaction, avoiding the pool-wide stall where every worker waits on a
+// lock whose holder's COMMIT is queued (§3.1.1).
+func (c *Conn) ExecTxn(stmts []string) (*Result, error) {
+	var res *engine.Result
+	var err error
+	switch {
+	case c.db.staged != nil:
+		res, err = c.db.staged.ExecTxn(c.sess, stmts)
+	case c.db.pool != nil:
+		res, err = c.db.pool.ExecTxn(c.sess, stmts)
+	default:
+		req := engine.NewScriptRequest(c.sess, stmts)
+		return nil, fmt.Errorf("stagedb: no front end for %v", req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// ExecScript runs each ;-separated statement in order.
+func (c *Conn) ExecScript(script string) error {
+	stmts := splitScript(script)
+	for _, stmt := range stmts {
+		if _, err := c.Exec(stmt); err != nil {
+			return fmt.Errorf("stagedb: %q: %w", abbreviate(stmt), err)
+		}
+	}
+	return nil
+}
+
+// InTxn reports whether this connection has an open transaction.
+func (c *Conn) InTxn() bool { return c.sess.InTxn() }
+
+// splitScript splits on semicolons outside string literals.
+func splitScript(script string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(script); i++ {
+		ch := script[i]
+		if ch == '\'' {
+			inStr = !inStr
+		}
+		if ch == ';' && !inStr {
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(ch)
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func abbreviate(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

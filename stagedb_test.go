@@ -1,0 +1,157 @@
+package stagedb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOpenStagedQuickstart(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if err := db.ExecScript(`
+		CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+		INSERT INTO t VALUES (1, 'ann'), (2, 'bob');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT name FROM t WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "bob" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if len(db.Stages()) == 0 {
+		t.Fatal("staged engine should expose stage monitors")
+	}
+}
+
+func TestOpenThreadedSameResults(t *testing.T) {
+	for _, mode := range []Mode{Staged, Threaded} {
+		db := Open(Options{Mode: mode})
+		if err := db.ExecScript(`
+			CREATE TABLE n (v INT);
+			INSERT INTO n VALUES (3), (1), (2);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query("SELECT v FROM n ORDER BY v DESC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 || res.Rows[0][0].Int() != 3 {
+			t.Fatalf("mode %d rows: %v", mode, res.Rows)
+		}
+		if mode == Threaded && db.Stages() != nil {
+			t.Fatal("threaded engine has no stages")
+		}
+		db.Close()
+	}
+}
+
+func TestConnTransactions(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if err := db.ExecScript("CREATE TABLE acct (id INT, bal INT); INSERT INTO acct VALUES (1, 100)"); err != nil {
+		t.Fatal(err)
+	}
+	c := db.Conn()
+	for _, q := range []string{"BEGIN", "UPDATE acct SET bal = 0", "ROLLBACK"} {
+		if _, err := c.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query("SELECT bal FROM acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("rollback lost: %v", res.Rows)
+	}
+}
+
+func TestConcurrentConns(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if err := db.ExecScript("CREATE TABLE c (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := db.Conn()
+			for i := 0; i < 8; i++ {
+				if _, err := conn.Exec(
+					// Distinct ids per goroutine.
+					"INSERT INTO c VALUES (" + itoa(g*100+i) + ")"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 32 {
+		t.Fatalf("count: %v", res.Rows)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestExplain(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if err := db.ExecScript("CREATE TABLE e (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Explain("SELECT v FROM e WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IndexScan") {
+		t.Fatalf("primary-key lookup should use the index:\n%s", out)
+	}
+	if _, err := db.Explain("INSERT INTO e VALUES (1, 1)"); err == nil {
+		t.Fatal("EXPLAIN of DML should fail")
+	}
+}
+
+func TestExecScriptErrorsNameStatement(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	err := db.ExecScript("CREATE TABLE s (id INT); INSERT INTO nope VALUES (1)")
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("script error should name the failing statement: %v", err)
+	}
+}
+
+func TestSplitScriptRespectsStrings(t *testing.T) {
+	parts := splitScript("INSERT INTO t VALUES ('a;b'); SELECT 1 FROM t;")
+	if len(parts) != 2 || !strings.Contains(parts[0], "a;b") {
+		t.Fatalf("split: %q", parts)
+	}
+}
