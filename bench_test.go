@@ -238,3 +238,30 @@ func BenchmarkParser(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExecScheduler compares the goroutine-per-operator baseline
+// against the pooled, batched execution-stage scheduler (§4.1.2: bounded
+// per-stage queues, worker pools, batch dispatch) under the analytics join
+// workload.
+func BenchmarkExecScheduler(b *testing.B) {
+	for _, m := range []struct {
+		name        string
+		execWorkers int
+	}{
+		{"goroutine-per-task", -1},
+		{"pooled-batched", 4},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			db := Open(Options{ExecWorkers: m.execWorkers, ExecBatch: 4})
+			defer db.Close()
+			loadWisconsin(b, db, []string{"wtab", "wtab2"}, 1000)
+			gen := workload.NewWorkloadB("wtab", 1000, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(gen.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

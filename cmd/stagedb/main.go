@@ -62,15 +62,19 @@ func meta(db *stagedb.DB, cmd string) bool {
 	case cmd == "\\quit" || cmd == "\\q":
 		return false
 	case cmd == "\\stages":
+		// Front-end stages first, then the execution-engine stage pools
+		// (fscan/iscan/filter/sort/join/aggr/exec).
 		snaps := db.Stages()
-		head := []string{"stage", "enqueued", "serviced", "queue", "mean service"}
+		head := []string{"stage", "workers", "enqueued", "serviced", "queue", "max queue", "mean service"}
 		var rows [][]string
 		for _, s := range snaps {
 			rows = append(rows, []string{
 				s.Name,
+				fmt.Sprintf("%d", s.Workers),
 				fmt.Sprintf("%d", s.Enqueued),
 				fmt.Sprintf("%d", s.Serviced),
 				fmt.Sprintf("%d", s.QueueLen),
+				fmt.Sprintf("%d", s.MaxQueue),
 				s.MeanService.String(),
 			})
 		}

@@ -1,0 +1,3 @@
+module stagedb
+
+go 1.24

@@ -53,6 +53,30 @@ func TuneThreads(snaps []metrics.StageSnapshot, maxWorkers int) []ThreadRecommen
 	return out
 }
 
+// TuneExecWorkers sizes each execution-stage worker pool from its observed
+// queue pressure (§4.4a applied to the exec engine's operator stages).
+// Operator tasks never hold a worker while blocked — they yield — so queue
+// length is the load signal: an idle stage needs one worker, and each
+// backlog of perWorker queued tasks (0 = 4) earns another, capped at
+// maxWorkers (0 = 16).
+func TuneExecWorkers(snaps []metrics.StageSnapshot, perWorker, maxWorkers int) []ThreadRecommendation {
+	if perWorker <= 0 {
+		perWorker = 4
+	}
+	if maxWorkers <= 0 {
+		maxWorkers = 16
+	}
+	out := make([]ThreadRecommendation, 0, len(snaps))
+	for _, s := range snaps {
+		workers := 1 + s.QueueLen/perWorker
+		if workers > maxWorkers {
+			workers = maxWorkers
+		}
+		out = append(out, ThreadRecommendation{Stage: s.Name, Workers: workers})
+	}
+	return out
+}
+
 // StageGroup is a set of modules fused into one stage.
 type StageGroup struct {
 	Modules []string

@@ -92,3 +92,22 @@ func TestChoosePolicyByOperatingPoint(t *testing.T) {
 		t.Fatalf("chosen policy (%v) should beat PS (%v)", chosen.MeanResponse, ps.MeanResponse)
 	}
 }
+
+func TestTuneExecWorkersFromQueueLength(t *testing.T) {
+	snaps := []metrics.StageSnapshot{
+		{Name: "fscan", QueueLen: 0},
+		{Name: "join", QueueLen: 9},
+		{Name: "aggr", QueueLen: 400},
+	}
+	recs := TuneExecWorkers(snaps, 4, 8)
+	want := map[string]int{
+		"fscan": 1, // idle stage: one worker, extras only thrash (§3.1.1)
+		"join":  3, // 1 + 9/4
+		"aggr":  8, // capped
+	}
+	for _, r := range recs {
+		if r.Workers != want[r.Stage] {
+			t.Fatalf("%s: got %d workers, want %d", r.Stage, r.Workers, want[r.Stage])
+		}
+	}
+}

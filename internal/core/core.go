@@ -106,9 +106,14 @@ func (s *Stage) QueueLen() int { return len(s.queue) }
 
 // Enqueue submits a packet to the stage, blocking while the queue is full
 // (back-pressure: the producing stage thread freezes, the rest of the
-// system keeps running). It fails with ErrStopped after shutdown.
+// system keeps running). It fails with ErrStopped after shutdown. The read
+// lock orders the send against Stop's final queue sweep: a send that races
+// the stopped channel commits before the sweep runs, so the sweep always
+// observes it and no packet is stranded in a dead queue.
 func (s *Stage) Enqueue(pkt *Packet) error {
 	pkt.enqueued = time.Now()
+	s.srv.enqMu.RLock()
+	defer s.srv.enqMu.RUnlock()
 	select {
 	case <-s.srv.stopped:
 		return ErrStopped
@@ -292,6 +297,9 @@ type Server struct {
 	stopped chan struct{}
 	wg      sync.WaitGroup
 	started bool
+	// enqMu orders in-flight Enqueues (read side) against Stop's sweep of
+	// the stage queues (write side); see Stage.Enqueue.
+	enqMu sync.RWMutex
 
 	pending  counter // packets in queues or in service
 	finished func(*Packet)
@@ -413,14 +421,21 @@ func (s *Server) Submit(pkt *Packet) error {
 	return st.Enqueue(pkt)
 }
 
-// forwardTo enqueues pkt at the named stage; false when unknown.
+// forwardTo enqueues pkt at the named stage; false when unknown. An enqueue
+// refused by shutdown fails the packet and delivers it to the finish hook,
+// so a client waiting on the packet observes the error instead of hanging
+// on a silently dropped query.
 func (s *Server) forwardTo(name string, pkt *Packet) bool {
 	st := s.Stage(name)
 	if st == nil {
 		return false
 	}
-	// Ignore ErrStopped: shutdown destroys in-flight packets.
-	_ = st.Enqueue(pkt)
+	if err := st.Enqueue(pkt); err != nil {
+		if pkt.Err == nil {
+			pkt.Err = err
+		}
+		s.finish(pkt)
+	}
 	return true
 }
 
@@ -433,8 +448,10 @@ func (s *Server) finish(pkt *Packet) {
 // Pending reports packets currently queued or in service.
 func (s *Server) Pending() int64 { return s.pending.Load() }
 
-// Stop shuts the server down. In-flight packets may be dropped; callers
-// should drain work before stopping (Pending() == 0).
+// Stop shuts the server down. Callers should drain work before stopping
+// (Pending() == 0); packets still queued when the workers exit are failed
+// with ErrStopped and delivered to the finish hook, so no client hangs on a
+// query that raced shutdown.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	if !s.started {
@@ -448,8 +465,32 @@ func (s *Server) Stop() {
 	default:
 	}
 	close(s.stopped)
+	stages := make([]*Stage, 0, len(s.order))
+	for _, name := range s.order {
+		stages = append(stages, s.stages[name])
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Wait out in-flight Enqueues, then sweep: afterwards every Enqueue
+	// fails its stopped check before touching a queue.
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	for _, st := range stages {
+		for {
+			select {
+			case pkt := <-st.queue:
+				st.stats.OnDequeue()
+				s.pending.Add(-1)
+				if pkt.Err == nil {
+					pkt.Err = ErrStopped
+				}
+				s.finish(pkt)
+				continue
+			default:
+			}
+			break
+		}
+	}
 }
 
 // Snapshot returns per-stage statistics in registration order (§5.2 easy
@@ -459,7 +500,10 @@ func (s *Server) Snapshot() []metrics.StageSnapshot {
 	defer s.mu.Unlock()
 	out := make([]metrics.StageSnapshot, 0, len(s.order))
 	for _, name := range s.order {
-		out = append(out, s.stages[name].stats.Snapshot())
+		st := s.stages[name]
+		snap := st.stats.Snapshot()
+		snap.Workers = st.cfg.Workers
+		out = append(out, snap)
 	}
 	return out
 }

@@ -336,3 +336,85 @@ func TestAddStagePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestStopDeliversInFlightPackets reproduces the shutdown hang: a packet
+// whose forward races Stop must be failed and delivered to the finish hook,
+// never silently dropped (a client waiting on it would hang forever).
+func TestStopDeliversInFlightPackets(t *testing.T) {
+	srv := NewServer()
+	inFirst := make(chan struct{})
+	release := make(chan struct{})
+	srv.AddStage(StageConfig{Name: "first", Handler: func(pkt *Packet) (Verdict, error) {
+		close(inFirst)
+		<-release // hold the packet in service until Stop is underway
+		return Forward, nil
+	}})
+	srv.AddStage(StageConfig{Name: "last", Handler: func(pkt *Packet) (Verdict, error) {
+		return Done, nil
+	}})
+	finished := make(chan *Packet, 1)
+	srv.OnFinish(func(pkt *Packet) { finished <- pkt })
+	srv.Start()
+
+	pkt := &Packet{Route: []string{"first", "last"}}
+	if err := srv.Submit(pkt); err != nil {
+		t.Fatal(err)
+	}
+	<-inFirst
+	stopDone := make(chan struct{})
+	go func() {
+		srv.Stop()
+		close(stopDone)
+	}()
+	// Give Stop a moment to close the stopped channel, then let the handler
+	// forward into the now-stopping server.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case got := <-finished:
+		if got.Err == nil {
+			t.Fatal("dropped packet finished without an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("packet dropped on shutdown was never delivered to the finish hook")
+	}
+	<-stopDone
+}
+
+// TestStopFailsQueuedPackets checks that packets still sitting in stage
+// queues when the workers exit are failed with ErrStopped rather than
+// vanishing.
+func TestStopFailsQueuedPackets(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.AddStage(StageConfig{Name: "only", Workers: 1, QueueCap: 8, Handler: func(pkt *Packet) (Verdict, error) {
+		<-block
+		return Done, nil
+	}})
+	var mu sync.Mutex
+	var finished []*Packet
+	srv.OnFinish(func(pkt *Packet) {
+		mu.Lock()
+		finished = append(finished, pkt)
+		mu.Unlock()
+	})
+	srv.Start()
+	for i := 0; i < 4; i++ {
+		if err := srv.Submit(&Packet{Query: i, Route: []string{"only"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(block)
+	}()
+	srv.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	// Every submitted packet must reach the finish hook, with ErrStopped on
+	// those the workers never serviced.
+	if len(finished) != 4 {
+		t.Fatalf("finished %d packets, want all 4", len(finished))
+	}
+}

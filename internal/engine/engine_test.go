@@ -417,3 +417,115 @@ func TestGroupByThroughEngine(t *testing.T) {
 		t.Fatalf("ann sum: %v", res.Rows[0])
 	}
 }
+
+// TestThreadedSubmitAfterClose reproduces the "send on closed channel"
+// panic: submitting after Close must fail the request with ErrClosed.
+func TestThreadedSubmitAfterClose(t *testing.T) {
+	db, _ := seed(t)
+	pool := NewThreaded(db, 2)
+	sess := db.NewSession()
+	if _, err := pool.Exec(sess, "SELECT COUNT(*) FROM accounts"); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	req := NewRequest(sess, "SELECT COUNT(*) FROM accounts")
+	pool.Submit(req) // must not panic
+	if _, err := req.Wait(); err != ErrClosed {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+	pool.Close() // idempotent
+}
+
+// TestStagedCloseNeverStrandsClients races queries against Staged.Close:
+// every Wait must return (result or error) — the pre-fix behaviour dropped
+// in-flight packets on shutdown, hanging the client forever.
+func TestStagedCloseNeverStrandsClients(t *testing.T) {
+	db, _ := seed(t)
+	staged := NewStaged(db, StagedConfig{})
+	var wg sync.WaitGroup
+	returned := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			for i := 0; i < 50; i++ {
+				req := NewRequest(sess, "SELECT COUNT(*) FROM accounts")
+				if err := staged.Submit(req); err != nil {
+					return // queue refused the request: fine, client informed
+				}
+				req.Wait() // must always return
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(returned)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	staged.Close()
+	select {
+	case <-returned:
+	case <-time.After(30 * time.Second):
+		t.Fatal("client stranded in Request.Wait after Staged.Close")
+	}
+}
+
+// TestStagedExecPoolMonitoring checks that the pooled exec scheduler feeds
+// per-stage queue/service metrics into the engine's monitor surface and
+// that AutotuneExec resizes from them.
+func TestStagedExecPoolMonitoring(t *testing.T) {
+	db, _ := seed(t)
+	staged := NewStaged(db, StagedConfig{ExecWorkers: 2, ExecBatch: 2})
+	defer staged.Close()
+	sess := db.NewSession()
+	if _, err := staged.Exec(sess, "SELECT owner, SUM(balance) FROM accounts GROUP BY owner ORDER BY owner"); err != nil {
+		t.Fatal(err)
+	}
+	var sawExec bool
+	for _, snap := range staged.Snapshot() {
+		if snap.Name == "fscan" || snap.Name == "aggr" || snap.Name == "sort" {
+			if snap.Serviced == 0 {
+				t.Fatalf("exec stage %s serviced no tasks", snap.Name)
+			}
+			if snap.Workers != 2 {
+				t.Fatalf("exec stage %s workers = %d, want 2", snap.Name, snap.Workers)
+			}
+			sawExec = true
+		}
+	}
+	if !sawExec {
+		t.Fatal("no exec-stage pool monitors in Snapshot")
+	}
+	recs := staged.AutotuneExec(8)
+	if len(recs) == 0 {
+		t.Fatal("AutotuneExec returned no recommendations")
+	}
+	for _, r := range recs {
+		if got := staged.ExecPool().Workers(r.Stage); got != r.Workers {
+			t.Fatalf("stage %s: pool has %d workers, recommendation was %d", r.Stage, got, r.Workers)
+		}
+	}
+}
+
+// TestStagedGoroutineBaseline keeps the unpooled runner working: negative
+// ExecWorkers selects goroutine-per-task execution.
+func TestStagedGoroutineBaseline(t *testing.T) {
+	db, _ := seed(t)
+	staged := NewStaged(db, StagedConfig{ExecWorkers: -1})
+	defer staged.Close()
+	if staged.ExecPool() != nil {
+		t.Fatal("baseline config still built a StagePool")
+	}
+	sess := db.NewSession()
+	res, err := staged.Exec(sess, "SELECT COUNT(*) FROM accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("baseline count: %v", res.Rows)
+	}
+	if staged.AutotuneExec(8) != nil {
+		t.Fatal("AutotuneExec should be a no-op on the baseline")
+	}
+}

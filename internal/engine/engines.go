@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"stagedb/internal/autotune"
 	"stagedb/internal/core"
 	"stagedb/internal/exec"
 	"stagedb/internal/metrics"
@@ -65,6 +67,9 @@ func (r *Request) Wait() (*Result, error) {
 	return r.Result, r.Err
 }
 
+// ErrClosed reports work submitted to a front end after Close.
+var ErrClosed = errors.New("engine: front end closed")
+
 // Threaded is the conventional worker-pool front end of §3.1: a fixed pool
 // of workers, each carrying one query through all phases.
 type Threaded struct {
@@ -72,6 +77,9 @@ type Threaded struct {
 	queue chan *Request
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewThreaded starts a threaded front end with the given pool size.
@@ -93,8 +101,20 @@ func NewThreaded(db *DB, workers int) *Threaded {
 	return t
 }
 
-// Submit queues a request; Wait on the request for its result.
-func (t *Threaded) Submit(req *Request) { t.queue <- req }
+// Submit queues a request; Wait on the request for its result. After Close
+// the request is failed with ErrClosed instead of panicking on the closed
+// queue.
+func (t *Threaded) Submit(req *Request) {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		req.Err = ErrClosed
+		close(req.Done)
+		return
+	}
+	t.queue <- req
+	t.mu.RUnlock()
+}
 
 // Exec is a convenience: submit and wait.
 func (t *Threaded) Exec(s *Session, sqlText string) (*Result, error) {
@@ -112,7 +132,12 @@ func (t *Threaded) ExecTxn(s *Session, stmts []string) (*Result, error) {
 
 // Close drains and stops the pool.
 func (t *Threaded) Close() {
-	t.once.Do(func() { close(t.queue) })
+	t.once.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		close(t.queue)
+		t.mu.Unlock()
+	})
 	t.wg.Wait()
 }
 
@@ -133,6 +158,10 @@ type Staged struct {
 	db  *DB
 	srv *core.Server
 
+	// execPool schedules operator tasks on bounded per-stage worker pools;
+	// nil selects the goroutine-per-task baseline runner.
+	execPool *exec.StagePool
+
 	execStats map[string]*metrics.StageStats
 	statsMu   sync.Mutex
 }
@@ -147,6 +176,17 @@ type StagedConfig struct {
 	Batch int
 	// Gate optionally installs a global scheduler over the five stages.
 	Gate core.Gate
+
+	// ExecWorkers sizes each execution-engine stage pool (fscan/iscan/
+	// filter/sort/join/aggr/exec). 0 selects the default pooled scheduler
+	// (2 workers per stage); a negative value selects the unpooled
+	// goroutine-per-task baseline.
+	ExecWorkers int
+	// ExecQueueDepth bounds each exec-stage task queue (0 = 64).
+	ExecQueueDepth int
+	// ExecBatch is the task batch one exec worker drains per activation
+	// (0 = 4).
+	ExecBatch int
 }
 
 // NewStaged starts the staged front end.
@@ -158,6 +198,13 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 		return v
 	}
 	s := &Staged{db: db, srv: core.NewServer(), execStats: make(map[string]*metrics.StageStats)}
+	if cfg.ExecWorkers >= 0 {
+		s.execPool = exec.NewStagePool(exec.StagePoolConfig{
+			Workers:    cfg.ExecWorkers,
+			QueueDepth: cfg.ExecQueueDepth,
+			Batch:      cfg.ExecBatch,
+		})
+	}
 
 	s.srv.AddStage(core.StageConfig{
 		Name: "connect", Workers: def(cfg.ConnectWorkers, 2),
@@ -237,20 +284,47 @@ func (s *Staged) ExecTxn(sess *Session, stmts []string) (*Result, error) {
 	return req.Wait()
 }
 
-// Close stops the staged server. Outstanding requests should be drained
-// first.
-func (s *Staged) Close() { s.srv.Stop() }
+// Close stops the staged server, then the execution-stage pools. The order
+// matters: Server.Stop waits for stage workers to finish their in-flight
+// packets, so no query is still inside the exec pool when it closes.
+func (s *Staged) Close() {
+	s.srv.Stop()
+	if s.execPool != nil {
+		s.execPool.Close()
+	}
+}
 
 // Snapshot returns the per-stage monitors, including the execution-engine
 // stages (§5.2).
 func (s *Staged) Snapshot() []metrics.StageSnapshot {
 	out := s.srv.Snapshot()
+	if s.execPool != nil {
+		return append(out, s.execPool.Snapshot()...)
+	}
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	for _, st := range s.execStats {
 		out = append(out, st.Snapshot())
 	}
 	return out
+}
+
+// ExecPool exposes the execution-stage scheduler for monitoring and tuning;
+// nil when running the goroutine-per-task baseline.
+func (s *Staged) ExecPool() *exec.StagePool { return s.execPool }
+
+// AutotuneExec resizes the execution-stage pools from their observed queue
+// lengths (§4.4a applied to the exec engine) and returns the applied
+// recommendations. It is a no-op on the goroutine baseline.
+func (s *Staged) AutotuneExec(maxWorkers int) []autotune.ThreadRecommendation {
+	if s.execPool == nil {
+		return nil
+	}
+	recs := autotune.TuneExecWorkers(s.execPool.Snapshot(), 0, maxWorkers)
+	for _, r := range recs {
+		s.execPool.Resize(r.Stage, r.Workers)
+	}
+	return recs
 }
 
 // --- stage handlers ---
@@ -324,14 +398,15 @@ func (s *Staged) disconnect(pkt *core.Packet) (core.Verdict, error) {
 	return core.Done, nil
 }
 
-// execRunner returns the StageRunner for execution-engine operators. Tasks
-// are accounted against their owning stage's monitor; they run on their own
-// goroutines because operator drive loops block on page exchanges, and a
-// blocked task must not occupy one of the stage's dequeue workers (the
-// paper's stage threads re-enqueue blocked packets instead — with
-// goroutines the Go scheduler provides the equivalent suspension; see the
-// package comment of internal/core for the fidelity discussion).
+// execRunner returns the StageRunner for execution-engine operators: the
+// pooled, batched StagePool by default — bounded per-stage queues, worker
+// pools, and batch dispatch, with blocked operators yielding their worker
+// (§4.1.2) — or the goroutine-per-task accounting runner when the baseline
+// was selected (ExecWorkers < 0).
 func (s *Staged) execRunner() exec.StageRunner {
+	if s.execPool != nil {
+		return s.execPool
+	}
 	return stageAccountingRunner{s: s}
 }
 

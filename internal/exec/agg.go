@@ -27,18 +27,34 @@ type aggregateOp struct {
 	child    Operator
 	pageRows int
 
-	out []value.Row
-	pos int
+	acc    rowAccum
+	loaded bool
+	out    []value.Row
+	pos    int
 }
 
 func (a *aggregateOp) Open() error {
-	if err := a.child.Open(); err != nil {
-		return err
+	a.acc, a.loaded = rowAccum{}, false
+	return a.child.Open()
+}
+
+// Next drains the child on first call (resumably: errWouldBlock suspends
+// with the accumulated input preserved), then emits the grouped output.
+func (a *aggregateOp) Next() (*Page, error) {
+	if !a.loaded {
+		if err := a.acc.fill(a.child); err != nil {
+			return nil, err
+		}
+		if err := a.aggregate(a.acc.rows); err != nil {
+			return nil, err
+		}
+		a.acc.rows = nil
+		a.loaded = true
 	}
-	rows, err := drain(a.child)
-	if err != nil {
-		return err
-	}
+	return slicePage(&a.pos, a.out, a.pageRows), nil
+}
+
+func (a *aggregateOp) aggregate(rows []value.Row) error {
 	groups := make(map[uint64][]*aggState)
 	var order []*aggState
 	nAggs := len(a.node.Aggs)
@@ -167,8 +183,6 @@ func finishAgg(spec plan.AggSpec, st *aggState, i int) value.Value {
 	return value.NewNull()
 }
 
-func (a *aggregateOp) Next() (*Page, error) { return slicePage(&a.pos, a.out, a.pageRows), nil }
-
 func (a *aggregateOp) Close() error {
 	a.out = nil
 	return a.child.Close()
@@ -181,18 +195,33 @@ type sortOp struct {
 	child    Operator
 	pageRows int
 
-	out []value.Row
-	pos int
+	acc    rowAccum
+	loaded bool
+	out    []value.Row
+	pos    int
 }
 
 func (s *sortOp) Open() error {
-	if err := s.child.Open(); err != nil {
-		return err
+	s.acc, s.loaded = rowAccum{}, false
+	return s.child.Open()
+}
+
+// Next drains the child on first call (resumably), then emits in order.
+func (s *sortOp) Next() (*Page, error) {
+	if !s.loaded {
+		if err := s.acc.fill(s.child); err != nil {
+			return nil, err
+		}
+		if err := s.sortRows(s.acc.rows); err != nil {
+			return nil, err
+		}
+		s.acc.rows = nil
+		s.loaded = true
 	}
-	rows, err := drain(s.child)
-	if err != nil {
-		return err
-	}
+	return slicePage(&s.pos, s.out, s.pageRows), nil
+}
+
+func (s *sortOp) sortRows(rows []value.Row) error {
 	// Precompute sort keys per row to avoid re-evaluating during comparison.
 	type keyed struct {
 		row  value.Row
@@ -237,8 +266,6 @@ func (s *sortOp) Open() error {
 	s.pos = 0
 	return nil
 }
-
-func (s *sortOp) Next() (*Page, error) { return slicePage(&s.pos, s.out, s.pageRows), nil }
 
 func (s *sortOp) Close() error {
 	s.out = nil

@@ -245,28 +245,66 @@ func slicePage(pos *int, rows []value.Row, pageRows int) *Page {
 	return pg
 }
 
+// --- resumable accumulation ---
+//
+// Under the pooled staged scheduler a child read can report errWouldBlock
+// instead of blocking the worker. Operators therefore keep any partially
+// accumulated state in fields (never in locals), propagate errWouldBlock
+// unchanged, and pick up exactly where they left off on the next call.
+
+// rowAccum drains a child's full output across resumable calls: fill
+// returns errWouldBlock with progress preserved, so pipeline-blocking
+// operators (sort, join, aggregate) can suspend mid-drain.
+type rowAccum struct {
+	rows []value.Row
+	done bool
+}
+
+func (a *rowAccum) fill(op Operator) error {
+	for !a.done {
+		pg, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if pg == nil {
+			a.done = true
+			break
+		}
+		a.rows = append(a.rows, pg.Rows...)
+	}
+	return nil
+}
+
 // --- filter / project ---
 
 type filterOp struct {
 	child    Operator
 	pred     plan.Expr
 	pageRows int
+
+	buf []value.Row // accepted rows not yet emitted; survives errWouldBlock
+	eos bool
 }
 
-func (f *filterOp) Open() error { return f.child.Open() }
+func (f *filterOp) Open() error {
+	f.buf, f.eos = nil, false
+	return f.child.Open()
+}
 
 func (f *filterOp) Next() (*Page, error) {
-	out := &Page{}
-	for {
+	for !f.eos && len(f.buf) < f.pageRows {
 		pg, err := f.child.Next()
 		if err != nil {
+			// On would-block, emit what we already have rather than stall
+			// a ready partial page behind a slow child.
+			if err == errWouldBlock && len(f.buf) > 0 {
+				break
+			}
 			return nil, err
 		}
 		if pg == nil {
-			if len(out.Rows) == 0 {
-				return nil, nil
-			}
-			return out, nil
+			f.eos = true
+			break
 		}
 		for _, row := range pg.Rows {
 			ok, err := plan.EvalPredicate(f.pred, row)
@@ -274,16 +312,30 @@ func (f *filterOp) Next() (*Page, error) {
 				return nil, err
 			}
 			if ok {
-				out.Rows = append(out.Rows, row)
+				f.buf = append(f.buf, row)
 			}
 		}
-		if len(out.Rows) >= f.pageRows {
-			return out, nil
-		}
 	}
+	return cutPage(&f.buf, f.pageRows), nil
 }
 
 func (f *filterOp) Close() error { return f.child.Close() }
+
+// cutPage slices one page off an accumulation buffer, nil when empty. The
+// capacity-limited slice keeps later appends to the buffer from aliasing
+// into the emitted page.
+func cutPage(buf *[]value.Row, pageRows int) *Page {
+	b := *buf
+	if len(b) == 0 {
+		return nil
+	}
+	n := len(b)
+	if n > pageRows {
+		n = pageRows
+	}
+	*buf = b[n:]
+	return &Page{Rows: b[:n:n]}
+}
 
 type projectOp struct {
 	child    Operator
@@ -366,35 +418,37 @@ type distinctOp struct {
 	child    Operator
 	pageRows int
 	seen     map[uint64][]value.Row
+
+	buf []value.Row // new rows not yet emitted; survives errWouldBlock
+	eos bool
 }
 
 func (d *distinctOp) Open() error {
 	d.seen = make(map[uint64][]value.Row)
+	d.buf, d.eos = nil, false
 	return d.child.Open()
 }
 
 func (d *distinctOp) Next() (*Page, error) {
-	out := &Page{}
-	for {
+	for !d.eos && len(d.buf) < d.pageRows {
 		pg, err := d.child.Next()
 		if err != nil {
+			if err == errWouldBlock && len(d.buf) > 0 {
+				break
+			}
 			return nil, err
 		}
 		if pg == nil {
-			if len(out.Rows) == 0 {
-				return nil, nil
-			}
-			return out, nil
+			d.eos = true
+			break
 		}
 		for _, row := range pg.Rows {
 			if d.addIfNew(row) {
-				out.Rows = append(out.Rows, row)
+				d.buf = append(d.buf, row)
 			}
 		}
-		if len(out.Rows) >= d.pageRows {
-			return out, nil
-		}
 	}
+	return cutPage(&d.buf, d.pageRows), nil
 }
 
 func (d *distinctOp) addIfNew(row value.Row) bool {

@@ -7,21 +7,6 @@ import (
 	"stagedb/internal/value"
 )
 
-// drain pulls an operator to completion and returns all its rows.
-func drain(op Operator) ([]value.Row, error) {
-	var out []value.Row
-	for {
-		pg, err := op.Next()
-		if err != nil {
-			return nil, err
-		}
-		if pg == nil {
-			return out, nil
-		}
-		out = append(out, pg.Rows...)
-	}
-}
-
 func concatRow(l, r value.Row) value.Row {
 	out := make(value.Row, 0, len(l)+len(r))
 	out = append(out, l...)
@@ -51,29 +36,49 @@ func passResidual(residual plan.Expr, row value.Row) (bool, error) {
 // --- hash join ---
 
 // hashJoin builds a hash table on the right (build) input and probes with
-// the left.
+// the left. Inputs are drained lazily on first Next so a pooled task can
+// suspend mid-drain (errWouldBlock) without losing progress.
 type hashJoin struct {
 	node     *plan.Join
 	left     Operator
 	right    Operator
 	pageRows int
 
-	table map[uint64][]value.Row
-	out   []value.Row
-	pos   int
+	build  rowAccum // right input
+	probe  rowAccum // left input
+	loaded bool
+	table  map[uint64][]value.Row
+	out    []value.Row
+	pos    int
 }
 
 func (j *hashJoin) Open() error {
+	j.build, j.probe, j.loaded = rowAccum{}, rowAccum{}, false
 	if err := j.left.Open(); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
-		return err
+	return j.right.Open()
+}
+
+func (j *hashJoin) Next() (*Page, error) {
+	if !j.loaded {
+		if err := j.build.fill(j.right); err != nil {
+			return nil, err
+		}
+		if err := j.probe.fill(j.left); err != nil {
+			return nil, err
+		}
+		if err := j.join(); err != nil {
+			return nil, err
+		}
+		j.loaded = true
 	}
-	buildRows, err := drain(j.right)
-	if err != nil {
-		return err
-	}
+	return slicePage(&j.pos, j.out, j.pageRows), nil
+}
+
+func (j *hashJoin) join() error {
+	buildRows, probeRows := j.build.rows, j.probe.rows
+	j.build.rows, j.probe.rows = nil, nil
 	j.table = make(map[uint64][]value.Row, len(buildRows))
 	for _, row := range buildRows {
 		if keysNull(row, j.node.RightKey) {
@@ -81,10 +86,6 @@ func (j *hashJoin) Open() error {
 		}
 		h := row.Hash(j.node.RightKey)
 		j.table[h] = append(j.table[h], row)
-	}
-	probeRows, err := drain(j.left)
-	if err != nil {
-		return err
 	}
 	j.out = j.out[:0]
 	for _, l := range probeRows {
@@ -119,8 +120,6 @@ func keysEqual(l value.Row, lk []int, r value.Row, rk []int) bool {
 	return true
 }
 
-func (j *hashJoin) Next() (*Page, error) { return slicePage(&j.pos, j.out, j.pageRows), nil }
-
 func (j *hashJoin) Close() error {
 	j.table, j.out = nil, nil
 	if err := j.left.Close(); err != nil {
@@ -138,25 +137,40 @@ type mergeJoin struct {
 	right    Operator
 	pageRows int
 
-	out []value.Row
-	pos int
+	lacc   rowAccum
+	racc   rowAccum
+	loaded bool
+	out    []value.Row
+	pos    int
 }
 
 func (j *mergeJoin) Open() error {
+	j.lacc, j.racc, j.loaded = rowAccum{}, rowAccum{}, false
 	if err := j.left.Open(); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
-		return err
+	return j.right.Open()
+}
+
+func (j *mergeJoin) Next() (*Page, error) {
+	if !j.loaded {
+		if err := j.lacc.fill(j.left); err != nil {
+			return nil, err
+		}
+		if err := j.racc.fill(j.right); err != nil {
+			return nil, err
+		}
+		if err := j.join(); err != nil {
+			return nil, err
+		}
+		j.loaded = true
 	}
-	lrows, err := drain(j.left)
-	if err != nil {
-		return err
-	}
-	rrows, err := drain(j.right)
-	if err != nil {
-		return err
-	}
+	return slicePage(&j.pos, j.out, j.pageRows), nil
+}
+
+func (j *mergeJoin) join() error {
+	lrows, rrows := j.lacc.rows, j.racc.rows
+	j.lacc.rows, j.racc.rows = nil, nil
 	var sortErr error
 	sortBy := func(rows []value.Row, keys []int) {
 		sort.SliceStable(rows, func(a, b int) bool {
@@ -236,8 +250,6 @@ func compareKeys(l value.Row, lk []int, r value.Row, rk []int) int {
 	return 0
 }
 
-func (j *mergeJoin) Next() (*Page, error) { return slicePage(&j.pos, j.out, j.pageRows), nil }
-
 func (j *mergeJoin) Close() error {
 	j.out = nil
 	if err := j.left.Close(); err != nil {
@@ -255,25 +267,40 @@ type nestedLoopJoin struct {
 	right    Operator
 	pageRows int
 
-	out []value.Row
-	pos int
+	iacc   rowAccum // inner (right) input
+	oacc   rowAccum // outer (left) input
+	loaded bool
+	out    []value.Row
+	pos    int
 }
 
 func (j *nestedLoopJoin) Open() error {
+	j.iacc, j.oacc, j.loaded = rowAccum{}, rowAccum{}, false
 	if err := j.left.Open(); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
-		return err
+	return j.right.Open()
+}
+
+func (j *nestedLoopJoin) Next() (*Page, error) {
+	if !j.loaded {
+		if err := j.iacc.fill(j.right); err != nil {
+			return nil, err
+		}
+		if err := j.oacc.fill(j.left); err != nil {
+			return nil, err
+		}
+		if err := j.join(); err != nil {
+			return nil, err
+		}
+		j.loaded = true
 	}
-	inner, err := drain(j.right)
-	if err != nil {
-		return err
-	}
-	outer, err := drain(j.left)
-	if err != nil {
-		return err
-	}
+	return slicePage(&j.pos, j.out, j.pageRows), nil
+}
+
+func (j *nestedLoopJoin) join() error {
+	inner, outer := j.iacc.rows, j.oacc.rows
+	j.iacc.rows, j.oacc.rows = nil, nil
 	j.out = j.out[:0]
 	for _, l := range outer {
 		for _, r := range inner {
@@ -293,8 +320,6 @@ func (j *nestedLoopJoin) Open() error {
 	j.pos = 0
 	return nil
 }
-
-func (j *nestedLoopJoin) Next() (*Page, error) { return slicePage(&j.pos, j.out, j.pageRows), nil }
 
 func (j *nestedLoopJoin) Close() error {
 	j.out = nil

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"sync"
 
 	"stagedb/internal/plan"
@@ -10,45 +11,94 @@ import (
 // StageRunner schedules a task onto the stage that owns a plan operator
 // (§4.1.2: "each relational operator is assigned to a stage"). The staged
 // engine submits tasks into stage queues; GoRunner runs each task on its own
-// goroutine for tests and standalone use.
+// goroutine for tests and standalone use, while StagePool runs resumable
+// tasks on bounded per-stage worker pools.
 type StageRunner interface {
 	Submit(stage string, task func())
 }
 
 // GoRunner is a StageRunner that ignores stage identity and spawns a
-// goroutine per task.
+// goroutine per task. It is the unpooled baseline the paper argues against:
+// an unbounded thread per operator, with the Go scheduler providing
+// suspension instead of the stage's own queue.
 type GoRunner struct{}
 
 // Submit implements StageRunner.
 func (GoRunner) Submit(_ string, task func()) { go task() }
+
+// taskScheduler is the richer contract a pooled runner provides: operator
+// tasks are resumable continuations, and a task blocked on a page exchange
+// is re-enqueued when the exchange can make progress instead of occupying a
+// worker. StagePool implements it; runners without it get the blocking
+// drive loop on a dedicated goroutine.
+type taskScheduler interface {
+	// schedule admits a newly launched task to its stage queue.
+	schedule(t *opTask)
+	// ready re-enqueues a woken continuation.
+	ready(t *opTask)
+}
+
+// errWouldBlock is returned by non-blocking exchange reads (and propagated
+// unchanged through operator Next calls) when no page is available yet.
+// Operators keep their accumulation state in fields, so a task that sees
+// errWouldBlock can yield its worker and resume exactly where it left off.
+var errWouldBlock = errors.New("exec: operator would block")
 
 // pipeline is one staged query execution: a tree of operator tasks joined by
 // bounded page buffers.
 type pipeline struct {
 	tables      Tables
 	runner      StageRunner
+	sched       taskScheduler // non-nil when runner supports resumable tasks
 	pageRows    int
 	bufferPages int
 
 	done     chan struct{} // closed on failure or cancellation
 	failOnce sync.Once
 	err      error
+
+	mu    sync.Mutex
+	tasks []*opTask // resumable tasks, woken on failure
 }
 
 func (p *pipeline) fail(err error) {
 	p.failOnce.Do(func() {
 		p.err = err
 		close(p.done)
+		// Parked tasks must observe the failure: wake them all so they
+		// re-step, see the closed done channel, and finish.
+		p.mu.Lock()
+		tasks := append([]*opTask(nil), p.tasks...)
+		p.mu.Unlock()
+		for _, t := range tasks {
+			t.wake()
+		}
 	})
 }
 
+// trySend outcomes.
+const (
+	sendOK      = iota // page delivered
+	sendBlocked        // buffer full; waker registered
+	sendFailed         // pipeline failed; stop producing
+)
+
 // exchange is the intermediate result buffer of §4.1.2: a bounded
-// producer-consumer page queue. Enqueueing into a full buffer blocks the
-// producing stage thread (back-pressure); the consumer sees a closed channel
-// at end of stream.
+// producer-consumer page queue. In the blocking mode (GoRunner), enqueueing
+// into a full buffer blocks the producing goroutine; in the pooled mode the
+// producer registers a waker and yields its worker instead. Each exchange
+// has exactly one producer task and one consumer (a task, or the client
+// draining the root).
 type exchange struct {
 	ch   chan *Page
 	done <-chan struct{}
+
+	// mu orders channel operations against waiter registration so wakeups
+	// are never lost: a side that fails to make progress registers its waker
+	// under the same lock the opposite side uses to act.
+	mu         sync.Mutex
+	sendWaiter func() // producer continuation, fired when space frees
+	recvWaiter func() // consumer continuation, fired when a page arrives
 }
 
 func newExchange(bufferPages int, done <-chan struct{}) *exchange {
@@ -63,21 +113,112 @@ func newExchange(bufferPages int, done <-chan struct{}) *exchange {
 func (e *exchange) send(pg *Page) bool {
 	select {
 	case e.ch <- pg:
+		e.wakeReceiver()
 		return true
 	case <-e.done:
 		return false
 	}
 }
 
-func (e *exchange) close() { close(e.ch) }
+// trySend attempts a non-blocking delivery. On sendBlocked the waker is
+// registered and will fire once the consumer frees a slot.
+func (e *exchange) trySend(pg *Page, wake func()) int {
+	select {
+	case <-e.done:
+		return sendFailed
+	default:
+	}
+	e.mu.Lock()
+	select {
+	case e.ch <- pg:
+		e.sendWaiter = nil
+		w := e.recvWaiter
+		e.recvWaiter = nil
+		e.mu.Unlock()
+		if w != nil {
+			w()
+		}
+		return sendOK
+	default:
+		e.sendWaiter = wake
+		e.mu.Unlock()
+		return sendBlocked
+	}
+}
+
+// tryNext is the non-blocking read: it returns errWouldBlock (registering
+// the waker) when the producer has not caught up yet, and (nil, nil) at end
+// of stream or after pipeline failure.
+func (e *exchange) tryNext(wake func()) (*Page, error) {
+	e.mu.Lock()
+	select {
+	case pg, ok := <-e.ch:
+		e.recvWaiter = nil
+		w := e.sendWaiter
+		e.sendWaiter = nil
+		e.mu.Unlock()
+		if w != nil {
+			w()
+		}
+		if !ok {
+			return nil, nil
+		}
+		return pg, nil
+	default:
+	}
+	select {
+	case <-e.done:
+		// Pipeline failed with nothing buffered; the error is reported by
+		// RunStaged.
+		e.mu.Unlock()
+		return nil, nil
+	default:
+	}
+	e.recvWaiter = wake
+	e.mu.Unlock()
+	return nil, errWouldBlock
+}
+
+func (e *exchange) wakeReceiver() {
+	e.mu.Lock()
+	w := e.recvWaiter
+	e.recvWaiter = nil
+	e.mu.Unlock()
+	if w != nil {
+		w()
+	}
+}
+
+func (e *exchange) wakeSender() {
+	e.mu.Lock()
+	w := e.sendWaiter
+	e.sendWaiter = nil
+	e.mu.Unlock()
+	if w != nil {
+		w()
+	}
+}
+
+func (e *exchange) close() {
+	e.mu.Lock()
+	close(e.ch)
+	w := e.recvWaiter
+	e.recvWaiter = nil
+	e.mu.Unlock()
+	if w != nil {
+		w()
+	}
+}
 
 // Open implements Operator.
 func (e *exchange) Open() error { return nil }
 
-// Next implements Operator: it blocks on the producing stage.
+// Next implements Operator: it blocks on the producing stage. Every
+// successful receive wakes a producer that yielded on a full buffer.
 func (e *exchange) Next() (*Page, error) {
 	select {
 	case pg, ok := <-e.ch:
+		e.wakeSender()
 		if !ok {
 			return nil, nil
 		}
@@ -88,6 +229,7 @@ func (e *exchange) Next() (*Page, error) {
 		// error is reported by RunStaged.
 		select {
 		case pg, ok := <-e.ch:
+			e.wakeSender()
 			if !ok {
 				return nil, nil
 			}
@@ -101,11 +243,155 @@ func (e *exchange) Next() (*Page, error) {
 // Close implements Operator.
 func (e *exchange) Close() error { return nil }
 
+// nbSource adapts a child exchange for a pooled consumer task: reads are
+// non-blocking, and a read that cannot proceed registers the task's waker
+// before reporting errWouldBlock.
+type nbSource struct {
+	ex   *exchange
+	task *opTask
+}
+
+// Open implements Operator.
+func (s *nbSource) Open() error { return nil }
+
+// Next implements Operator.
+func (s *nbSource) Next() (*Page, error) { return s.ex.tryNext(s.task.wake) }
+
+// Close implements Operator.
+func (s *nbSource) Close() error { return nil }
+
+// taskStatus is the outcome of one task activation.
+type taskStatus int
+
+const (
+	taskDone    taskStatus = iota // operator finished (or failed)
+	taskBlocked                   // yielded on an exchange; waker registered
+)
+
+// opTask drives one operator as a resumable continuation. The paper's stage
+// threads never sleep on a blocked packet — they re-enqueue it and serve the
+// next one (§4.1.1); step/park/wake implement that protocol on top of the
+// operators' field-held state.
+type opTask struct {
+	pipe  *pipeline
+	stage string
+	op    Operator
+	out   *exchange
+	sched taskScheduler
+	fn    func() // when non-nil, a plain one-shot task (StageRunner compat)
+
+	opened  bool
+	pending *Page // produced but not yet delivered downstream
+
+	mu          sync.Mutex
+	parked      bool
+	wakePending bool
+}
+
+// step advances the drive loop until the operator finishes or would block on
+// an exchange.
+func (t *opTask) step() taskStatus {
+	if !t.opened {
+		if err := t.op.Open(); err != nil {
+			t.finish(err)
+			return taskDone
+		}
+		t.opened = true
+	}
+	for {
+		if t.pending != nil {
+			switch t.out.trySend(t.pending, t.wake) {
+			case sendOK:
+				t.pending = nil
+			case sendBlocked:
+				return taskBlocked
+			default: // sendFailed
+				t.finish(nil)
+				return taskDone
+			}
+			continue
+		}
+		pg, err := t.op.Next()
+		if err == errWouldBlock {
+			return taskBlocked
+		}
+		if err != nil {
+			t.finish(err)
+			return taskDone
+		}
+		if pg == nil {
+			t.finish(nil)
+			return taskDone
+		}
+		t.pending = pg
+	}
+}
+
+func (t *opTask) finish(err error) {
+	if err != nil {
+		t.pipe.fail(err)
+	}
+	if t.opened {
+		t.op.Close()
+	}
+	t.out.close()
+}
+
+// wake makes a parked task runnable again (re-enqueueing it at its stage),
+// or records the wakeup if the task is mid-activation so it re-steps before
+// parking.
+func (t *opTask) wake() {
+	t.mu.Lock()
+	if t.parked {
+		t.parked = false
+		t.mu.Unlock()
+		t.sched.ready(t)
+		return
+	}
+	t.wakePending = true
+	t.mu.Unlock()
+}
+
+// park records the task as suspended after a blocked step. It reports false
+// when a wakeup raced in, in which case the caller must keep stepping.
+func (t *opTask) park() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wakePending {
+		t.wakePending = false
+		return false
+	}
+	t.parked = true
+	return true
+}
+
+// run steps the task until it completes or genuinely parks. Pooled workers
+// and the post-close fallback both use it.
+func (t *opTask) run() {
+	if t.fn != nil {
+		t.fn()
+		return
+	}
+	for {
+		switch t.step() {
+		case taskDone:
+			return
+		case taskBlocked:
+			if t.park() {
+				return
+			}
+		}
+	}
+}
+
 // launch builds the operator for n with its children replaced by exchanges,
 // then submits its drive loop to the node's stage. Children are launched
 // first: activation proceeds bottom-up with respect to the operator tree,
 // the paper's "page push" model.
 func (p *pipeline) launch(n plan.Node) (*exchange, error) {
+	if p.sched != nil {
+		return p.launchTask(n)
+	}
 	var childSources []Operator
 	for _, c := range n.Children() {
 		src, err := p.launch(c)
@@ -143,6 +429,32 @@ func (p *pipeline) launch(n plan.Node) (*exchange, error) {
 	return out, nil
 }
 
+// launchTask is the pooled variant of launch: each operator becomes a
+// resumable opTask whose child reads and output writes are non-blocking, so
+// a blocked operator yields its stage worker instead of occupying it.
+func (p *pipeline) launchTask(n plan.Node) (*exchange, error) {
+	t := &opTask{pipe: p, stage: plan.StageOf(n), sched: p.sched}
+	var childSources []Operator
+	for _, c := range n.Children() {
+		src, err := p.launchTask(c)
+		if err != nil {
+			return nil, err
+		}
+		childSources = append(childSources, &nbSource{ex: src, task: t})
+	}
+	op, err := BuildNode(n, childSources, p.tables, p.pageRows)
+	if err != nil {
+		return nil, err
+	}
+	t.op = op
+	t.out = newExchange(p.bufferPages, p.done)
+	p.mu.Lock()
+	p.tasks = append(p.tasks, t)
+	p.mu.Unlock()
+	p.sched.schedule(t)
+	return t.out, nil
+}
+
 // RunStaged executes the plan with one task per operator, each owned by its
 // stage, connected by bounded page buffers. It returns the full result set.
 func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferPages int) ([]value.Row, error) {
@@ -152,6 +464,9 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferP
 		pageRows:    pageRows,
 		bufferPages: bufferPages,
 		done:        make(chan struct{}),
+	}
+	if ts, ok := runner.(taskScheduler); ok {
+		p.sched = ts
 	}
 	root, err := p.launch(n)
 	if err != nil {
@@ -169,6 +484,12 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferP
 		}
 		rows = append(rows, pg.Rows...)
 	}
+	// Release the pipeline: an operator that stopped reading early (LIMIT)
+	// leaves upstream producers blocked on their exchanges; closing done
+	// lets them observe termination, run their Close, and free their
+	// goroutine or parked task instead of leaking. fail is a no-op if a
+	// real failure already fired, and the Once orders our read of p.err.
+	p.fail(nil)
 	if p.err != nil {
 		return nil, p.err
 	}

@@ -268,6 +268,9 @@ type StageSnapshot struct {
 	QueueLen    int
 	MaxQueue    int
 	IOBlocked   int64
+	// Workers is the stage's current worker-pool size, filled in by the
+	// owning scheduler (0 when the scheduler does not track it).
+	Workers int
 }
 
 // Utilization reports busy time as a fraction of elapsed.

@@ -287,14 +287,17 @@ func Explain(n Node) string {
 }
 
 // StageOf maps a plan node to the execution-engine stage that owns it in the
-// staged engine (§4.3): fscan, iscan, sort, join, aggr, or exec for the
-// remaining glue operators.
+// staged engine (§4.3): fscan, iscan, filter, sort, join, aggr, or exec for
+// the remaining glue operators. Scan stages carry their table name for
+// per-table affinity; pooled schedulers group them by class (exec.StageClass).
 func StageOf(n Node) string {
 	switch x := n.(type) {
 	case *SeqScan:
 		return "fscan:" + x.Table.Name
 	case *IndexScan:
 		return "iscan:" + x.Table.Name
+	case *Filter:
+		return "filter"
 	case *Sort:
 		return "sort"
 	case *Join:

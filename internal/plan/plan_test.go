@@ -211,4 +211,7 @@ func TestStageOfMapping(t *testing.T) {
 	if StageOf(&Sort{Child: scan}) != "sort" || StageOf(&Distinct{Child: scan}) != "exec" {
 		t.Fatal("stage mapping")
 	}
+	if StageOf(&Filter{Child: scan}) != "filter" {
+		t.Fatalf("filter stage: %s", StageOf(&Filter{Child: scan}))
+	}
 }

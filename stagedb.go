@@ -58,6 +58,17 @@ type Options struct {
 	BufferPages int
 	// PoolFrames sizes the buffer pool in 8 KB pages (0 = 1024).
 	PoolFrames int
+	// ExecWorkers sizes each execution-engine stage pool on the staged
+	// engine (fscan/iscan/filter/sort/join/aggr/exec). 0 selects the
+	// default pooled scheduler (2 workers per stage); a negative value
+	// selects the unpooled goroutine-per-task baseline.
+	ExecWorkers int
+	// ExecQueueDepth bounds each execution-stage task queue (0 = 64);
+	// launching operators into a full queue blocks (back-pressure).
+	ExecQueueDepth int
+	// ExecBatch is the number of same-stage tasks one exec worker drains
+	// per activation (0 = 4), the §4.1.2 cache-locality batching knob.
+	ExecBatch int
 }
 
 // Row is one result row.
@@ -110,6 +121,9 @@ func Open(opts Options) *DB {
 			OptimizeWorkers:   opts.Workers,
 			ExecuteWorkers:    opts.Workers,
 			DisconnectWorkers: opts.Workers,
+			ExecWorkers:       opts.ExecWorkers,
+			ExecQueueDepth:    opts.ExecQueueDepth,
+			ExecBatch:         opts.ExecBatch,
 		})
 	}
 	db.defConn = db.Conn()

@@ -155,3 +155,49 @@ func TestSplitScriptRespectsStrings(t *testing.T) {
 		t.Fatalf("split: %q", parts)
 	}
 }
+
+func TestExecSchedulerOptions(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"pooled", Options{ExecWorkers: 2, ExecQueueDepth: 4, ExecBatch: 2}},
+		{"goroutine-baseline", Options{ExecWorkers: -1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db := Open(tc.opts)
+			defer db.Close()
+			if err := db.ExecScript(`
+				CREATE TABLE t (id INT PRIMARY KEY, grp INT);
+				INSERT INTO t VALUES (1, 1), (2, 1), (3, 2), (4, 2), (5, 3);
+			`); err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Query("SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 3 {
+				t.Fatalf("got %d groups, want 3", len(res.Rows))
+			}
+			snaps := db.Stages()
+			var execStages int
+			for _, s := range snaps {
+				switch s.Name {
+				case "fscan", "aggr", "sort", "exec":
+					execStages++
+				}
+			}
+			if execStages == 0 {
+				t.Fatal("Stages() shows no execution-engine stages")
+			}
+			if tc.opts.ExecWorkers > 0 {
+				for _, s := range snaps {
+					if s.Name == "fscan" && s.Workers != tc.opts.ExecWorkers {
+						t.Fatalf("fscan workers = %d, want %d", s.Workers, tc.opts.ExecWorkers)
+					}
+				}
+			}
+		})
+	}
+}
