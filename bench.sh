@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# bench.sh — run the scan benchmarks and emit BENCH_scan.json, one object
+# per benchmark with ns/op, B/op, allocs/op, and any custom metrics
+# (heap-reads/op, share-fanout). This file is the perf trajectory: commit a
+# fresh datapoint when scan-path performance work lands.
+#
+#   ./bench.sh              # default -benchtime (stable numbers, slower)
+#   BENCHTIME=5x ./bench.sh # quick smoke datapoint
+set -e
+cd "$(dirname "$0")"
+
+out=$(go test . -run '^$' -bench 'SharedScan|ScanStreamLimit' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem)
+
+echo "$out" | awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+	if (!first) printf(",\n"); first = 0
+	printf("  {\"name\": \"%s\", \"iterations\": %s", $1, $2)
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/"/, "", unit)
+		printf(", \"%s\": %s", unit, $i)
+	}
+	printf("}")
+}
+END { print "\n]" }
+' > BENCH_scan.json
+
+echo "wrote BENCH_scan.json:"
+cat BENCH_scan.json

@@ -11,6 +11,7 @@ package stagedb
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"stagedb/internal/experiments"
@@ -237,6 +238,73 @@ func BenchmarkParser(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSharedScan pits N concurrent scan-heavy queries against the
+// three execution flavors: staged with shared circular scans (the default),
+// staged with sharing disabled, and the goroutine-per-task baseline runner.
+// The custom metric heap-reads/op counts simulated-disk page reads per
+// benchmark iteration (8 queries); sharing should cut it by the fan-out.
+func BenchmarkSharedScan(b *testing.B) {
+	const clients = 8
+	for _, m := range []struct {
+		name string
+		opts Options
+	}{
+		{"staged-shared", Options{ExecWorkers: 4, PoolFrames: 8}},
+		{"staged-unshared", Options{ExecWorkers: 4, PoolFrames: 8, DisableSharedScans: true}},
+		{"gorunner-unshared", Options{ExecWorkers: -1, PoolFrames: 8, DisableSharedScans: true}},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			db := Open(m.opts)
+			defer db.Close()
+			loadPadded(b, db, 3000)
+			q := "SELECT grp, COUNT(*) FROM padded GROUP BY grp"
+			readsBefore, _ := db.IOStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						conn := db.Conn()
+						if _, err := conn.Query(q); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			readsAfter, _ := db.IOStats()
+			b.ReportMetric(float64(readsAfter-readsBefore)/float64(b.N), "heap-reads/op")
+			if st := db.ScanShares(); st.Starts > 0 {
+				b.ReportMetric(float64(st.PagesDelivered)/float64(st.PagesDecoded), "share-fanout")
+			}
+		})
+	}
+}
+
+// BenchmarkScanStreamLimit shows scans no longer materialize the table: a
+// LIMIT query over a multi-page table allocates O(limit), not O(table), and
+// reads only a prefix of the heap (heap-reads/op stays tiny).
+func BenchmarkScanStreamLimit(b *testing.B) {
+	db := Open(Options{Mode: Threaded, Workers: 1, PoolFrames: 8})
+	defer db.Close()
+	loadPadded(b, db, 3000)
+	q := "SELECT id FROM padded LIMIT 10"
+	readsBefore, _ := db.IOStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	readsAfter, _ := db.IOStats()
+	b.ReportMetric(float64(readsAfter-readsBefore)/float64(b.N), "heap-reads/op")
 }
 
 // BenchmarkExecScheduler compares the goroutine-per-operator baseline

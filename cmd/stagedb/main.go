@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -79,6 +80,23 @@ func meta(db *stagedb.DB, cmd string) bool {
 			})
 		}
 		fmt.Print(metrics.Table(head, rows))
+		// Stage-specific counters (e.g. fscan's scan-share hit/attach/wrap
+		// counts) print below the common table.
+		for _, s := range snaps {
+			if len(s.Counters) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(s.Counters))
+			for k := range s.Counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%d", k, s.Counters[k])
+			}
+			fmt.Printf("%s: %s\n", s.Name, strings.Join(parts, " "))
+		}
 	case strings.HasPrefix(cmd, "\\explain "):
 		out, err := db.Explain(strings.TrimSuffix(strings.TrimPrefix(cmd, "\\explain "), ";"))
 		if err != nil {

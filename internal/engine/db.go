@@ -64,7 +64,7 @@ func NewDB(cfg Config) *DB {
 		cfg.PoolFrames = 1024
 	}
 	store := storage.NewStore()
-	return &DB{
+	db := &DB{
 		cfg:     cfg,
 		cat:     catalog.New(),
 		store:   store,
@@ -73,14 +73,42 @@ func NewDB(cfg Config) *DB {
 		heaps:   make(map[string]*storage.Heap),
 		indexes: make(map[string]*storage.BTree),
 	}
+	db.installLiveRowCount()
+	return db
+}
+
+// installLiveRowCount gives the planner a cardinality fallback for tables
+// that were never ANALYZEd: the heap's O(1) maintained live-record count
+// (no page walk, no record decode — binds must stay cheap).
+func (db *DB) installLiveRowCount() {
+	if db.cfg.PlanOptions.LiveRowCount != nil {
+		return
+	}
+	db.cfg.PlanOptions.LiveRowCount = func(table string) (int64, bool) {
+		db.mu.RLock()
+		h := db.heaps[table]
+		db.mu.RUnlock()
+		if h == nil {
+			return 0, false
+		}
+		return h.LiveEstimate(), true
+	}
 }
 
 // Catalog exposes the schema for planners and tools.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
+// Store exposes the simulated-disk page store (I/O counters for experiments
+// and benchmarks).
+func (db *DB) Store() *storage.Store { return db.store }
+
 // SetPlanOptions changes the optimizer options (ablation benches force join
-// algorithms or disable rewrites through this).
-func (db *DB) SetPlanOptions(opt plan.Options) { db.cfg.PlanOptions = opt }
+// algorithms or disable rewrites through this). The live row-count fallback
+// is re-installed unless the caller supplied one.
+func (db *DB) SetPlanOptions(opt plan.Options) {
+	db.cfg.PlanOptions = opt
+	db.installLiveRowCount()
+}
 
 // WAL exposes the write-ahead log (crash-recovery tests, checkpointing).
 func (db *DB) WAL() *txn.WAL { return db.tm.Log }

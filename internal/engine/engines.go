@@ -162,6 +162,9 @@ type Staged struct {
 	// nil selects the goroutine-per-task baseline runner.
 	execPool *exec.StagePool
 
+	// shared is the fscan stage's scan-sharing manager; nil when disabled.
+	shared *exec.SharedScans
+
 	execStats map[string]*metrics.StageStats
 	statsMu   sync.Mutex
 }
@@ -187,6 +190,11 @@ type StagedConfig struct {
 	// ExecBatch is the task batch one exec worker drains per activation
 	// (0 = 4).
 	ExecBatch int
+	// DisableSharedScans turns off fscan work sharing (QPipe-style shared
+	// circular table scans). Sharing is on by default on the staged engine:
+	// concurrent sequential scans of one table ride a single in-flight heap
+	// walk instead of each redoing it.
+	DisableSharedScans bool
 }
 
 // NewStaged starts the staged front end.
@@ -198,6 +206,9 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 		return v
 	}
 	s := &Staged{db: db, srv: core.NewServer(), execStats: make(map[string]*metrics.StageStats)}
+	if !cfg.DisableSharedScans {
+		s.shared = exec.NewSharedScans(db.cfg.BufferPages)
+	}
 	if cfg.ExecWorkers >= 0 {
 		s.execPool = exec.NewStagePool(exec.StagePoolConfig{
 			Workers:    cfg.ExecWorkers,
@@ -295,18 +306,43 @@ func (s *Staged) Close() {
 }
 
 // Snapshot returns the per-stage monitors, including the execution-engine
-// stages (§5.2).
+// stages (§5.2). When scan sharing is active, the fscan stage's snapshot
+// carries the share hit/attach/wrap counters.
 func (s *Staged) Snapshot() []metrics.StageSnapshot {
 	out := s.srv.Snapshot()
 	if s.execPool != nil {
-		return append(out, s.execPool.Snapshot()...)
+		out = append(out, s.execPool.Snapshot()...)
+	} else {
+		s.statsMu.Lock()
+		for _, st := range s.execStats {
+			out = append(out, st.Snapshot())
+		}
+		s.statsMu.Unlock()
 	}
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	for _, st := range s.execStats {
-		out = append(out, st.Snapshot())
+	if s.shared != nil {
+		counters := s.shared.Counters()
+		attached := false
+		for i := range out {
+			if out[i].Name == "fscan" {
+				out[i].Counters = counters
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			out = append(out, metrics.StageSnapshot{Name: "fscan", Counters: counters})
+		}
 	}
 	return out
+}
+
+// ScanShares snapshots the fscan scan-sharing counters; zero when sharing
+// is disabled.
+func (s *Staged) ScanShares() exec.SharedScanStats {
+	if s.shared == nil {
+		return exec.SharedScanStats{}
+	}
+	return s.shared.Stats()
 }
 
 // ExecPool exposes the execution-stage scheduler for monitoring and tuning;
@@ -378,7 +414,11 @@ func (s *Staged) execute(pkt *core.Packet) (core.Verdict, error) {
 	qc := pkt.Backpack.(*queryCtx)
 	sess := qc.req.Session
 	sess.SetRunner(func(node plan.Node) ([]value.Row, error) {
-		return exec.RunStaged(node, s.db, s.execRunner(), s.db.cfg.PageRows, s.db.cfg.BufferPages)
+		return exec.RunStaged(node, s.db, s.execRunner(), exec.StagedOptions{
+			PageRows:    s.db.cfg.PageRows,
+			BufferPages: s.db.cfg.BufferPages,
+			Shared:      s.shared,
+		})
 	})
 	if len(qc.req.Script) > 0 {
 		qc.req.run()

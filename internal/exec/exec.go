@@ -137,49 +137,184 @@ func Run(op Operator) ([]value.Row, error) {
 }
 
 // --- scans ---
+//
+// Both scans are true streaming cursors: Open positions a resumable storage
+// cursor, each Next decodes just enough records to fill one exchange page,
+// and Close releases the cursor wherever it stands — so LIMIT queries and
+// abandoned producers stop heap iteration early instead of materializing the
+// table (§4.2's fscan stage as an incremental producer).
 
 type seqScan struct {
 	node     *plan.SeqScan
 	heap     *storage.Heap
 	pageRows int
 
-	rows []value.Row // materialized matching rows
-	pos  int
+	// Shared-scan wiring, injected by the staged driver when scan sharing is
+	// enabled: attach joins the fscan stage's in-flight circular scan on the
+	// pipeline's behalf (returning nil when the query already ended) instead
+	// of the scan walking the heap itself, and the pipeline holds the query
+	// open — its table lock held — until the wheel lets the consumer go.
+	// wake (pooled scheduler only) switches consumer reads to the
+	// non-blocking errWouldBlock protocol.
+	attach func(*storage.Heap, *catalog.Table) *scanConsumer
+	wake   func()
+
+	cur  *storage.Cursor // private streaming mode
+	cons *scanConsumer   // shared mode
+	buf  []value.Row     // filtered rows not yet emitted
+	eos  bool
+
+	// Continuation of a spilled shared scan: the circular remainder this
+	// consumer finishes privately after the producer kicked it off the wheel.
+	contPages []storage.PageID
+	contPos   int
+	contLeft  int
 }
 
 func (s *seqScan) Open() error {
-	s.rows = nil
-	s.pos = 0
-	var scanErr error
-	err := s.heap.Scan(func(rid storage.RID, rec []byte) bool {
-		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
-		if err != nil {
-			scanErr = err
-			return false
+	s.buf, s.eos = nil, false
+	if s.attach != nil {
+		s.cons = s.attach(s.heap, s.node.Table)
+		if s.cons == nil {
+			// The pipeline already ended (a task still queued when a LIMIT
+			// was satisfied, or a failed launch): emit nothing rather than
+			// touch heap pages after the query's locks are gone.
+			s.eos = true
 		}
-		if s.node.Filter != nil {
-			ok, err := plan.EvalPredicate(s.node.Filter, row)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-		}
-		s.rows = append(s.rows, row)
-		return true
-	})
-	if err != nil {
-		return err
+		return nil
 	}
-	return scanErr
+	s.cur = s.heap.Cursor()
+	return nil
 }
 
-func (s *seqScan) Next() (*Page, error) { return slicePage(&s.pos, s.rows, s.pageRows), nil }
+func (s *seqScan) Next() (*Page, error) {
+	if s.attach != nil {
+		return s.nextShared()
+	}
+	for !s.eos && len(s.buf) < s.pageRows {
+		_, rec, ok, err := s.cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			s.eos = true
+			break
+		}
+		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
+		if err != nil {
+			return nil, err
+		}
+		keep, err := s.accept(row)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			s.buf = append(s.buf, row)
+		}
+	}
+	return cutPage(&s.buf, s.pageRows), nil
+}
+
+// nextShared drains the consumer's fan-out buffer, applying the per-consumer
+// filter locally (the shared producer delivers whole decoded heap pages).
+// When the producer spilled this consumer, the shared stream ends early and
+// the scan finishes the circular remainder privately.
+func (s *seqScan) nextShared() (*Page, error) {
+	for !s.eos && len(s.buf) < s.pageRows {
+		if s.contLeft > 0 {
+			if err := s.nextContinuation(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var pg *Page
+		var err error
+		if s.wake != nil {
+			pg, err = s.cons.ex.tryNext(s.wake)
+		} else {
+			pg, err = s.cons.ex.Next()
+		}
+		if err != nil {
+			if err == errWouldBlock && len(s.buf) > 0 {
+				break
+			}
+			return nil, err
+		}
+		if pg == nil {
+			if err := s.cons.takeErr(); err != nil {
+				return nil, err
+			}
+			s.contPages, s.contPos, s.contLeft = s.cons.continuation()
+			if s.contLeft == 0 {
+				s.eos = true
+			}
+			continue
+		}
+		for _, row := range pg.Rows {
+			keep, err := s.accept(row)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				s.buf = append(s.buf, row)
+			}
+		}
+	}
+	return cutPage(&s.buf, s.pageRows), nil
+}
+
+// nextContinuation decodes one heap page of a spilled shared scan's private
+// remainder into the buffer.
+func (s *seqScan) nextContinuation() error {
+	id := s.contPages[s.contPos]
+	s.contPos++
+	if s.contPos >= len(s.contPages) {
+		s.contPos = 0
+	}
+	s.contLeft--
+	if s.contLeft == 0 {
+		s.eos = true
+	}
+	var accErr error
+	err := s.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
+		if err != nil {
+			accErr = err
+			return false
+		}
+		keep, err := s.accept(row)
+		if err != nil {
+			accErr = err
+			return false
+		}
+		if keep {
+			s.buf = append(s.buf, row)
+		}
+		return true
+	})
+	if err == nil {
+		err = accErr
+	}
+	return err
+}
+
+func (s *seqScan) accept(row value.Row) (bool, error) {
+	if s.node.Filter == nil {
+		return true, nil
+	}
+	return plan.EvalPredicate(s.node.Filter, row)
+}
 
 func (s *seqScan) Close() error {
-	s.rows = nil
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	if s.cons != nil {
+		s.cons.close()
+		s.cons = nil
+	}
+	s.buf = nil
 	return nil
 }
 
@@ -189,49 +324,54 @@ type indexScan struct {
 	tree     *storage.BTree
 	pageRows int
 
-	rows []value.Row
-	pos  int
+	cur *storage.TreeCursor
+	buf []value.Row
+	eos bool
 }
 
 func (s *indexScan) Open() error {
-	s.rows = nil
-	s.pos = 0
-	var visitErr error
-	s.tree.Range(s.node.Lo, s.node.Hi, func(_ value.Value, rid storage.RID) bool {
+	s.buf, s.eos = nil, false
+	s.cur = s.tree.Cursor(s.node.Lo, s.node.Hi)
+	return nil
+}
+
+func (s *indexScan) Next() (*Page, error) {
+	for !s.eos && len(s.buf) < s.pageRows {
+		_, rid, ok := s.cur.Next()
+		if !ok {
+			s.eos = true
+			break
+		}
 		rec, err := s.heap.Get(rid)
 		if err != nil {
-			visitErr = err
-			return false
+			return nil, err
 		}
 		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
 		if err != nil {
-			visitErr = err
-			return false
+			return nil, err
 		}
 		if s.node.Filter != nil {
 			ok, err := plan.EvalPredicate(s.node.Filter, row)
 			if err != nil {
-				visitErr = err
-				return false
+				return nil, err
 			}
 			if !ok {
-				return true
+				continue
 			}
 		}
-		s.rows = append(s.rows, row)
-		return true
-	})
-	return visitErr
+		s.buf = append(s.buf, row)
+	}
+	return cutPage(&s.buf, s.pageRows), nil
 }
 
-func (s *indexScan) Next() (*Page, error) { return slicePage(&s.pos, s.rows, s.pageRows), nil }
-
 func (s *indexScan) Close() error {
-	s.rows = nil
+	s.cur = nil
+	s.buf = nil
 	return nil
 }
 
-// slicePage cuts the next batch from rows.
+// slicePage cuts the next batch from a fully materialized result (used by
+// pipeline-breaking operators: sort, join, aggregate).
 func slicePage(pos *int, rows []value.Row, pageRows int) *Page {
 	if *pos >= len(rows) {
 		return nil

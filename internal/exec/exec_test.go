@@ -400,7 +400,7 @@ func TestStagedDriverMatchesPullDriver(t *testing.T) {
 	for _, q := range queries {
 		node := db.plan(t, q, plan.Options{})
 		pull := db.query(t, q, plan.Options{})
-		staged, err := RunStaged(node, db, GoRunner{}, 2, 2)
+		staged, err := RunStaged(node, db, GoRunner{}, StagedOptions{PageRows: 2, BufferPages: 2})
 		if err != nil {
 			t.Fatalf("staged %q: %v", q, err)
 		}
@@ -413,7 +413,7 @@ func TestStagedBackPressureSmallBuffers(t *testing.T) {
 	// exchanges; results must still be complete.
 	db := seedDB(t)
 	node := db.plan(t, "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept = d.id", plan.Options{})
-	staged, err := RunStaged(node, db, GoRunner{}, 1, 1)
+	staged, err := RunStaged(node, db, GoRunner{}, StagedOptions{PageRows: 1, BufferPages: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +425,7 @@ func TestStagedBackPressureSmallBuffers(t *testing.T) {
 func TestStagedErrorPropagates(t *testing.T) {
 	db := seedDB(t)
 	node := db.plan(t, "SELECT salary / (id - 1) FROM emp", plan.Options{})
-	if _, err := RunStaged(node, db, GoRunner{}, 2, 2); err == nil {
+	if _, err := RunStaged(node, db, GoRunner{}, StagedOptions{PageRows: 2, BufferPages: 2}); err == nil {
 		t.Fatal("division by zero must propagate through the pipeline")
 	}
 }

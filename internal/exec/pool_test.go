@@ -38,7 +38,7 @@ func bulkDB(t *testing.T, rows int) *testDB {
 func runPooled(t *testing.T, db *testDB, pool *StagePool, q string, pageRows, bufferPages int) []value.Row {
 	t.Helper()
 	node := db.plan(t, q, plan.Options{})
-	rows, err := RunStaged(node, db, pool, pageRows, bufferPages)
+	rows, err := RunStaged(node, db, pool, StagedOptions{PageRows: pageRows, BufferPages: bufferPages})
 	if err != nil {
 		t.Fatalf("pooled %q: %v", q, err)
 	}
@@ -72,7 +72,7 @@ func TestStagePoolMatchesGoRunner(t *testing.T) {
 			defer pool.Close()
 			for _, q := range queries {
 				node := db.plan(t, q, plan.Options{})
-				want, err := RunStaged(node, db, GoRunner{}, cfg.pageRows, cfg.bufferPages)
+				want, err := RunStaged(node, db, GoRunner{}, StagedOptions{PageRows: cfg.pageRows, BufferPages: cfg.bufferPages})
 				if err != nil {
 					t.Fatalf("baseline %q: %v", q, err)
 				}
@@ -123,7 +123,7 @@ func TestStagePoolBackpressure(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				rows, err := RunStaged(node, db, pool, 4, 1)
+				rows, err := RunStaged(node, db, pool, StagedOptions{PageRows: 4, BufferPages: 1})
 				if err != nil {
 					errs <- err
 					return
@@ -175,7 +175,7 @@ func TestStagePoolCloseRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				rows, err := RunStaged(node, db, pool, 2, 1)
+				rows, err := RunStaged(node, db, pool, StagedOptions{PageRows: 2, BufferPages: 1})
 				if err != nil {
 					errs <- err
 					return
@@ -249,7 +249,7 @@ func TestStagePoolFailurePropagation(t *testing.T) {
 	broken.cat = db.cat
 	done := make(chan error, 1)
 	go func() {
-		_, err := RunStaged(node, broken, pool, 1, 1)
+		_, err := RunStaged(node, broken, pool, StagedOptions{PageRows: 1, BufferPages: 1})
 		done <- err
 	}()
 	select {
@@ -274,11 +274,11 @@ func TestRunStagedReleasesAbandonedProducers(t *testing.T) {
 
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
-		rows, err := RunStaged(node, db, GoRunner{}, 1, 1)
+		rows, err := RunStaged(node, db, GoRunner{}, StagedOptions{PageRows: 1, BufferPages: 1})
 		if err != nil || len(rows) != 1 {
 			t.Fatalf("baseline limit: %v %v", rows, err)
 		}
-		rows, err = RunStaged(node, db, pool, 1, 1)
+		rows, err = RunStaged(node, db, pool, StagedOptions{PageRows: 1, BufferPages: 1})
 		if err != nil || len(rows) != 1 {
 			t.Fatalf("pooled limit: %v %v", rows, err)
 		}

@@ -1,0 +1,437 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"stagedb/internal/catalog"
+	"stagedb/internal/metrics"
+	"stagedb/internal/storage"
+	"stagedb/internal/value"
+)
+
+// defaultStallTimeout bounds how long the shared wheel waits on one
+// consumer's full buffer before spilling that consumer to a private
+// continuation. It must be long enough that an actively draining consumer is
+// never kicked by scheduler jitter, and short enough that a genuinely
+// stalled consumer (e.g. a hash join's probe input waiting for the build
+// side) releases the wheel promptly — a stalled consumer would otherwise
+// deadlock consumers of the same wheel that depend on each other's progress.
+const defaultStallTimeout = 5 * time.Millisecond
+
+// SharedScans is the fscan stage's work-sharing manager (QPipe-style shared
+// table scans applied to the paper's staged design): because every table
+// scan in the system is routed to the fscan stage, the stage sees all
+// concurrent scans of one table and can serve them from a single in-flight
+// heap walk. Each heap page is pinned once and each record decoded once; the
+// decoded page fans out to every attached consumer, which applies its own
+// filter locally. A query arriving while a scan is mid-flight attaches at
+// the scan's current position and the scan wraps circularly to cover the
+// late-comer's missed prefix.
+//
+// One SharedScans instance is owned by the staged engine and shared by all
+// pipelines; it is safe for concurrent use.
+type SharedScans struct {
+	bufferPages int
+	stall       time.Duration
+
+	mu    sync.Mutex
+	scans map[*storage.Heap]*sharedScan
+
+	// Share counters (§5.2 monitoring surface, exported via \stages).
+	Starts         metrics.Counter // shared scans started (first consumer = share miss)
+	Attaches       metrics.Counter // consumers that joined an in-flight scan (share hits)
+	Wraps          metrics.Counter // attaches mid-scan that wrap circularly
+	Spills         metrics.Counter // stalled consumers kicked to a private continuation
+	PagesDecoded   metrics.Counter // heap pages pinned+decoded by shared producers
+	PagesDelivered metrics.Counter // decoded pages fanned out to consumers
+}
+
+// NewSharedScans returns a manager whose consumer fan-out buffers hold
+// bufferPages decoded pages each (0 = the exchange default).
+func NewSharedScans(bufferPages int) *SharedScans {
+	return &SharedScans{
+		bufferPages: bufferPages,
+		stall:       defaultStallTimeout,
+		scans:       make(map[*storage.Heap]*sharedScan),
+	}
+}
+
+// SharedScanStats is a point-in-time copy of the share counters.
+type SharedScanStats struct {
+	Starts         int64
+	Attaches       int64
+	Wraps          int64
+	Spills         int64
+	PagesDecoded   int64
+	PagesDelivered int64
+}
+
+// Stats snapshots the share counters.
+func (m *SharedScans) Stats() SharedScanStats {
+	return SharedScanStats{
+		Starts:         m.Starts.Value(),
+		Attaches:       m.Attaches.Value(),
+		Wraps:          m.Wraps.Value(),
+		Spills:         m.Spills.Value(),
+		PagesDecoded:   m.PagesDecoded.Value(),
+		PagesDelivered: m.PagesDelivered.Value(),
+	}
+}
+
+// Counters renders the share counters as a generic metrics map for stage
+// snapshots (\stages).
+func (m *SharedScans) Counters() map[string]int64 {
+	st := m.Stats()
+	return map[string]int64{
+		"share.starts":          st.Starts,
+		"share.attach-hits":     st.Attaches,
+		"share.wraps":           st.Wraps,
+		"share.spills":          st.Spills,
+		"share.pages-decoded":   st.PagesDecoded,
+		"share.pages-delivered": st.PagesDelivered,
+	}
+}
+
+// sharedScan is one in-flight circular scan of a heap. A dedicated producer
+// goroutine walks the page list round-robin, decoding each page once and
+// pushing the decoded page to every attached consumer. The page list is
+// snapshotted at scan start; table locks guarantee the heap cannot change
+// while any consumer (whose query holds a shared lock) is attached, and
+// attach rejects scans whose snapshot went stale in between.
+type sharedScan struct {
+	mgr   *SharedScans
+	heap  *storage.Heap
+	tbl   *catalog.Table
+	pages []storage.PageID
+
+	mu   sync.Mutex
+	cons []*scanConsumer
+	pos  int  // next page index the producer will read
+	done bool // producer exited or failed; no new attaches
+}
+
+// scanConsumer is one query's tap on a shared scan: a bounded exchange of
+// decoded pages plus detach bookkeeping. The producer is the sole closer of
+// ex; close (the consumer side) only signals abandonment.
+type scanConsumer struct {
+	scan *sharedScan
+	ex   *exchange
+
+	// remaining counts pages still owed; guarded by scan.mu (producer-side).
+	remaining int
+
+	// detached closes when the producer has let go of this consumer (served
+	// in full, spilled, abandoned, or failed). RunStaged waits on it before
+	// returning, so the query's table lock outlives every page read the
+	// wheel performs on the query's behalf — the lock-coverage invariant
+	// shared scans rely on.
+	detached chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+	quit   chan struct{}
+
+	// Private continuation, set when the producer spills this consumer: the
+	// wheel-order remainder of the scan the consumer finishes on its own.
+	// Guarded by mu; read by the consumer only after ex reports end of
+	// stream (the producer sets it before closing ex).
+	contPages []storage.PageID
+	contPos   int
+	contLeft  int
+}
+
+// detachAck marks the producer done with this consumer. Idempotent.
+func (c *scanConsumer) detachAck() {
+	c.mu.Lock()
+	select {
+	case <-c.detached:
+	default:
+		close(c.detached)
+	}
+	c.mu.Unlock()
+}
+
+// awaitDetach blocks until the producer has released this consumer. The
+// wait is bounded: a closed pipeline fails the very next push (pushGone),
+// and pushes to other consumers are bounded by the stall timeout.
+func (c *scanConsumer) awaitDetach() { <-c.detached }
+
+// continuation returns the spilled remainder, if any.
+func (c *scanConsumer) continuation() ([]storage.PageID, int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.contPages, c.contPos, c.contLeft
+}
+
+// attach joins (or starts) the shared scan over h. done is the attaching
+// pipeline's failure/completion channel: when it closes, deliveries to this
+// consumer abort and the producer detaches it.
+func (m *SharedScans) attach(h *storage.Heap, tbl *catalog.Table, done <-chan struct{}) *scanConsumer {
+	c := &scanConsumer{quit: make(chan struct{}), detached: make(chan struct{})}
+	m.mu.Lock()
+	s := m.scans[h]
+	if s != nil {
+		s.mu.Lock()
+		if s.done || h.Pages() != len(s.pages) {
+			// Scan draining, failed, or its page snapshot went stale (the
+			// heap grew between queries): it keeps serving its existing
+			// consumers, but new arrivals get a fresh scan.
+			s.mu.Unlock()
+			s = nil
+		}
+	}
+	if s != nil {
+		// Share hit: join the in-flight scan at its current position.
+		c.scan = s
+		c.ex = newExchange(m.bufferPages, done)
+		c.remaining = len(s.pages)
+		midway := s.pos != 0
+		s.cons = append(s.cons, c)
+		s.mu.Unlock()
+		m.mu.Unlock()
+		m.Attaches.Inc()
+		if midway {
+			m.Wraps.Inc()
+		}
+		return c
+	}
+	pages := h.PageIDs()
+	if len(pages) == 0 {
+		m.mu.Unlock()
+		c.ex = newExchange(m.bufferPages, done)
+		c.ex.close()
+		c.detachAck()
+		return c
+	}
+	ns := &sharedScan{mgr: m, heap: h, tbl: tbl, pages: pages}
+	c.scan = ns
+	c.ex = newExchange(m.bufferPages, done)
+	c.remaining = len(pages)
+	ns.cons = []*scanConsumer{c}
+	m.scans[h] = ns
+	m.mu.Unlock()
+	m.Starts.Inc()
+	go ns.run()
+	return c
+}
+
+// run is the producer loop: claim the next page position (with the consumer
+// set it will serve), decode the page once, fan it out, and retire consumers
+// that completed their full circle or went away.
+func (s *sharedScan) run() {
+	for {
+		s.mu.Lock()
+		if len(s.cons) == 0 {
+			s.mu.Unlock()
+			if s.tryExit() {
+				return
+			}
+			continue
+		}
+		cons := append([]*scanConsumer(nil), s.cons...)
+		pos := s.pos
+		s.pos++
+		if s.pos >= len(s.pages) {
+			s.pos = 0
+		}
+		s.mu.Unlock()
+
+		rows, err := s.decode(s.pages[pos])
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.mgr.PagesDecoded.Inc()
+		pg := &Page{Rows: rows}
+		for _, c := range cons {
+			pushed := len(rows) > 0
+			var outcome int
+			if pushed {
+				outcome = c.push(pg, s.mgr.stall)
+			} else {
+				// Nothing to deliver for an empty page, but still notice a
+				// gone consumer so the wheel never works for a dead query.
+				outcome = c.liveness()
+			}
+			finished := false
+			s.mu.Lock()
+			switch outcome {
+			case pushOK:
+				c.remaining--
+				finished = c.remaining == 0
+			case pushStalled:
+				// Spill: hand the consumer the wheel-order remainder
+				// (starting at this very page) to finish privately, so a
+				// stalled consumer never deadlocks the wheel. Deliveries to
+				// an attached consumer are gap-free, so "remaining pages
+				// from pos" is exactly what it has not seen.
+				c.mu.Lock()
+				c.contPages, c.contPos, c.contLeft = s.pages, pos, c.remaining
+				c.mu.Unlock()
+			}
+			if outcome != pushOK || finished {
+				s.detachLocked(c)
+			}
+			s.mu.Unlock()
+			if outcome == pushOK && pushed {
+				s.mgr.PagesDelivered.Inc()
+			}
+			if outcome == pushStalled {
+				s.mgr.Spills.Inc()
+			}
+			if outcome != pushOK || finished {
+				// End of this consumer's shared stream; the producer is the
+				// sole closer of the consumer exchange.
+				c.ex.close()
+				c.detachAck()
+			}
+		}
+	}
+}
+
+// decode pins one heap page and decodes every live record on it — once, for
+// all attached consumers.
+func (s *sharedScan) decode(id storage.PageID) ([]value.Row, error) {
+	var rows []value.Row
+	var derr error
+	err := s.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
+		row, err := storage.DecodeRow(s.tbl.Schema, rec)
+		if err != nil {
+			derr = err
+			return false
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	return rows, err
+}
+
+// tryExit retires the producer if no consumer raced in; it reports whether
+// the scan is gone. Lock order is manager then scan, matching attach.
+func (s *sharedScan) tryExit() bool {
+	s.mgr.mu.Lock()
+	s.mu.Lock()
+	if len(s.cons) > 0 {
+		s.mu.Unlock()
+		s.mgr.mu.Unlock()
+		return false
+	}
+	s.done = true
+	if s.mgr.scans[s.heap] == s {
+		delete(s.mgr.scans, s.heap)
+	}
+	s.mu.Unlock()
+	s.mgr.mu.Unlock()
+	return true
+}
+
+// fail aborts the scan, propagating err to every attached consumer.
+func (s *sharedScan) fail(err error) {
+	s.mgr.mu.Lock()
+	s.mu.Lock()
+	s.done = true
+	if s.mgr.scans[s.heap] == s {
+		delete(s.mgr.scans, s.heap)
+	}
+	cons := s.cons
+	s.cons = nil
+	s.mu.Unlock()
+	s.mgr.mu.Unlock()
+	for _, c := range cons {
+		c.setErr(err)
+		c.ex.close()
+		c.detachAck()
+	}
+}
+
+// detachLocked removes c from the consumer set. Callers hold s.mu.
+func (s *sharedScan) detachLocked(c *scanConsumer) {
+	for i, x := range s.cons {
+		if x == c {
+			s.cons = append(s.cons[:i], s.cons[i+1:]...)
+			return
+		}
+	}
+}
+
+// push outcomes.
+const (
+	pushOK      = iota // page delivered
+	pushGone           // consumer abandoned (Close) or its pipeline ended
+	pushStalled        // buffer stayed full past the stall timeout
+)
+
+// push delivers one decoded page, blocking on the consumer's bounded buffer
+// for at most stall. pushGone means the consumer abandoned the scan (Close)
+// or its pipeline completed/failed; pushStalled means it is not draining —
+// the producer spills it rather than let one stalled consumer wedge every
+// query on the wheel.
+func (c *scanConsumer) push(pg *Page, stall time.Duration) int {
+	// An abandoned or completed consumer must not keep absorbing pages into
+	// buffer slots nobody will read.
+	if c.liveness() == pushGone {
+		return pushGone
+	}
+	select {
+	case c.ex.ch <- pg:
+		c.ex.wakeReceiver()
+		return pushOK
+	default:
+	}
+	timer := time.NewTimer(stall)
+	defer timer.Stop()
+	select {
+	case c.ex.ch <- pg:
+		c.ex.wakeReceiver()
+		return pushOK
+	case <-c.ex.done:
+		return pushGone
+	case <-c.quit:
+		return pushGone
+	case <-timer.C:
+		return pushStalled
+	}
+}
+
+// liveness reports pushOK while the consumer still wants pages, pushGone
+// once it abandoned or its pipeline ended.
+func (c *scanConsumer) liveness() int {
+	select {
+	case <-c.ex.done:
+		return pushGone
+	case <-c.quit:
+		return pushGone
+	default:
+		return pushOK
+	}
+}
+
+// close signals abandonment (operator Close, early LIMIT). Idempotent.
+func (c *scanConsumer) close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.quit)
+	}
+	c.mu.Unlock()
+}
+
+func (c *scanConsumer) setErr(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// takeErr returns the error the producer recorded before closing the stream.
+func (c *scanConsumer) takeErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

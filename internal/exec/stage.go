@@ -4,7 +4,9 @@ import (
 	"errors"
 	"sync"
 
+	"stagedb/internal/catalog"
 	"stagedb/internal/plan"
+	"stagedb/internal/storage"
 	"stagedb/internal/value"
 )
 
@@ -52,13 +54,46 @@ type pipeline struct {
 	sched       taskScheduler // non-nil when runner supports resumable tasks
 	pageRows    int
 	bufferPages int
+	shared      *SharedScans // non-nil: fscan operators attach to shared scans
 
 	done     chan struct{} // closed on failure or cancellation
 	failOnce sync.Once
 	err      error
 
-	mu    sync.Mutex
-	tasks []*opTask // resumable tasks, woken on failure
+	mu       sync.Mutex
+	tasks    []*opTask       // resumable tasks, woken on failure
+	scanCons []*scanConsumer // shared-scan consumers this pipeline attached
+	noAttach bool            // RunStaged is returning; no new attachments
+}
+
+// attachShared joins the shared scan over h on this pipeline's behalf, or
+// returns nil once RunStaged has begun returning — a scan task that was
+// still queued when the query ended must not attach afterwards, because the
+// detach wait below has already snapshotted the consumer set and the
+// query's table lock is about to be released.
+func (p *pipeline) attachShared(h *storage.Heap, tbl *catalog.Table) *scanConsumer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.noAttach {
+		return nil
+	}
+	c := p.shared.attach(h, tbl, p.done)
+	p.scanCons = append(p.scanCons, c)
+	return c
+}
+
+// releaseScans forbids further shared attachments and waits until the
+// wheel has let go of every consumer this pipeline attached. The wait is
+// bounded — done is closed, so the wheel's next delivery attempt for each
+// consumer fails immediately.
+func (p *pipeline) releaseScans() {
+	p.mu.Lock()
+	p.noAttach = true
+	cons := append([]*scanConsumer(nil), p.scanCons...)
+	p.mu.Unlock()
+	for _, c := range cons {
+		c.awaitDetach()
+	}
 }
 
 func (p *pipeline) fail(err error) {
@@ -404,6 +439,7 @@ func (p *pipeline) launch(n plan.Node) (*exchange, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.prepareScan(op, nil)
 	out := newExchange(p.bufferPages, p.done)
 	p.runner.Submit(plan.StageOf(n), func() {
 		defer out.close()
@@ -446,6 +482,7 @@ func (p *pipeline) launchTask(n plan.Node) (*exchange, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.prepareScan(op, t.wake)
 	t.op = op
 	t.out = newExchange(p.bufferPages, p.done)
 	p.mu.Lock()
@@ -455,14 +492,37 @@ func (p *pipeline) launchTask(n plan.Node) (*exchange, error) {
 	return t.out, nil
 }
 
+// prepareScan injects shared-scan wiring into a freshly built leaf scan:
+// the manager, the pipeline's completion channel, and (pooled scheduler
+// only) the owning task's waker, which switches the consumer's fan-out
+// reads to the non-blocking errWouldBlock protocol.
+func (p *pipeline) prepareScan(op Operator, wake func()) {
+	if sc, ok := op.(*seqScan); ok && p.shared != nil {
+		sc.wake = wake
+		sc.attach = p.attachShared
+	}
+}
+
+// StagedOptions tunes one staged execution.
+type StagedOptions struct {
+	// PageRows is the rows-per-exchange-page unit (0 = DefaultPageRows).
+	PageRows int
+	// BufferPages bounds each inter-operator page buffer (0 = 4).
+	BufferPages int
+	// Shared, when non-nil, lets fscan operators join in-flight shared
+	// table scans owned by the manager instead of walking the heap alone.
+	Shared *SharedScans
+}
+
 // RunStaged executes the plan with one task per operator, each owned by its
 // stage, connected by bounded page buffers. It returns the full result set.
-func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferPages int) ([]value.Row, error) {
+func RunStaged(n plan.Node, tables Tables, runner StageRunner, opts StagedOptions) ([]value.Row, error) {
 	p := &pipeline{
 		tables:      tables,
 		runner:      runner,
-		pageRows:    pageRows,
-		bufferPages: bufferPages,
+		pageRows:    opts.PageRows,
+		bufferPages: opts.BufferPages,
+		shared:      opts.Shared,
 		done:        make(chan struct{}),
 	}
 	if ts, ok := runner.(taskScheduler); ok {
@@ -471,6 +531,10 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferP
 	root, err := p.launch(n)
 	if err != nil {
 		p.fail(err)
+		// Scan tasks launched before the error may have attached (or may
+		// still attach) shared consumers; wait for the wheel to drop them
+		// before the caller releases the query's locks.
+		p.releaseScans()
 		return nil, err
 	}
 	var rows []value.Row
@@ -490,6 +554,11 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, pageRows, bufferP
 	// goroutine or parked task instead of leaking. fail is a no-op if a
 	// real failure already fired, and the Once orders our read of p.err.
 	p.fail(nil)
+	// Wait until the shared-scan wheel has let go of every consumer this
+	// query attached: the caller releases the query's table locks after we
+	// return, and the wheel must not read heap pages on a lockless query's
+	// behalf.
+	p.releaseScans()
 	if p.err != nil {
 		return nil, p.err
 	}

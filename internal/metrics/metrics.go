@@ -271,6 +271,10 @@ type StageSnapshot struct {
 	// Workers is the stage's current worker-pool size, filled in by the
 	// owning scheduler (0 when the scheduler does not track it).
 	Workers int
+	// Counters carries stage-specific named counters beyond the common set
+	// (e.g. the fscan stage's scan-share hit/attach/wrap counts); nil for
+	// stages without extras.
+	Counters map[string]int64
 }
 
 // Utilization reports busy time as a fraction of elapsed.

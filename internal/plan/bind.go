@@ -19,6 +19,11 @@ type Options struct {
 	DisableJoinReorder bool
 	// ForceJoin, when non-nil, overrides the join algorithm choice.
 	ForceJoin *JoinAlgo
+	// LiveRowCount, when set, supplies a live cardinality for tables whose
+	// collected stats are missing (ANALYZE never ran). The engine wires it
+	// to the heap's slot-count fast path, which walks page slot arrays
+	// without touching record payloads.
+	LiveRowCount func(table string) (int64, bool)
 }
 
 // Catalog is the subset of catalog lookups the binder needs.
@@ -77,6 +82,11 @@ func (b *selBinder) bind(sel *sql.Select) (Node, error) {
 		}
 		seen[name] = true
 		est := float64(t.Stats.RowCount)
+		if est <= 0 && b.opt.LiveRowCount != nil {
+			if n, ok := b.opt.LiveRowCount(ref.Table); ok && n > 0 {
+				est = float64(n)
+			}
+		}
 		if est <= 0 {
 			est = 1000
 		}

@@ -131,28 +131,59 @@ func (t *BTree) Search(key value.Value) []RID {
 // Range visits (key, rid) pairs with lo <= key <= hi in key order. A NULL lo
 // means unbounded below; a NULL hi unbounded above. Returning false stops.
 func (t *BTree) Range(lo, hi value.Value, visit func(key value.Value, rid RID) bool) {
-	var lf *leaf
-	var idx int
-	if lo.IsNull() {
-		lf = t.root.firstLeaf()
-	} else {
-		lf = t.root.seekLeaf(lo)
-		idx = lowerBound(lf.keys, lo)
-	}
-	for lf != nil {
-		for ; idx < len(lf.keys); idx++ {
-			if !hi.IsNull() && mustCompare(lf.keys[idx], hi) > 0 {
-				return
-			}
-			for _, rid := range lf.vals[idx] {
-				if !visit(lf.keys[idx], rid) {
-					return
-				}
-			}
+	c := t.Cursor(lo, hi)
+	for {
+		key, rid, ok := c.Next()
+		if !ok || !visit(key, rid) {
+			return
 		}
-		lf = lf.next
-		idx = 0
 	}
+}
+
+// TreeCursor is a resumable Range: it yields the (key, rid) pairs of
+// [lo, hi] in key order, one per Next, and can pause indefinitely between
+// calls. The tree must not be mutated while a cursor is open — the engine's
+// table locks guarantee that for scans, as with Range's callback walk.
+type TreeCursor struct {
+	lf   *leaf
+	idx  int
+	post int // position inside the current key's postings list
+	hi   value.Value
+}
+
+// Cursor opens a resumable range cursor over [lo, hi] (NULL bound = open).
+func (t *BTree) Cursor(lo, hi value.Value) *TreeCursor {
+	c := &TreeCursor{hi: hi}
+	if lo.IsNull() {
+		c.lf = t.root.firstLeaf()
+	} else {
+		c.lf = t.root.seekLeaf(lo)
+		c.idx = lowerBound(c.lf.keys, lo)
+	}
+	return c
+}
+
+// Next returns the next (key, rid) pair, or ok=false past the upper bound or
+// the last leaf.
+func (c *TreeCursor) Next() (value.Value, RID, bool) {
+	for c.lf != nil {
+		if c.idx >= len(c.lf.keys) {
+			c.lf, c.idx, c.post = c.lf.next, 0, 0
+			continue
+		}
+		if !c.hi.IsNull() && mustCompare(c.lf.keys[c.idx], c.hi) > 0 {
+			c.lf = nil
+			break
+		}
+		if c.post >= len(c.lf.vals[c.idx]) {
+			c.idx, c.post = c.idx+1, 0
+			continue
+		}
+		rid := c.lf.vals[c.idx][c.post]
+		c.post++
+		return c.lf.keys[c.idx], rid, true
+	}
+	return value.Value{}, RID{}, false
 }
 
 // --- leaf ---

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"stagedb/internal/value"
+)
+
+// cursorHeap builds a heap with n fixed-size records spanning several pages.
+func cursorHeap(t *testing.T, n int) (*Heap, *Store) {
+	t.Helper()
+	store := NewStore()
+	pool := NewPool(store, 8)
+	h := NewHeap(pool)
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("rec-%04d-%s", i, string(make([]byte, 100))))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h, store
+}
+
+func TestHeapCursorMatchesScan(t *testing.T) {
+	h, _ := cursorHeap(t, 500)
+	var want []string
+	if err := h.Scan(func(_ RID, rec []byte) bool {
+		want = append(want, string(rec))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := h.Cursor()
+	defer c.Close()
+	var got []string
+	for {
+		_, rec, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, string(rec))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d records, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if c.PagesRead() != h.Pages() {
+		t.Fatalf("full cursor read %d pages, heap has %d", c.PagesRead(), h.Pages())
+	}
+}
+
+// TestHeapCursorEarlyClose checks that a cursor abandoned after a prefix
+// reads only a prefix of the heap's pages and releases its pin (the pool can
+// still evict everything afterwards).
+func TestHeapCursorEarlyClose(t *testing.T) {
+	h, _ := cursorHeap(t, 500)
+	c := h.Cursor()
+	for i := 0; i < 10; i++ {
+		if _, _, ok, err := c.Next(); err != nil || !ok {
+			t.Fatalf("next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if c.PagesRead() >= h.Pages() {
+		t.Fatalf("prefix read touched %d of %d pages", c.PagesRead(), h.Pages())
+	}
+	c.Close()
+	c.Close() // idempotent
+	if _, _, ok, _ := c.Next(); ok {
+		t.Fatal("closed cursor still yields records")
+	}
+	// All pins released: a full scan over a tiny pool must not hit
+	// "buffer pool full of pinned pages".
+	if err := h.Scan(func(RID, []byte) bool { return true }); err != nil {
+		t.Fatalf("scan after cursor close: %v", err)
+	}
+}
+
+func TestHeapCountFastPath(t *testing.T) {
+	h, _ := cursorHeap(t, 400)
+	// Tombstone a spread of records.
+	var rids []RID
+	h.Scan(func(rid RID, _ []byte) bool {
+		rids = append(rids, rid)
+		return true
+	})
+	for i := 0; i < len(rids); i += 7 {
+		if err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var slow int64
+	h.Scan(func(RID, []byte) bool { slow++; return true })
+	fast, err := h.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != slow {
+		t.Fatalf("fast count %d != scan count %d", fast, slow)
+	}
+	if est := h.LiveEstimate(); est != slow {
+		t.Fatalf("live estimate %d != scan count %d", est, slow)
+	}
+}
+
+func TestBTreeCursorMatchesRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		// Duplicate keys every 10 inserts exercise postings iteration.
+		bt.Insert(value.NewInt(int64(i%100)), RID{Page: PageID(i + 1), Slot: uint16(i)})
+	}
+	for _, bounds := range []struct{ lo, hi value.Value }{
+		{value.NewNull(), value.NewNull()},
+		{value.NewInt(10), value.NewInt(42)},
+		{value.NewInt(90), value.NewNull()},
+		{value.NewNull(), value.NewInt(5)},
+	} {
+		var want []string
+		bt.Range(bounds.lo, bounds.hi, func(k value.Value, rid RID) bool {
+			want = append(want, fmt.Sprintf("%s@%s", k, rid))
+			return true
+		})
+		c := bt.Cursor(bounds.lo, bounds.hi)
+		var got []string
+		for {
+			k, rid, ok := c.Next()
+			if !ok {
+				break
+			}
+			got = append(got, fmt.Sprintf("%s@%s", k, rid))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("[%s,%s]: cursor %d pairs, range %d", bounds.lo, bounds.hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("[%s,%s]: pair %d: got %s want %s", bounds.lo, bounds.hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStoreConcurrentReads drives parallel readers (plus counter queries)
+// through the RWMutex read path; run with -race.
+func TestStoreConcurrentReads(t *testing.T) {
+	store := NewStore()
+	ids := make([]PageID, 16)
+	for i := range ids {
+		ids[i] = store.Allocate()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for i := 0; i < 200; i++ {
+				if err := store.ReadPage(ids[i%len(ids)], buf); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = store.Reads()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := store.WritePage(ids[i%len(ids)], make([]byte, PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if store.Reads() != 8*200 {
+		t.Fatalf("reads=%d, want %d", store.Reads(), 8*200)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Heap is an unordered record file over the buffer pool: a list of slotted
@@ -11,6 +12,7 @@ type Heap struct {
 	mu    sync.Mutex
 	pool  *Pool
 	pages []PageID
+	live  atomic.Int64 // live records, maintained O(1) by Insert/Delete
 }
 
 // NewHeap returns an empty heap file backed by pool.
@@ -35,6 +37,7 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 			if err != nil {
 				return RID{}, err
 			}
+			h.live.Add(1)
 			return RID{Page: id, Slot: slot}, nil
 		}
 		h.pool.Unpin(id, false)
@@ -49,6 +52,7 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	h.pages = append(h.pages, id)
+	h.live.Add(1)
 	return RID{Page: id, Slot: slot}, nil
 }
 
@@ -76,6 +80,9 @@ func (h *Heap) Delete(rid RID) error {
 	}
 	err = pg.Delete(rid.Slot)
 	h.pool.Unpin(rid.Page, err == nil)
+	if err == nil {
+		h.live.Add(-1)
+	}
 	return err
 }
 
@@ -100,6 +107,7 @@ func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	h.pool.Unpin(rid.Page, true)
+	h.live.Add(-1) // the re-insert below adds it back
 	return h.Insert(rec)
 }
 
@@ -135,6 +143,109 @@ func (h *Heap) Scan(visit func(rid RID, rec []byte) bool) error {
 	return nil
 }
 
+// PageIDs returns a snapshot of the heap's page list in RID order. Shared
+// scans use it to drive their own (circular) page visit order.
+func (h *Heap) PageIDs() []PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pages := make([]PageID, len(h.pages))
+	copy(pages, h.pages)
+	return pages
+}
+
+// ScanPage pins one heap page and visits every live record on it. The rec
+// slice is only valid for the duration of the callback. Returning false stops
+// the visit (the page is still unpinned).
+func (h *Heap) ScanPage(id PageID, visit func(rid RID, rec []byte) bool) error {
+	pg, err := h.pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(id, false)
+	n := pg.SlotCount()
+	for slot := uint16(0); slot < n; slot++ {
+		if !pg.Live(slot) {
+			continue
+		}
+		rec, err := pg.Get(slot)
+		if err != nil {
+			return err
+		}
+		if !visit(RID{Page: id, Slot: slot}, rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Cursor is a resumable scan over the heap: records come back in RID order,
+// one page pinned at a time, and iteration can pause indefinitely between
+// calls — unlike Scan's callback, which drives the whole walk at once. The
+// record slice returned by Next is valid until the following Next or Close
+// (the cursor keeps its current page pinned between calls). Close releases
+// the pin at whatever position the cursor reached, so consumers that stop
+// early (LIMIT, abandoned producers) never touch the remaining pages.
+type Cursor struct {
+	h     *Heap
+	pages []PageID
+	idx   int   // index into pages of the pinned page
+	cur   *Page // pinned page, nil between pages
+	slot  uint16
+	read  int // pages pinned so far
+}
+
+// Cursor opens a streaming cursor over a snapshot of the heap's page list.
+func (h *Heap) Cursor() *Cursor {
+	return &Cursor{h: h, pages: h.PageIDs()}
+}
+
+// Next returns the next live record, or ok=false at the end of the heap.
+func (c *Cursor) Next() (RID, []byte, bool, error) {
+	for {
+		if c.cur == nil {
+			if c.idx >= len(c.pages) {
+				return RID{}, nil, false, nil
+			}
+			pg, err := c.h.pool.Pin(c.pages[c.idx])
+			if err != nil {
+				return RID{}, nil, false, err
+			}
+			c.cur, c.slot = pg, 0
+			c.read++
+		}
+		n := c.cur.SlotCount()
+		for c.slot < n {
+			s := c.slot
+			c.slot++
+			if !c.cur.Live(s) {
+				continue
+			}
+			rec, err := c.cur.Get(s)
+			if err != nil {
+				c.Close()
+				return RID{}, nil, false, err
+			}
+			return RID{Page: c.pages[c.idx], Slot: s}, rec, true, nil
+		}
+		c.h.pool.Unpin(c.pages[c.idx], false)
+		c.cur = nil
+		c.idx++
+	}
+}
+
+// PagesRead reports how many heap pages the cursor has pinned so far; early
+// termination tests assert LIMIT queries only read a prefix.
+func (c *Cursor) PagesRead() int { return c.read }
+
+// Close releases the cursor's pinned page, if any. It is idempotent.
+func (c *Cursor) Close() {
+	if c.cur != nil {
+		c.h.pool.Unpin(c.pages[c.idx], false)
+		c.cur = nil
+	}
+	c.idx = len(c.pages)
+}
+
 // Pages reports the number of pages in the heap.
 func (h *Heap) Pages() int {
 	h.mu.Lock()
@@ -142,11 +253,24 @@ func (h *Heap) Pages() int {
 	return len(h.pages)
 }
 
-// Count scans and counts live records (used by stats collection).
+// LiveEstimate returns the maintained live-record count in O(1) — the
+// planner's cardinality fallback for tables that were never ANALYZEd.
+func (h *Heap) LiveEstimate() int64 { return h.live.Load() }
+
+// Count counts live records by walking page slot arrays directly — no
+// per-record callback, no record decode. It is the exact (page-derived)
+// ground truth behind LiveEstimate; stats collection uses it.
 func (h *Heap) Count() (int64, error) {
 	var n int64
-	err := h.Scan(func(RID, []byte) bool { n++; return true })
-	return n, err
+	for _, id := range h.PageIDs() {
+		pg, err := h.pool.Pin(id)
+		if err != nil {
+			return 0, err
+		}
+		n += int64(pg.LiveSlots())
+		h.pool.Unpin(id, false)
+	}
+	return n, nil
 }
 
 // Truncate drops all pages from the heap (DROP TABLE support). Page storage
@@ -155,6 +279,7 @@ func (h *Heap) Truncate() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.pages = nil
+	h.live.Store(0)
 }
 
 // String describes the heap for diagnostics.

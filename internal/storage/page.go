@@ -171,6 +171,20 @@ func (p *Page) Update(slot uint16, rec []byte) (bool, error) {
 	return true, nil
 }
 
+// LiveSlots counts the slots holding records (excluding tombstones) by
+// walking the slot array only — no record payloads are touched. Heap.Count
+// uses it as the stats fast path.
+func (p *Page) LiveSlots() int {
+	n := int(p.SlotCount())
+	live := 0
+	for i := 0; i < n; i++ {
+		if off, _ := p.slotAt(uint16(i)); off != tombstoneMark {
+			live++
+		}
+	}
+	return live
+}
+
 // Live reports whether the slot holds a record.
 func (p *Page) Live(slot uint16) bool {
 	if slot >= p.SlotCount() {

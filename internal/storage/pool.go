@@ -4,17 +4,20 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is the page persistence layer: an in-memory "disk" of fixed-size
 // pages. Reads and writes are counted so experiments can charge simulated
-// I/O time per access.
+// I/O time per access. Reads take only the shared lock, so concurrent scans
+// do not serialize on the simulated disk; writes and allocation exclude all
+// readers.
 type Store struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	pages  map[PageID][]byte
 	nextID PageID
-	reads  uint64
-	writes uint64
+	reads  atomic.Uint64
+	writes atomic.Uint64
 }
 
 // NewStore returns an empty store. Page ids start at 1; 0 is invalid.
@@ -32,16 +35,17 @@ func (s *Store) Allocate() PageID {
 	return id
 }
 
-// ReadPage copies the page contents into dst.
+// ReadPage copies the page contents into dst. Concurrent reads proceed in
+// parallel (shared lock).
 func (s *Store) ReadPage(id PageID, dst []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	src, ok := s.pages[id]
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
 	copy(dst, src)
-	s.reads++
+	s.reads.Add(1)
 	return nil
 }
 
@@ -54,28 +58,20 @@ func (s *Store) WritePage(id PageID, src []byte) error {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
 	copy(dst, src)
-	s.writes++
+	s.writes.Add(1)
 	return nil
 }
 
-// Reads and Writes report I/O counts since construction.
-func (s *Store) Reads() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads
-}
+// Reads reports the number of page reads since construction.
+func (s *Store) Reads() uint64 { return s.reads.Load() }
 
 // Writes reports the number of page writes.
-func (s *Store) Writes() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.writes
-}
+func (s *Store) Writes() uint64 { return s.writes.Load() }
 
 // PageCount reports the number of allocated pages.
 func (s *Store) PageCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.pages)
 }
 

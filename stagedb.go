@@ -69,6 +69,12 @@ type Options struct {
 	// ExecBatch is the number of same-stage tasks one exec worker drains
 	// per activation (0 = 4), the §4.1.2 cache-locality batching knob.
 	ExecBatch int
+	// DisableSharedScans turns off the staged engine's fscan work sharing.
+	// By default concurrent sequential scans of one table share a single
+	// in-flight circular heap walk (each page pinned and decoded once,
+	// fanned out to every query; late arrivals attach mid-scan and wrap).
+	// The Threaded (Volcano) baseline never shares scans.
+	DisableSharedScans bool
 }
 
 // Row is one result row.
@@ -116,14 +122,15 @@ func Open(opts Options) *DB {
 		db.pool = engine.NewThreaded(kernel, opts.Workers)
 	default:
 		db.staged = engine.NewStaged(kernel, engine.StagedConfig{
-			ConnectWorkers:    opts.Workers,
-			ParseWorkers:      opts.Workers,
-			OptimizeWorkers:   opts.Workers,
-			ExecuteWorkers:    opts.Workers,
-			DisconnectWorkers: opts.Workers,
-			ExecWorkers:       opts.ExecWorkers,
-			ExecQueueDepth:    opts.ExecQueueDepth,
-			ExecBatch:         opts.ExecBatch,
+			ConnectWorkers:     opts.Workers,
+			ParseWorkers:       opts.Workers,
+			OptimizeWorkers:    opts.Workers,
+			ExecuteWorkers:     opts.Workers,
+			DisconnectWorkers:  opts.Workers,
+			ExecWorkers:        opts.ExecWorkers,
+			ExecQueueDepth:     opts.ExecQueueDepth,
+			ExecBatch:          opts.ExecBatch,
+			DisableSharedScans: opts.DisableSharedScans,
 		})
 	}
 	db.defConn = db.Conn()
@@ -183,6 +190,47 @@ func (db *DB) Stages() []metrics.StageSnapshot {
 		return nil
 	}
 	return db.staged.Snapshot()
+}
+
+// ScanShareStats reports the staged engine's fscan work-sharing activity.
+type ScanShareStats struct {
+	// Starts counts shared scans started (a first consumer = share miss).
+	Starts int64
+	// Attaches counts queries that joined an already in-flight scan.
+	Attaches int64
+	// Wraps counts attaches that happened mid-scan and wrapped circularly.
+	Wraps int64
+	// Spills counts stalled consumers kicked to a private continuation.
+	Spills int64
+	// PagesDecoded counts heap pages pinned+decoded by shared producers.
+	PagesDecoded int64
+	// PagesDelivered counts decoded pages fanned out to consumers; the
+	// delivered/decoded ratio is the effective sharing fan-out.
+	PagesDelivered int64
+}
+
+// ScanShares snapshots the scan-sharing counters (zero on the threaded
+// engine or with DisableSharedScans).
+func (db *DB) ScanShares() ScanShareStats {
+	if db.staged == nil {
+		return ScanShareStats{}
+	}
+	st := db.staged.ScanShares()
+	return ScanShareStats{
+		Starts:         st.Starts,
+		Attaches:       st.Attaches,
+		Wraps:          st.Wraps,
+		Spills:         st.Spills,
+		PagesDecoded:   st.PagesDecoded,
+		PagesDelivered: st.PagesDelivered,
+	}
+}
+
+// IOStats reports simulated-disk page reads and writes since Open. Scan
+// benchmarks use it to show sharing's I/O saving.
+func (db *DB) IOStats() (reads, writes uint64) {
+	st := db.kernel.Store()
+	return st.Reads(), st.Writes()
 }
 
 // Exec runs one statement on this connection. BEGIN/COMMIT/ROLLBACK manage
