@@ -1,31 +1,48 @@
 #!/usr/bin/env sh
-# bench.sh — run the scan benchmarks and emit BENCH_scan.json, one object
-# per benchmark with ns/op, B/op, allocs/op, and any custom metrics
-# (heap-reads/op, share-fanout). This file is the perf trajectory: commit a
-# fresh datapoint when scan-path performance work lands.
+# bench.sh — run the perf-trajectory benchmarks and emit JSON datapoints,
+# one object per benchmark with ns/op, B/op, allocs/op, and any custom
+# metrics (heap-reads/op, share-fanout, probe-pages/op). Commit fresh
+# datapoints when hot-path performance work lands.
+#
+#   BENCH_scan.json — scan path: shared circular scans, streaming LIMIT.
+#   BENCH_exec.json — vectorized exec path: filter/join/agg kernel micro-
+#                     benches, the streaming-join LIMIT bench, row hashing,
+#                     and the SharedScan headline numbers.
 #
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
 set -e
 cd "$(dirname "$0")"
 
-out=$(go test . -run '^$' -bench 'SharedScan|ScanStreamLimit' \
-	-benchtime "${BENCHTIME:-2s}" -benchmem)
-
-echo "$out" | awk '
-BEGIN { print "[" ; first = 1 }
-/^Benchmark/ {
-	if (!first) printf(",\n"); first = 0
-	printf("  {\"name\": \"%s\", \"iterations\": %s", $1, $2)
-	for (i = 3; i < NF; i += 2) {
-		unit = $(i + 1)
-		gsub(/"/, "", unit)
-		printf(", \"%s\": %s", unit, $i)
+to_json() {
+	awk '
+	BEGIN { print "[" ; first = 1 }
+	/^Benchmark/ {
+		if (!first) printf(",\n"); first = 0
+		printf("  {\"name\": \"%s\", \"iterations\": %s", $1, $2)
+		for (i = 3; i < NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/"/, "", unit)
+			printf(", \"%s\": %s", unit, $i)
+		}
+		printf("}")
 	}
-	printf("}")
+	END { print "\n]" }
+	'
 }
-END { print "\n]" }
-' > BENCH_scan.json
 
+scan_out=$(go test . -run '^$' -bench 'SharedScan|ScanStreamLimit' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem)
+echo "$scan_out" | to_json > BENCH_scan.json
 echo "wrote BENCH_scan.json:"
 cat BENCH_scan.json
+
+exec_out=$(go test . -run '^$' -bench 'SharedScan|JoinStreamLimit' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem
+go test ./internal/exec -run '^$' -bench 'FilterKernel|AggKernel|HashJoinStream' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem
+go test ./internal/value -run '^$' -bench 'RowHash' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem)
+echo "$exec_out" | to_json > BENCH_exec.json
+echo "wrote BENCH_exec.json:"
+cat BENCH_exec.json

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# bench_gate.sh — CI allocation-regression gate for the vectorized exec
+# path. Fails if BenchmarkSharedScan allocs/op regresses more than 20% over
+# the committed BENCH_scan.json baseline.
+#
+# The gate keys on the staged-unshared variant: its allocation count is a
+# deterministic function of the query mix (8 private scans, no work
+# sharing), whereas staged-shared allocs depend on how many queries manage
+# to attach to an in-flight wheel — scheduler- and machine-dependent, which
+# would make a 20% margin flaky on slow CI runners. Any allocation
+# regression in the scan/filter/agg exec path shows up identically in the
+# unshared variant.
+set -e
+cd "$(dirname "$0")"
+
+base=$(awk -F'"allocs/op": ' '/staged-unshared/ { print $2 + 0; exit }' BENCH_scan.json)
+if [ -z "$base" ] || [ "$base" -le 0 ] 2>/dev/null; then
+	echo "bench_gate: no staged-unshared allocs/op baseline in BENCH_scan.json" >&2
+	exit 1
+fi
+
+out=$(go test . -run '^$' -bench 'SharedScan/staged-unshared' -benchtime 5x -benchmem)
+echo "$out"
+cur=$(echo "$out" | awk '/^Benchmark/ { for (i = 1; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit } }')
+if [ -z "$cur" ]; then
+	echo "bench_gate: benchmark produced no allocs/op datapoint" >&2
+	exit 1
+fi
+
+awk -v cur="$cur" -v base="$base" 'BEGIN {
+	lim = base * 1.2
+	if (cur > lim) {
+		printf("bench_gate: allocs/op regression: %d > %.0f (baseline %d + 20%%)\n", cur, lim, base)
+		exit 1
+	}
+	printf("bench_gate: allocs/op ok: %d <= %.0f (baseline %d + 20%%)\n", cur, lim, base)
+}'

@@ -80,8 +80,9 @@ func meta(db *stagedb.DB, cmd string) bool {
 			})
 		}
 		fmt.Print(metrics.Table(head, rows))
-		// Stage-specific counters (e.g. fscan's scan-share hit/attach/wrap
-		// counts) print below the common table.
+		// Stage-specific counters (fscan's scan-share hit/attach/wrap
+		// counts, the pagepool's hit/miss/outstanding) print below the
+		// common table.
 		for _, s := range snaps {
 			if len(s.Counters) == 0 {
 				continue

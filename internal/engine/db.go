@@ -53,6 +53,10 @@ type DB struct {
 	pool  *storage.Pool
 	tm    *txn.Manager
 
+	// pages recycles executor exchange pages across all queries of this
+	// kernel (both the staged and the Volcano driver draw from it).
+	pages *exec.PagePool
+
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
 	indexes map[string]*storage.BTree
@@ -70,6 +74,7 @@ func NewDB(cfg Config) *DB {
 		store:   store,
 		pool:    storage.NewPool(store, cfg.PoolFrames),
 		tm:      txn.NewManager(),
+		pages:   exec.NewPagePool(),
 		heaps:   make(map[string]*storage.Heap),
 		indexes: make(map[string]*storage.BTree),
 	}
@@ -101,6 +106,10 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // Store exposes the simulated-disk page store (I/O counters for experiments
 // and benchmarks).
 func (db *DB) Store() *storage.Store { return db.store }
+
+// PagePool exposes the executor's exchange-page allocator (hit/miss/leak
+// accounting for monitoring and the page-leak tests).
+func (db *DB) PagePool() *exec.PagePool { return db.pages }
 
 // SetPlanOptions changes the optimizer options (ablation benches force join
 // algorithms or disable rewrites through this). The live row-count fallback
@@ -158,7 +167,7 @@ func (db *DB) NewSession() *Session {
 	sessionIDs.mu.Unlock()
 	s := &Session{db: db, id: id}
 	s.runnerFn = func(node plan.Node) ([]value.Row, error) {
-		op, err := exec.Build(node, db, db.cfg.PageRows)
+		op, err := exec.BuildPooled(node, db, db.cfg.PageRows, db.pages)
 		if err != nil {
 			return nil, err
 		}

@@ -207,7 +207,7 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 	}
 	s := &Staged{db: db, srv: core.NewServer(), execStats: make(map[string]*metrics.StageStats)}
 	if !cfg.DisableSharedScans {
-		s.shared = exec.NewSharedScans(db.cfg.BufferPages)
+		s.shared = exec.NewSharedScans(db.cfg.BufferPages, db.pages)
 	}
 	if cfg.ExecWorkers >= 0 {
 		s.execPool = exec.NewStagePool(exec.StagePoolConfig{
@@ -333,6 +333,9 @@ func (s *Staged) Snapshot() []metrics.StageSnapshot {
 			out = append(out, metrics.StageSnapshot{Name: "fscan", Counters: counters})
 		}
 	}
+	// The exchange-page pool's hit/miss/outstanding counters ride along as a
+	// pseudo-stage so \stages surfaces them (§5.2 monitoring).
+	out = append(out, metrics.StageSnapshot{Name: "pagepool", Counters: s.db.pages.Counters()})
 	return out
 }
 
@@ -418,6 +421,7 @@ func (s *Staged) execute(pkt *core.Packet) (core.Verdict, error) {
 			PageRows:    s.db.cfg.PageRows,
 			BufferPages: s.db.cfg.BufferPages,
 			Shared:      s.shared,
+			Pool:        s.db.pages,
 		})
 	})
 	if len(qc.req.Script) > 0 {

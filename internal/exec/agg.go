@@ -19,92 +19,121 @@ type aggState struct {
 	sumInts  []int64
 	mins     []value.Value
 	maxs     []value.Value
-	firstIdx int // arrival order for deterministic output
 }
 
+// aggregateOp is the vectorized hash aggregation kernel: it consumes child
+// pages incrementally (never materializing its input), evaluates compiled
+// group-by and argument expressions, reuses one scratch key row across all
+// input rows, and hashes keys with the allocation-free inline FNV — the
+// steady-state cost of aggregating a row in an existing group is zero
+// allocations. The groups table is pre-sized from the planner's cardinality
+// estimate.
 type aggregateOp struct {
-	node     *plan.Aggregate
-	child    Operator
-	pageRows int
+	node      *plan.Aggregate
+	child     Operator
+	pageRows  int
+	groupHint int
 
-	acc    rowAccum
-	loaded bool
-	out    []value.Row
-	pos    int
+	groupBy []plan.CompiledExpr
+	aggArg  []plan.CompiledExpr // nil entries for COUNT(*)
+
+	groups    map[uint64][]*aggState
+	order     []*aggState // arrival order for deterministic output
+	scratch   value.Row   // reused group-key buffer
+	keyCols   []int       // identity column set over the key
+	inputDone bool
+	loaded    bool
+	out       []value.Row
+	pos       int
 }
 
 func (a *aggregateOp) Open() error {
-	a.acc, a.loaded = rowAccum{}, false
+	a.groups = make(map[uint64][]*aggState, a.groupHint)
+	a.order = nil
+	a.scratch = make(value.Row, len(a.groupBy))
+	a.keyCols = make([]int, len(a.groupBy))
+	for i := range a.keyCols {
+		a.keyCols[i] = i
+	}
+	a.inputDone, a.loaded = false, false
+	a.out, a.pos = nil, 0
 	return a.child.Open()
 }
 
-// Next drains the child on first call (resumably: errWouldBlock suspends
-// with the accumulated input preserved), then emits the grouped output.
+// Next folds child pages into the group table as they arrive (resumably:
+// errWouldBlock suspends with the partial group table preserved in fields),
+// then emits the grouped output.
 func (a *aggregateOp) Next() (*Page, error) {
 	if !a.loaded {
-		if err := a.acc.fill(a.child); err != nil {
+		for !a.inputDone {
+			pg, err := a.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if pg == nil {
+				a.inputDone = true
+				break
+			}
+			err = a.consume(pg)
+			pg.Release()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := a.finish(); err != nil {
 			return nil, err
 		}
-		if err := a.aggregate(a.acc.rows); err != nil {
-			return nil, err
-		}
-		a.acc.rows = nil
 		a.loaded = true
 	}
 	return slicePage(&a.pos, a.out, a.pageRows), nil
 }
 
-func (a *aggregateOp) aggregate(rows []value.Row) error {
-	groups := make(map[uint64][]*aggState)
-	var order []*aggState
-	nAggs := len(a.node.Aggs)
-
-	find := func(key value.Row) *aggState {
-		cols := make([]int, len(key))
-		for i := range cols {
-			cols[i] = i
+// find locates (or creates) the group for the scratch key.
+func (a *aggregateOp) find() *aggState {
+	h := a.scratch.Hash(a.keyCols)
+	for _, st := range a.groups[h] {
+		if rowsEqual(st.groupKey, a.scratch) {
+			return st
 		}
-		h := key.Hash(cols)
-		for _, st := range groups[h] {
-			if rowsEqual(st.groupKey, key) {
-				return st
-			}
-		}
-		st := &aggState{
-			groupKey: key.Clone(),
-			counts:   make([]int64, nAggs),
-			sums:     make([]float64, nAggs),
-			sumIsInt: make([]bool, nAggs),
-			sumInts:  make([]int64, nAggs),
-			mins:     make([]value.Value, nAggs),
-			maxs:     make([]value.Value, nAggs),
-			firstIdx: len(order),
-		}
-		for i := range st.sumIsInt {
-			st.sumIsInt[i] = true
-		}
-		groups[h] = append(groups[h], st)
-		order = append(order, st)
-		return st
 	}
+	nAggs := len(a.node.Aggs)
+	st := &aggState{
+		groupKey: a.scratch.Clone(),
+		counts:   make([]int64, nAggs),
+		sums:     make([]float64, nAggs),
+		sumIsInt: make([]bool, nAggs),
+		sumInts:  make([]int64, nAggs),
+		mins:     make([]value.Value, nAggs),
+		maxs:     make([]value.Value, nAggs),
+	}
+	for i := range st.sumIsInt {
+		st.sumIsInt[i] = true
+	}
+	a.groups[h] = append(a.groups[h], st)
+	a.order = append(a.order, st)
+	return st
+}
 
-	for _, row := range rows {
-		key := make(value.Row, len(a.node.GroupBy))
-		for i, g := range a.node.GroupBy {
-			v, err := g.Eval(row)
+// consume folds one page of input into the group table.
+func (a *aggregateOp) consume(pg *Page) error {
+	n := pg.Len()
+	for r := 0; r < n; r++ {
+		row := pg.Row(r)
+		for i, g := range a.groupBy {
+			v, err := g(row)
 			if err != nil {
 				return err
 			}
-			key[i] = v
+			a.scratch[i] = v
 		}
-		st := find(key)
+		st := a.find()
 		st.count++
 		for i, spec := range a.node.Aggs {
 			if spec.Kind == plan.AggCountStar {
 				st.counts[i]++
 				continue
 			}
-			v, err := spec.Arg.Eval(row)
+			v, err := a.aggArg[i](row)
 			if err != nil {
 				return err
 			}
@@ -138,15 +167,18 @@ func (a *aggregateOp) aggregate(rows []value.Row) error {
 			}
 		}
 	}
+	return nil
+}
 
+// finish materializes the output rows in group-arrival order.
+func (a *aggregateOp) finish() error {
 	// Global aggregate with no input rows still yields one row.
-	if len(a.node.GroupBy) == 0 && len(order) == 0 {
-		find(value.Row{})
+	if len(a.node.GroupBy) == 0 && len(a.order) == 0 {
+		a.find()
 	}
-
-	sort.Slice(order, func(i, j int) bool { return order[i].firstIdx < order[j].firstIdx })
-	a.out = a.out[:0]
-	for _, st := range order {
+	nAggs := len(a.node.Aggs)
+	a.out = make([]value.Row, 0, len(a.order))
+	for _, st := range a.order {
 		row := make(value.Row, 0, len(st.groupKey)+nAggs)
 		row = append(row, st.groupKey...)
 		for i, spec := range a.node.Aggs {
@@ -184,7 +216,7 @@ func finishAgg(spec plan.AggSpec, st *aggState, i int) value.Value {
 }
 
 func (a *aggregateOp) Close() error {
-	a.out = nil
+	a.groups, a.order, a.out = nil, nil, nil
 	return a.child.Close()
 }
 
@@ -194,6 +226,7 @@ type sortOp struct {
 	node     *plan.Sort
 	child    Operator
 	pageRows int
+	keys     []plan.CompiledExpr
 
 	acc    rowAccum
 	loaded bool
@@ -202,7 +235,8 @@ type sortOp struct {
 }
 
 func (s *sortOp) Open() error {
-	s.acc, s.loaded = rowAccum{}, false
+	s.acc = rowAccum{hint: s.acc.hint}
+	s.loaded = false
 	return s.child.Open()
 }
 
@@ -222,16 +256,18 @@ func (s *sortOp) Next() (*Page, error) {
 }
 
 func (s *sortOp) sortRows(rows []value.Row) error {
-	// Precompute sort keys per row to avoid re-evaluating during comparison.
+	// Precompute sort keys per row (through the compiled key expressions) to
+	// avoid re-evaluating during comparison.
 	type keyed struct {
 		row  value.Row
 		keys value.Row
 	}
 	items := make([]keyed, len(rows))
+	arena := make([]value.Value, len(rows)*len(s.keys))
 	for i, row := range rows {
-		ks := make(value.Row, len(s.node.Keys))
-		for j, k := range s.node.Keys {
-			v, err := k.Expr.Eval(row)
+		ks := arena[i*len(s.keys) : (i+1)*len(s.keys) : (i+1)*len(s.keys)]
+		for j, k := range s.keys {
+			v, err := k(row)
 			if err != nil {
 				return err
 			}

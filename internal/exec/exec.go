@@ -7,6 +7,12 @@
 //     on its owning stage, operators are activated bottom-up (leaves first,
 //     "page push"), and pages flow through bounded producer-consumer buffers
 //     with back-pressure.
+//
+// The hot path is vectorized: exchange pages are pooled and recycled under
+// an explicit ownership protocol (see pagepool.go), scalar expressions are
+// compiled to closures once per operator at build time (plan.Compile), and
+// filter-style kernels evaluate whole pages against a reusable selection
+// vector instead of copying surviving rows.
 package exec
 
 import (
@@ -22,9 +28,19 @@ import (
 // identifies it as a self-tuning knob.
 const DefaultPageRows = 64
 
-// Page is a batch of rows exchanged between operators.
-type Page struct {
-	Rows []value.Row
+// maxPresize bounds operator pre-sizing from planner estimates so a wild
+// estimate cannot allocate an absurd hash table up front.
+const maxPresize = 1 << 20
+
+// presizeHint clamps a cardinality estimate into a usable make() hint.
+func presizeHint(est float64) int {
+	if est <= 0 {
+		return 0
+	}
+	if est > maxPresize {
+		return maxPresize
+	}
+	return int(est)
 }
 
 // Tables resolves table names to their physical storage. The engine
@@ -36,37 +52,47 @@ type Tables interface {
 	IndexOf(ix *catalog.Index) (*storage.BTree, error)
 }
 
-// Operator produces pages. Implementations are single-consumer.
+// Operator produces pages. Implementations are single-consumer. A returned
+// page is owned by the caller, which must Release it (or forward it) when
+// done.
 type Operator interface {
 	// Open prepares the operator (recursively opening children).
 	Open() error
 	// Next returns the next page, or nil at end of stream.
 	Next() (*Page, error)
-	// Close releases resources (recursively).
+	// Close releases resources (recursively), including any partially
+	// built pages the operator still holds.
 	Close() error
 }
 
-// Build converts a plan into an operator tree. pageRows controls exchange
-// batch size (0 uses DefaultPageRows).
+// Build converts a plan into an operator tree with unpooled pages. pageRows
+// controls exchange batch size (0 uses DefaultPageRows).
 func Build(n plan.Node, tables Tables, pageRows int) (Operator, error) {
+	return BuildPooled(n, tables, pageRows, nil)
+}
+
+// BuildPooled is Build with operators drawing their exchange pages from pool
+// (nil falls back to plain allocation).
+func BuildPooled(n plan.Node, tables Tables, pageRows int, pool *PagePool) (Operator, error) {
 	if pageRows <= 0 {
 		pageRows = DefaultPageRows
 	}
 	var children []Operator
 	for _, c := range n.Children() {
-		op, err := Build(c, tables, pageRows)
+		op, err := BuildPooled(c, tables, pageRows, pool)
 		if err != nil {
 			return nil, err
 		}
 		children = append(children, op)
 	}
-	return BuildNode(n, children, tables, pageRows)
+	return BuildNode(n, children, tables, pageRows, pool)
 }
 
 // BuildNode constructs the operator for a single plan node over
-// already-built child operators. The staged driver uses it to splice
-// exchanges between nodes.
-func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int) (Operator, error) {
+// already-built child operators, compiling the node's expressions into
+// closure evaluators. The staged driver uses it to splice exchanges between
+// nodes.
+func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, pool *PagePool) (Operator, error) {
 	if pageRows <= 0 {
 		pageRows = DefaultPageRows
 	}
@@ -80,7 +106,11 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int) (O
 		if err != nil {
 			return nil, err
 		}
-		return &seqScan{node: x, heap: h, pageRows: pageRows}, nil
+		s := &seqScan{node: x, heap: h, pageRows: pageRows, pool: pool}
+		if x.Filter != nil {
+			s.pred = plan.CompilePredicate(x.Filter)
+		}
+		return s, nil
 	case *plan.IndexScan:
 		h, err := tables.HeapOf(x.Table)
 		if err != nil {
@@ -90,29 +120,66 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int) (O
 		if err != nil {
 			return nil, err
 		}
-		return &indexScan{node: x, heap: h, tree: bt, pageRows: pageRows}, nil
+		s := &indexScan{node: x, heap: h, tree: bt, pageRows: pageRows, pool: pool}
+		if x.Filter != nil {
+			s.pred = plan.CompilePredicate(x.Filter)
+		}
+		return s, nil
 	case *plan.Filter:
-		return &filterOp{child: children[0], pred: x.Pred, pageRows: pageRows}, nil
+		return &filterOp{child: children[0], pred: plan.CompilePredicate(x.Pred)}, nil
 	case *plan.Project:
-		return &projectOp{child: children[0], exprs: x.Exprs, pageRows: pageRows}, nil
+		exprs := make([]plan.CompiledExpr, len(x.Exprs))
+		for i, e := range x.Exprs {
+			exprs[i] = plan.Compile(e)
+		}
+		return &projectOp{child: children[0], exprs: exprs, pool: pool}, nil
 	case *plan.Join:
 		l, r := children[0], children[1]
+		var resid plan.CompiledPredicate
+		if x.Residual != nil {
+			resid = plan.CompilePredicate(x.Residual)
+		}
 		switch x.Algo {
 		case plan.HashJoin:
-			return &hashJoin{node: x, left: l, right: r, pageRows: pageRows}, nil
+			return &hashJoin{
+				node: x, left: l, right: r, pageRows: pageRows, pool: pool,
+				resid: resid, buildHint: presizeHint(x.R.Rows()),
+			}, nil
 		case plan.SortMergeJoin:
-			return &mergeJoin{node: x, left: l, right: r, pageRows: pageRows}, nil
+			j := &mergeJoin{node: x, left: l, right: r, pageRows: pageRows, resid: resid}
+			j.lacc.hint, j.racc.hint = presizeHint(x.L.Rows()), presizeHint(x.R.Rows())
+			return j, nil
 		default:
-			return &nestedLoopJoin{node: x, left: l, right: r, pageRows: pageRows}, nil
+			j := &nestedLoopJoin{node: x, left: l, right: r, pageRows: pageRows, resid: resid}
+			j.oacc.hint, j.iacc.hint = presizeHint(x.L.Rows()), presizeHint(x.R.Rows())
+			return j, nil
 		}
 	case *plan.Aggregate:
-		return &aggregateOp{node: x, child: children[0], pageRows: pageRows}, nil
+		a := &aggregateOp{node: x, child: children[0], pageRows: pageRows,
+			groupHint: presizeHint(x.Est)}
+		a.groupBy = make([]plan.CompiledExpr, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			a.groupBy[i] = plan.Compile(g)
+		}
+		a.aggArg = make([]plan.CompiledExpr, len(x.Aggs))
+		for i, spec := range x.Aggs {
+			if spec.Arg != nil {
+				a.aggArg[i] = plan.Compile(spec.Arg)
+			}
+		}
+		return a, nil
 	case *plan.Sort:
-		return &sortOp{node: x, child: children[0], pageRows: pageRows}, nil
+		s := &sortOp{node: x, child: children[0], pageRows: pageRows}
+		s.keys = make([]plan.CompiledExpr, len(x.Keys))
+		for i, k := range x.Keys {
+			s.keys[i] = plan.Compile(k.Expr)
+		}
+		s.acc.hint = presizeHint(x.Child.Rows())
+		return s, nil
 	case *plan.Limit:
 		return &limitOp{child: children[0], n: x.N, offset: x.Offset}, nil
 	case *plan.Distinct:
-		return &distinctOp{child: children[0], pageRows: pageRows}, nil
+		return &distinctOp{child: children[0]}, nil
 	}
 	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 }
@@ -132,22 +199,30 @@ func Run(op Operator) ([]value.Row, error) {
 		if pg == nil {
 			return out, nil
 		}
-		out = append(out, pg.Rows...)
+		n := pg.Len()
+		for i := 0; i < n; i++ {
+			out = append(out, pg.Row(i))
+		}
+		pg.Release()
 	}
 }
 
 // --- scans ---
 //
 // Both scans are true streaming cursors: Open positions a resumable storage
-// cursor, each Next decodes just enough records to fill one exchange page,
-// and Close releases the cursor wherever it stands — so LIMIT queries and
-// abandoned producers stop heap iteration early instead of materializing the
-// table (§4.2's fscan stage as an incremental producer).
+// cursor, each Next decodes just enough records to fill one pooled exchange
+// page, and Close releases the cursor wherever it stands — so LIMIT queries
+// and abandoned producers stop heap iteration early instead of materializing
+// the table (§4.2's fscan stage as an incremental producer). Pushed-down
+// filters run as compiled predicates during the fill, so filtered rows are
+// never copied into a page at all.
 
 type seqScan struct {
 	node     *plan.SeqScan
 	heap     *storage.Heap
 	pageRows int
+	pool     *PagePool
+	pred     plan.CompiledPredicate // compiled pushed-down filter; nil = all
 
 	// Shared-scan wiring, injected by the staged driver when scan sharing is
 	// enabled: attach joins the fscan stage's in-flight circular scan on the
@@ -161,7 +236,9 @@ type seqScan struct {
 
 	cur  *storage.Cursor // private streaming mode
 	cons *scanConsumer   // shared mode
-	buf  []value.Row     // filtered rows not yet emitted
+	out  *Page           // output page under construction
+	fan  *Page           // shared mode: fanned-out page being consumed
+	fanI int             // next row index within fan
 	eos  bool
 
 	// Continuation of a spilled shared scan: the circular remainder this
@@ -172,7 +249,8 @@ type seqScan struct {
 }
 
 func (s *seqScan) Open() error {
-	s.buf, s.eos = nil, false
+	s.out, s.fan, s.fanI, s.eos = nil, nil, 0, false
+	s.contPages, s.contPos, s.contLeft = nil, 0, 0
 	if s.attach != nil {
 		s.cons = s.attach(s.heap, s.node.Table)
 		if s.cons == nil {
@@ -187,11 +265,34 @@ func (s *seqScan) Open() error {
 	return nil
 }
 
+// push appends an accepted row to the output page under construction.
+func (s *seqScan) push(row value.Row) {
+	if s.out == nil {
+		s.out = s.pool.Get(s.pageRows)
+	}
+	s.out.Rows = append(s.out.Rows, row)
+}
+
+// outLen reports the fill level of the page under construction.
+func (s *seqScan) outLen() int {
+	if s.out == nil {
+		return 0
+	}
+	return len(s.out.Rows)
+}
+
+// emit hands the filled page to the caller, transferring ownership.
+func (s *seqScan) emit() *Page {
+	pg := s.out
+	s.out = nil
+	return pg
+}
+
 func (s *seqScan) Next() (*Page, error) {
 	if s.attach != nil {
 		return s.nextShared()
 	}
-	for !s.eos && len(s.buf) < s.pageRows {
+	for !s.eos && s.outLen() < s.pageRows {
 		_, rec, ok, err := s.cur.Next()
 		if err != nil {
 			return nil, err
@@ -204,23 +305,48 @@ func (s *seqScan) Next() (*Page, error) {
 		if err != nil {
 			return nil, err
 		}
-		keep, err := s.accept(row)
-		if err != nil {
-			return nil, err
+		if s.pred != nil {
+			keep, err := s.pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
 		}
-		if keep {
-			s.buf = append(s.buf, row)
-		}
+		s.push(row)
 	}
-	return cutPage(&s.buf, s.pageRows), nil
+	return s.emit(), nil
 }
 
 // nextShared drains the consumer's fan-out buffer, applying the per-consumer
-// filter locally (the shared producer delivers whole decoded heap pages).
-// When the producer spilled this consumer, the shared stream ends early and
-// the scan finishes the circular remainder privately.
+// compiled filter locally (the shared producer delivers whole decoded heap
+// pages, refcounted across all attached queries). When the producer spilled
+// this consumer, the shared stream ends early and the scan finishes the
+// circular remainder privately.
 func (s *seqScan) nextShared() (*Page, error) {
-	for !s.eos && len(s.buf) < s.pageRows {
+	for !s.eos && s.outLen() < s.pageRows {
+		if s.fan != nil {
+			for s.fanI < len(s.fan.Rows) && s.outLen() < s.pageRows {
+				row := s.fan.Rows[s.fanI]
+				s.fanI++
+				if s.pred != nil {
+					keep, err := s.pred(row)
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+				}
+				s.push(row)
+			}
+			if s.fanI >= len(s.fan.Rows) {
+				s.fan.Release()
+				s.fan, s.fanI = nil, 0
+			}
+			continue
+		}
 		if s.contLeft > 0 {
 			if err := s.nextContinuation(); err != nil {
 				return nil, err
@@ -235,7 +361,7 @@ func (s *seqScan) nextShared() (*Page, error) {
 			pg, err = s.cons.ex.Next()
 		}
 		if err != nil {
-			if err == errWouldBlock && len(s.buf) > 0 {
+			if err == errWouldBlock && s.outLen() > 0 {
 				break
 			}
 			return nil, err
@@ -250,21 +376,14 @@ func (s *seqScan) nextShared() (*Page, error) {
 			}
 			continue
 		}
-		for _, row := range pg.Rows {
-			keep, err := s.accept(row)
-			if err != nil {
-				return nil, err
-			}
-			if keep {
-				s.buf = append(s.buf, row)
-			}
-		}
+		s.fan, s.fanI = pg, 0
 	}
-	return cutPage(&s.buf, s.pageRows), nil
+	return s.emit(), nil
 }
 
 // nextContinuation decodes one heap page of a spilled shared scan's private
-// remainder into the buffer.
+// remainder into the output page (which may overflow pageRows; pages are a
+// batching unit, not a hard bound).
 func (s *seqScan) nextContinuation() error {
 	id := s.contPages[s.contPos]
 	s.contPos++
@@ -282,27 +401,23 @@ func (s *seqScan) nextContinuation() error {
 			accErr = err
 			return false
 		}
-		keep, err := s.accept(row)
-		if err != nil {
-			accErr = err
-			return false
+		if s.pred != nil {
+			keep, err := s.pred(row)
+			if err != nil {
+				accErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
 		}
-		if keep {
-			s.buf = append(s.buf, row)
-		}
+		s.push(row)
 		return true
 	})
 	if err == nil {
 		err = accErr
 	}
 	return err
-}
-
-func (s *seqScan) accept(row value.Row) (bool, error) {
-	if s.node.Filter == nil {
-		return true, nil
-	}
-	return plan.EvalPredicate(s.node.Filter, row)
 }
 
 func (s *seqScan) Close() error {
@@ -314,7 +429,10 @@ func (s *seqScan) Close() error {
 		s.cons.close()
 		s.cons = nil
 	}
-	s.buf = nil
+	s.fan.Release()
+	s.fan = nil
+	s.out.Release()
+	s.out = nil
 	return nil
 }
 
@@ -323,20 +441,22 @@ type indexScan struct {
 	heap     *storage.Heap
 	tree     *storage.BTree
 	pageRows int
+	pool     *PagePool
+	pred     plan.CompiledPredicate
 
 	cur *storage.TreeCursor
-	buf []value.Row
+	out *Page
 	eos bool
 }
 
 func (s *indexScan) Open() error {
-	s.buf, s.eos = nil, false
+	s.out, s.eos = nil, false
 	s.cur = s.tree.Cursor(s.node.Lo, s.node.Hi)
 	return nil
 }
 
 func (s *indexScan) Next() (*Page, error) {
-	for !s.eos && len(s.buf) < s.pageRows {
+	for !s.eos && (s.out == nil || len(s.out.Rows) < s.pageRows) {
 		_, rid, ok := s.cur.Next()
 		if !ok {
 			s.eos = true
@@ -350,8 +470,8 @@ func (s *indexScan) Next() (*Page, error) {
 		if err != nil {
 			return nil, err
 		}
-		if s.node.Filter != nil {
-			ok, err := plan.EvalPredicate(s.node.Filter, row)
+		if s.pred != nil {
+			ok, err := s.pred(row)
 			if err != nil {
 				return nil, err
 			}
@@ -359,19 +479,27 @@ func (s *indexScan) Next() (*Page, error) {
 				continue
 			}
 		}
-		s.buf = append(s.buf, row)
+		if s.out == nil {
+			s.out = s.pool.Get(s.pageRows)
+		}
+		s.out.Rows = append(s.out.Rows, row)
 	}
-	return cutPage(&s.buf, s.pageRows), nil
+	pg := s.out
+	s.out = nil
+	return pg, nil
 }
 
 func (s *indexScan) Close() error {
 	s.cur = nil
-	s.buf = nil
+	s.out.Release()
+	s.out = nil
 	return nil
 }
 
 // slicePage cuts the next batch from a fully materialized result (used by
-// pipeline-breaking operators: sort, join, aggregate).
+// pipeline-breaking operators: sort, join, aggregate). The emitted pages are
+// unpooled views into the materialized slice — no copying, and Release is a
+// no-op on them.
 func slicePage(pos *int, rows []value.Row, pageRows int) *Page {
 	if *pos >= len(rows) {
 		return nil
@@ -394,9 +522,12 @@ func slicePage(pos *int, rows []value.Row, pageRows int) *Page {
 
 // rowAccum drains a child's full output across resumable calls: fill
 // returns errWouldBlock with progress preserved, so pipeline-blocking
-// operators (sort, join, aggregate) can suspend mid-drain.
+// operators (sort, merge/nested-loop joins, and the hash join's build side)
+// can suspend mid-drain. hint pre-sizes the accumulator from the planner's
+// cardinality estimate.
 type rowAccum struct {
 	rows []value.Row
+	hint int
 	done bool
 }
 
@@ -410,105 +541,103 @@ func (a *rowAccum) fill(op Operator) error {
 			a.done = true
 			break
 		}
-		a.rows = append(a.rows, pg.Rows...)
+		if a.rows == nil && a.hint > 0 {
+			a.rows = make([]value.Row, 0, a.hint)
+		}
+		n := pg.Len()
+		for i := 0; i < n; i++ {
+			a.rows = append(a.rows, pg.Row(i))
+		}
+		pg.Release()
 	}
 	return nil
 }
 
 // --- filter / project ---
 
+// filterOp is the vectorized filter: it narrows each incoming page's
+// selection vector in place through the compiled predicate and forwards the
+// page without copying a single row. Fully filtered pages are released and
+// skipped.
 type filterOp struct {
-	child    Operator
-	pred     plan.Expr
-	pageRows int
-
-	buf []value.Row // accepted rows not yet emitted; survives errWouldBlock
-	eos bool
+	child Operator
+	pred  plan.CompiledPredicate
 }
 
-func (f *filterOp) Open() error {
-	f.buf, f.eos = nil, false
-	return f.child.Open()
-}
+func (f *filterOp) Open() error { return f.child.Open() }
 
 func (f *filterOp) Next() (*Page, error) {
-	for !f.eos && len(f.buf) < f.pageRows {
+	for {
 		pg, err := f.child.Next()
-		if err != nil {
-			// On would-block, emit what we already have rather than stall
-			// a ready partial page behind a slow child.
-			if err == errWouldBlock && len(f.buf) > 0 {
-				break
-			}
+		if err != nil || pg == nil {
+			// errWouldBlock propagates unchanged: the filter holds no state.
 			return nil, err
 		}
-		if pg == nil {
-			f.eos = true
-			break
+		if err := pg.narrow(f.pred); err != nil {
+			pg.Release()
+			return nil, err
 		}
-		for _, row := range pg.Rows {
-			ok, err := plan.EvalPredicate(f.pred, row)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				f.buf = append(f.buf, row)
-			}
+		if pg.Len() == 0 {
+			pg.Release()
+			continue
 		}
+		return pg, nil
 	}
-	return cutPage(&f.buf, f.pageRows), nil
 }
 
 func (f *filterOp) Close() error { return f.child.Close() }
 
-// cutPage slices one page off an accumulation buffer, nil when empty. The
-// capacity-limited slice keeps later appends to the buffer from aliasing
-// into the emitted page.
-func cutPage(buf *[]value.Row, pageRows int) *Page {
-	b := *buf
-	if len(b) == 0 {
-		return nil
-	}
-	n := len(b)
-	if n > pageRows {
-		n = pageRows
-	}
-	*buf = b[n:]
-	return &Page{Rows: b[:n:n]}
-}
-
+// projectOp computes output expressions page-at-a-time. Each output page's
+// rows are carved from one flat value arena, so projection costs two
+// allocations per page instead of one per row.
 type projectOp struct {
-	child    Operator
-	exprs    []plan.Expr
-	pageRows int
+	child Operator
+	exprs []plan.CompiledExpr
+	pool  *PagePool
 }
 
 func (p *projectOp) Open() error { return p.child.Open() }
 
 func (p *projectOp) Next() (*Page, error) {
-	pg, err := p.child.Next()
-	if err != nil || pg == nil {
-		return nil, err
-	}
-	out := &Page{Rows: make([]value.Row, len(pg.Rows))}
-	for i, row := range pg.Rows {
-		nr := make(value.Row, len(p.exprs))
-		for j, e := range p.exprs {
-			v, err := e.Eval(row)
-			if err != nil {
-				return nil, err
-			}
-			nr[j] = v
+	for {
+		pg, err := p.child.Next()
+		if err != nil || pg == nil {
+			return nil, err
 		}
-		out.Rows[i] = nr
+		n := pg.Len()
+		if n == 0 {
+			pg.Release()
+			continue
+		}
+		w := len(p.exprs)
+		out := p.pool.Get(n)
+		arena := make([]value.Value, n*w)
+		for i := 0; i < n; i++ {
+			row := pg.Row(i)
+			nr := arena[i*w : (i+1)*w : (i+1)*w]
+			for j, e := range p.exprs {
+				v, err := e(row)
+				if err != nil {
+					out.Release()
+					pg.Release()
+					return nil, err
+				}
+				nr[j] = v
+			}
+			out.Rows = append(out.Rows, value.Row(nr))
+		}
+		pg.Release()
+		return out, nil
 	}
-	return out, nil
 }
 
 func (p *projectOp) Close() error { return p.child.Close() }
 
 // --- limit / distinct ---
 
+// limitOp trims pages in place (adjusting the selection vector or row slice)
+// and stops pulling its child once the limit is satisfied, so upstream
+// streaming operators terminate early.
 type limitOp struct {
 	child     Operator
 	n, offset int
@@ -530,80 +659,78 @@ func (l *limitOp) Next() (*Page, error) {
 		if err != nil || pg == nil {
 			return nil, err
 		}
-		rows := pg.Rows
-		// Apply offset.
+		n := pg.Len()
+		skip := 0
 		if l.skipped < l.offset {
-			skip := l.offset - l.skipped
-			if skip >= len(rows) {
-				l.skipped += len(rows)
-				continue
+			skip = l.offset - l.skipped
+			if skip > n {
+				skip = n
 			}
-			rows = rows[skip:]
-			l.skipped = l.offset
+			l.skipped += skip
 		}
-		if l.n >= 0 && l.emitted+len(rows) > l.n {
-			rows = rows[:l.n-l.emitted]
+		take := n - skip
+		if l.n >= 0 && take > l.n-l.emitted {
+			take = l.n - l.emitted
 		}
-		if len(rows) == 0 {
+		if take <= 0 {
+			pg.Release()
 			continue
 		}
-		l.emitted += len(rows)
-		return &Page{Rows: rows}, nil
+		pg.slice(skip, skip+take)
+		l.emitted += take
+		return pg, nil
 	}
 }
 
 func (l *limitOp) Close() error { return l.child.Close() }
 
+// distinctOp narrows each page's selection to first-seen rows — like
+// filterOp, no row is copied; the dedup table stores row headers only.
 type distinctOp struct {
-	child    Operator
-	pageRows int
-	seen     map[uint64][]value.Row
-
-	buf []value.Row // new rows not yet emitted; survives errWouldBlock
-	eos bool
+	child Operator
+	seen  map[uint64][]value.Row
+	cols  []int // identity column set, sized on first row
 }
 
 func (d *distinctOp) Open() error {
 	d.seen = make(map[uint64][]value.Row)
-	d.buf, d.eos = nil, false
+	d.cols = nil
 	return d.child.Open()
 }
 
 func (d *distinctOp) Next() (*Page, error) {
-	for !d.eos && len(d.buf) < d.pageRows {
+	for {
 		pg, err := d.child.Next()
-		if err != nil {
-			if err == errWouldBlock && len(d.buf) > 0 {
-				break
-			}
+		if err != nil || pg == nil {
 			return nil, err
 		}
-		if pg == nil {
-			d.eos = true
-			break
+		if err := pg.narrow(d.addIfNew); err != nil {
+			pg.Release()
+			return nil, err
 		}
-		for _, row := range pg.Rows {
-			if d.addIfNew(row) {
-				d.buf = append(d.buf, row)
-			}
+		if pg.Len() == 0 {
+			pg.Release()
+			continue
 		}
+		return pg, nil
 	}
-	return cutPage(&d.buf, d.pageRows), nil
 }
 
-func (d *distinctOp) addIfNew(row value.Row) bool {
-	cols := make([]int, len(row))
-	for i := range cols {
-		cols[i] = i
+func (d *distinctOp) addIfNew(row value.Row) (bool, error) {
+	if d.cols == nil {
+		d.cols = make([]int, len(row))
+		for i := range d.cols {
+			d.cols[i] = i
+		}
 	}
-	h := row.Hash(cols)
+	h := row.Hash(d.cols)
 	for _, prev := range d.seen[h] {
 		if rowsEqual(prev, row) {
-			return false
+			return false, nil
 		}
 	}
 	d.seen[h] = append(d.seen[h], row)
-	return true
+	return true, nil
 }
 
 func (d *distinctOp) Close() error {

@@ -7,13 +7,6 @@ import (
 	"stagedb/internal/value"
 )
 
-func concatRow(l, r value.Row) value.Row {
-	out := make(value.Row, 0, len(l)+len(r))
-	out = append(out, l...)
-	out = append(out, r...)
-	return out
-}
-
 // keysNull reports whether any key column of the row is NULL (NULL never
 // joins).
 func keysNull(row value.Row, keys []int) bool {
@@ -25,90 +18,164 @@ func keysNull(row value.Row, keys []int) bool {
 	return false
 }
 
-// passResidual applies the join's residual condition, when present.
-func passResidual(residual plan.Expr, row value.Row) (bool, error) {
-	if residual == nil {
-		return true, nil
-	}
-	return plan.EvalPredicate(residual, row)
-}
-
 // --- hash join ---
 
-// hashJoin builds a hash table on the right (build) input and probes with
-// the left. Inputs are drained lazily on first Next so a pooled task can
-// suspend mid-drain (errWouldBlock) without losing progress.
+// hashJoin builds a hash table on the right (build) input, then probes with
+// the left input page-at-a-time: probe pages stream through the operator and
+// are released as soon as their matches are emitted, so the join holds
+// O(build) memory — never O(probe) — and a LIMIT above the join stops the
+// probe side early instead of materializing it. The build side is drained
+// lazily on first Next so a pooled task can suspend mid-drain
+// (errWouldBlock) without losing progress; probe-side would-blocks emit any
+// partially filled output page rather than stall it.
 type hashJoin struct {
-	node     *plan.Join
-	left     Operator
-	right    Operator
-	pageRows int
+	node      *plan.Join
+	left      Operator
+	right     Operator
+	pageRows  int
+	pool      *PagePool
+	resid     plan.CompiledPredicate // residual condition over concat rows
+	buildHint int
 
-	build  rowAccum // right input
-	probe  rowAccum // left input
-	loaded bool
-	table  map[uint64][]value.Row
-	out    []value.Row
-	pos    int
+	build rowAccum // right input (resumable)
+	built bool
+	table map[uint64][]value.Row
+
+	// Streaming probe state, preserved across errWouldBlock suspensions.
+	probe   *Page
+	probeI  int         // next live-row index within probe
+	curLeft value.Row   // probe row whose bucket is being emitted
+	bucket  []value.Row // current hash bucket (candidates; keys re-checked)
+	bucketI int
+	eos     bool
+
+	out   *Page         // output page under construction
+	arena []value.Value // flat backing for the output page's concat rows
+	width int           // concat row width (left + right)
 }
 
 func (j *hashJoin) Open() error {
-	j.build, j.probe, j.loaded = rowAccum{}, rowAccum{}, false
+	j.build = rowAccum{hint: j.buildHint}
+	j.built, j.eos = false, false
+	j.probe, j.probeI = nil, 0
+	j.curLeft, j.bucket, j.bucketI = nil, nil, 0
+	j.out, j.arena = nil, nil
+	j.width = len(j.node.L.Schema()) + len(j.node.R.Schema())
 	if err := j.left.Open(); err != nil {
 		return err
 	}
 	return j.right.Open()
 }
 
-func (j *hashJoin) Next() (*Page, error) {
-	if !j.loaded {
-		if err := j.build.fill(j.right); err != nil {
-			return nil, err
-		}
-		if err := j.probe.fill(j.left); err != nil {
-			return nil, err
-		}
-		if err := j.join(); err != nil {
-			return nil, err
-		}
-		j.loaded = true
+// buildTable hashes the accumulated build rows into the probe table,
+// pre-sized from the planner's estimate and batch-hashed in one pass.
+func (j *hashJoin) buildTable() {
+	rows := j.build.rows
+	j.build.rows = nil
+	size := j.buildHint
+	if len(rows) > 0 {
+		size = len(rows)
 	}
-	return slicePage(&j.pos, j.out, j.pageRows), nil
-}
-
-func (j *hashJoin) join() error {
-	buildRows, probeRows := j.build.rows, j.probe.rows
-	j.build.rows, j.probe.rows = nil, nil
-	j.table = make(map[uint64][]value.Row, len(buildRows))
-	for _, row := range buildRows {
+	j.table = make(map[uint64][]value.Row, size)
+	hashes := value.HashRows(rows, j.node.RightKey, nil)
+	for i, row := range rows {
 		if keysNull(row, j.node.RightKey) {
 			continue
 		}
-		h := row.Hash(j.node.RightKey)
-		j.table[h] = append(j.table[h], row)
+		j.table[hashes[i]] = append(j.table[hashes[i]], row)
 	}
-	j.out = j.out[:0]
-	for _, l := range probeRows {
-		if keysNull(l, j.node.LeftKeys) {
+}
+
+// pushOut appends one concatenated output row, carving it from the page's
+// value arena (two allocations per output page instead of one per row).
+func (j *hashJoin) pushOut(l, r value.Row) value.Row {
+	if j.out == nil {
+		j.out = j.pool.Get(j.pageRows)
+		j.arena = make([]value.Value, 0, j.pageRows*j.width)
+	}
+	start := len(j.arena)
+	j.arena = append(j.arena, l...)
+	j.arena = append(j.arena, r...)
+	return value.Row(j.arena[start:len(j.arena):len(j.arena)])
+}
+
+func (j *hashJoin) outLen() int {
+	if j.out == nil {
+		return 0
+	}
+	return len(j.out.Rows)
+}
+
+func (j *hashJoin) emit() *Page {
+	pg := j.out
+	j.out, j.arena = nil, nil
+	return pg
+}
+
+func (j *hashJoin) Next() (*Page, error) {
+	if !j.built {
+		if err := j.build.fill(j.right); err != nil {
+			return nil, err
+		}
+		j.buildTable()
+		j.built = true
+	}
+	for !j.eos && j.outLen() < j.pageRows {
+		if j.bucket != nil {
+			for j.bucketI < len(j.bucket) && j.outLen() < j.pageRows {
+				r := j.bucket[j.bucketI]
+				j.bucketI++
+				if !keysEqual(j.curLeft, j.node.LeftKeys, r, j.node.RightKey) {
+					continue
+				}
+				combined := j.pushOut(j.curLeft, r)
+				if j.resid != nil {
+					ok, err := j.resid(combined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						// Reject: drop the row from the page (the arena slot
+						// stays consumed; residual rejects are rare).
+						continue
+					}
+				}
+				j.out.Rows = append(j.out.Rows, combined)
+			}
+			if j.bucketI >= len(j.bucket) {
+				j.bucket, j.curLeft = nil, nil
+			}
 			continue
 		}
-		h := l.Hash(j.node.LeftKeys)
-		for _, r := range j.table[h] {
-			if !keysEqual(l, j.node.LeftKeys, r, j.node.RightKey) {
+		if j.probe != nil && j.probeI < j.probe.Len() {
+			l := j.probe.Row(j.probeI)
+			j.probeI++
+			if keysNull(l, j.node.LeftKeys) {
 				continue
 			}
-			combined := concatRow(l, r)
-			ok, err := passResidual(j.node.Residual, combined)
-			if err != nil {
-				return err
+			if b := j.table[l.Hash(j.node.LeftKeys)]; len(b) > 0 {
+				j.curLeft, j.bucket, j.bucketI = l, b, 0
 			}
-			if ok {
-				j.out = append(j.out, combined)
-			}
+			continue
 		}
+		if j.probe != nil {
+			j.probe.Release()
+			j.probe = nil
+		}
+		pg, err := j.left.Next()
+		if err != nil {
+			if err == errWouldBlock && j.outLen() > 0 {
+				break
+			}
+			return nil, err
+		}
+		if pg == nil {
+			j.eos = true
+			break
+		}
+		j.probe, j.probeI = pg, 0
 	}
-	j.pos = 0
-	return nil
+	return j.emit(), nil
 }
 
 func keysEqual(l value.Row, lk []int, r value.Row, rk []int) bool {
@@ -121,7 +188,11 @@ func keysEqual(l value.Row, lk []int, r value.Row, rk []int) bool {
 }
 
 func (j *hashJoin) Close() error {
-	j.table, j.out = nil, nil
+	j.table, j.bucket, j.curLeft = nil, nil, nil
+	j.probe.Release()
+	j.probe = nil
+	j.out.Release()
+	j.out, j.arena = nil, nil
 	if err := j.left.Close(); err != nil {
 		j.right.Close()
 		return err
@@ -131,11 +202,29 @@ func (j *hashJoin) Close() error {
 
 // --- sort-merge join ---
 
+// concatRow joins two rows for the materializing join algorithms (the hash
+// join carves its output from a per-page arena instead).
+func concatRow(l, r value.Row) value.Row {
+	out := make(value.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// passResidual applies the join's compiled residual condition, when present.
+func passResidual(resid plan.CompiledPredicate, row value.Row) (bool, error) {
+	if resid == nil {
+		return true, nil
+	}
+	return resid(row)
+}
+
 type mergeJoin struct {
 	node     *plan.Join
 	left     Operator
 	right    Operator
 	pageRows int
+	resid    plan.CompiledPredicate
 
 	lacc   rowAccum
 	racc   rowAccum
@@ -145,7 +234,9 @@ type mergeJoin struct {
 }
 
 func (j *mergeJoin) Open() error {
-	j.lacc, j.racc, j.loaded = rowAccum{}, rowAccum{}, false
+	j.lacc = rowAccum{hint: j.lacc.hint}
+	j.racc = rowAccum{hint: j.racc.hint}
+	j.loaded = false
 	if err := j.left.Open(); err != nil {
 		return err
 	}
@@ -220,7 +311,7 @@ func (j *mergeJoin) join() error {
 			for li < len(lrows) && compareKeys(lrows[li], j.node.LeftKeys, rrows[ri], j.node.RightKey) == 0 {
 				for k := ri; k < rEnd; k++ {
 					combined := concatRow(lrows[li], rrows[k])
-					ok, err := passResidual(j.node.Residual, combined)
+					ok, err := passResidual(j.resid, combined)
 					if err != nil {
 						return err
 					}
@@ -266,6 +357,7 @@ type nestedLoopJoin struct {
 	left     Operator
 	right    Operator
 	pageRows int
+	resid    plan.CompiledPredicate
 
 	iacc   rowAccum // inner (right) input
 	oacc   rowAccum // outer (left) input
@@ -275,7 +367,9 @@ type nestedLoopJoin struct {
 }
 
 func (j *nestedLoopJoin) Open() error {
-	j.iacc, j.oacc, j.loaded = rowAccum{}, rowAccum{}, false
+	j.iacc = rowAccum{hint: j.iacc.hint}
+	j.oacc = rowAccum{hint: j.oacc.hint}
+	j.loaded = false
 	if err := j.left.Open(); err != nil {
 		return err
 	}
@@ -308,7 +402,7 @@ func (j *nestedLoopJoin) join() error {
 				continue
 			}
 			combined := concatRow(l, r)
-			ok, err := passResidual(j.node.Residual, combined)
+			ok, err := passResidual(j.resid, combined)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,222 @@
+package exec
+
+// pagepool.go implements the pooled exchange-page allocator of the
+// vectorized execution path. Exchange pages used to be freshly allocated by
+// every producer and dropped for the garbage collector to find; with the
+// paper's page-based dataflow that is one allocation (plus a row-header
+// array) per page per operator per query. The pool recycles them under an
+// explicit ownership protocol:
+//
+//   - A producer obtains an empty page with pool.Get, fills Rows, and emits
+//     it. Emitting transfers ownership to the consumer.
+//   - A consumer either forwards the page downstream (transferring ownership
+//     again — filter, distinct and limit do this, adjusting the selection
+//     vector in place) or copies out the row headers it needs and calls
+//     Release. After Release the page's Rows/Sel slices must not be touched,
+//     but the value.Row rows themselves remain valid: the page owns only the
+//     header array, never the row storage.
+//   - Fan-out producers (exec.SharedScans) Retain the page once per extra
+//     consumer; the page recycles on the last Release.
+//
+// Pages from a nil pool are plain allocations whose Release is a no-op, so
+// operator code is identical whether pooling is enabled or not.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"stagedb/internal/plan"
+	"stagedb/internal/value"
+)
+
+// Page is a batch of rows exchanged between operators.
+type Page struct {
+	// Rows holds every row carried by the page.
+	Rows []value.Row
+	// Sel, when non-nil, is the page's selection vector: the indexes into
+	// Rows that are live, in order. The vectorized filter kernels narrow it
+	// in place instead of copying surviving rows. nil means all rows are
+	// live.
+	Sel []int32
+
+	buf    []value.Row // backing array owned by the page, reused on recycle
+	selBuf []int32     // selection backing, reused on recycle
+	refs   atomic.Int32
+	pool   *PagePool
+}
+
+// Len returns the number of live rows (honoring the selection vector).
+func (p *Page) Len() int {
+	if p.Sel != nil {
+		return len(p.Sel)
+	}
+	return len(p.Rows)
+}
+
+// Row returns the i-th live row.
+func (p *Page) Row(i int) value.Row {
+	if p.Sel != nil {
+		return p.Rows[p.Sel[i]]
+	}
+	return p.Rows[i]
+}
+
+// Retain adds one reference for fan-out delivery. No-op on unpooled pages.
+func (p *Page) Retain() {
+	if p != nil && p.pool != nil {
+		p.refs.Add(1)
+	}
+}
+
+// Release drops one reference; the last release recycles the page into its
+// pool. Safe on nil and unpooled pages (no-op).
+func (p *Page) Release() {
+	if p == nil || p.pool == nil {
+		return
+	}
+	if p.refs.Add(-1) == 0 {
+		p.pool.put(p)
+	}
+}
+
+// slice restricts the page to its live rows in [lo, hi) — the limit/offset
+// kernel. The caller must own the page.
+func (p *Page) slice(lo, hi int) {
+	if p.Sel != nil {
+		p.Sel = p.Sel[lo:hi]
+		return
+	}
+	p.Rows = p.Rows[lo:hi]
+}
+
+// narrow filters the page's selection in place through pred: rows stay put
+// and only the selection vector shrinks. This is the vectorized filter
+// kernel — a page flows through a Filter without a single row copy. The
+// in-place compaction is safe because the write position never passes the
+// read position.
+func (p *Page) narrow(pred plan.CompiledPredicate) error {
+	sel := p.selBuf[:0]
+	if p.Sel == nil {
+		for i, row := range p.Rows {
+			ok, err := pred(row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		for _, i := range p.Sel {
+			ok, err := pred(p.Rows[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				sel = append(sel, i)
+			}
+		}
+	}
+	p.Sel = sel
+	if cap(sel) > cap(p.selBuf) {
+		p.selBuf = sel
+	}
+	return nil
+}
+
+// PagePool is a sync.Pool-backed allocator of exchange pages with hit/miss
+// accounting. One pool is shared by every query of an engine; it is safe for
+// concurrent use. Outstanding() underpins the leak tests: after a query ends
+// (including LIMIT-abandoned and shared-scan fan-out queries) every page
+// checked out on its behalf must have been returned.
+type PagePool struct {
+	pool                  sync.Pool
+	hits, misses, recycle atomic.Int64
+}
+
+// NewPagePool returns an empty pool.
+func NewPagePool() *PagePool { return &PagePool{} }
+
+// Get returns an empty page with row capacity at least capRows and one
+// reference held by the caller. A nil pool returns an unpooled page.
+func (pp *PagePool) Get(capRows int) *Page {
+	if capRows <= 0 {
+		capRows = DefaultPageRows
+	}
+	if pp == nil {
+		pg := &Page{buf: make([]value.Row, 0, capRows)}
+		pg.Rows = pg.buf
+		pg.refs.Store(1)
+		return pg
+	}
+	if v := pp.pool.Get(); v != nil {
+		pp.hits.Add(1)
+		pg := v.(*Page)
+		if cap(pg.buf) < capRows {
+			pg.buf = make([]value.Row, 0, capRows)
+		}
+		pg.Rows = pg.buf[:0]
+		pg.Sel = nil
+		pg.refs.Store(1)
+		pg.pool = pp
+		return pg
+	}
+	pp.misses.Add(1)
+	pg := &Page{buf: make([]value.Row, 0, capRows), pool: pp}
+	pg.Rows = pg.buf
+	pg.refs.Store(1)
+	return pg
+}
+
+// put recycles a page whose last reference was released.
+func (pp *PagePool) put(p *Page) {
+	// A producer that appended past the page's capacity grew a fresh backing
+	// array; adopt it (it is exclusively ours once refs hit zero) so the
+	// larger capacity is kept. Pages that were re-sliced forward shrink below
+	// the original capacity and keep their old backing.
+	if cap(p.Rows) > cap(p.buf) {
+		p.buf = p.Rows[:0]
+	}
+	// Drop row headers so a parked pool page does not pin row memory.
+	clear(p.buf[:cap(p.buf)])
+	p.Rows, p.Sel = nil, nil
+	pp.recycle.Add(1)
+	pp.pool.Put(p)
+}
+
+// PagePoolStats is a point-in-time copy of the pool counters.
+type PagePoolStats struct {
+	// Hits counts Gets served by recycled pages; Misses counts fresh
+	// allocations.
+	Hits, Misses int64
+	// Recycled counts pages returned to the pool (last-reference releases).
+	Recycled int64
+	// Outstanding is pages currently checked out (Hits+Misses-Recycled).
+	Outstanding int64
+}
+
+// Stats snapshots the pool counters.
+func (pp *PagePool) Stats() PagePoolStats {
+	if pp == nil {
+		return PagePoolStats{}
+	}
+	h, m, r := pp.hits.Load(), pp.misses.Load(), pp.recycle.Load()
+	return PagePoolStats{Hits: h, Misses: m, Recycled: r, Outstanding: h + m - r}
+}
+
+// Outstanding reports pages checked out but not yet recycled.
+func (pp *PagePool) Outstanding() int64 {
+	st := pp.Stats()
+	return st.Outstanding
+}
+
+// Counters renders the pool counters for stage snapshots (the \stages view).
+func (pp *PagePool) Counters() map[string]int64 {
+	st := pp.Stats()
+	return map[string]int64{
+		"pagepool.hits":        st.Hits,
+		"pagepool.misses":      st.Misses,
+		"pagepool.recycled":    st.Recycled,
+		"pagepool.outstanding": st.Outstanding,
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"stagedb/internal/catalog"
 	"stagedb/internal/metrics"
 	"stagedb/internal/storage"
-	"stagedb/internal/value"
 )
 
 // defaultStallTimeout bounds how long the shared wheel waits on one
@@ -34,6 +33,7 @@ const defaultStallTimeout = 5 * time.Millisecond
 type SharedScans struct {
 	bufferPages int
 	stall       time.Duration
+	pool        *PagePool // decoded fan-out pages; nil = unpooled
 
 	mu    sync.Mutex
 	scans map[*storage.Heap]*sharedScan
@@ -48,11 +48,14 @@ type SharedScans struct {
 }
 
 // NewSharedScans returns a manager whose consumer fan-out buffers hold
-// bufferPages decoded pages each (0 = the exchange default).
-func NewSharedScans(bufferPages int) *SharedScans {
+// bufferPages decoded pages each (0 = the exchange default). Decoded pages
+// are drawn from pool when non-nil; fanned-out pages carry one reference per
+// attached consumer and recycle on the last release.
+func NewSharedScans(bufferPages int, pool *PagePool) *SharedScans {
 	return &SharedScans{
 		bufferPages: bufferPages,
 		stall:       defaultStallTimeout,
+		pool:        pool,
 		scans:       make(map[*storage.Heap]*sharedScan),
 	}
 }
@@ -238,18 +241,23 @@ func (s *sharedScan) run() {
 		}
 		s.mu.Unlock()
 
-		rows, err := s.decode(s.pages[pos])
+		pg, err := s.decode(s.pages[pos])
 		if err != nil {
 			s.fail(err)
 			return
 		}
 		s.mgr.PagesDecoded.Inc()
-		pg := &Page{Rows: rows}
 		for _, c := range cons {
-			pushed := len(rows) > 0
+			pushed := pg.Len() > 0
 			var outcome int
 			if pushed {
+				// The consumer gets its own reference; a failed delivery
+				// hands the reference straight back.
+				pg.Retain()
 				outcome = c.push(pg, s.mgr.stall)
+				if outcome != pushOK {
+					pg.Release()
+				}
 			} else {
 				// Nothing to deliver for an empty page, but still notice a
 				// gone consumer so the wheel never works for a dead query.
@@ -288,13 +296,16 @@ func (s *sharedScan) run() {
 				c.detachAck()
 			}
 		}
+		// Drop the producer's own reference; the page recycles once every
+		// consumer that accepted it releases its copy.
+		pg.Release()
 	}
 }
 
 // decode pins one heap page and decodes every live record on it — once, for
-// all attached consumers.
-func (s *sharedScan) decode(id storage.PageID) ([]value.Row, error) {
-	var rows []value.Row
+// all attached consumers — into a pooled page.
+func (s *sharedScan) decode(id storage.PageID) (*Page, error) {
+	pg := s.mgr.pool.Get(DefaultPageRows)
 	var derr error
 	err := s.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
 		row, err := storage.DecodeRow(s.tbl.Schema, rec)
@@ -302,13 +313,17 @@ func (s *sharedScan) decode(id storage.PageID) ([]value.Row, error) {
 			derr = err
 			return false
 		}
-		rows = append(rows, row)
+		pg.Rows = append(pg.Rows, row)
 		return true
 	})
 	if err == nil {
 		err = derr
 	}
-	return rows, err
+	if err != nil {
+		pg.Release()
+		return nil, err
+	}
+	return pg, nil
 }
 
 // tryExit retires the producer if no consumer raced in; it reports whether

@@ -64,7 +64,7 @@ func TestSharedScanConcurrentIdentical(t *testing.T) {
 				defer pool.Close()
 				runner = pool
 			}
-			shared := NewSharedScans(2)
+			shared := NewSharedScans(2, nil)
 			const n = 8
 			results := make([][]value.Row, n)
 			var wg sync.WaitGroup
@@ -114,7 +114,7 @@ func TestSharedScanDifferentFilters(t *testing.T) {
 	// otherwise pick the primary-key index).
 	opt := plan.Options{DisableIndex: true}
 
-	shared := NewSharedScans(2)
+	shared := NewSharedScans(2, nil)
 	results := make([][]value.Row, len(queries))
 	var wg sync.WaitGroup
 	for i, q := range queries {
@@ -154,7 +154,7 @@ func TestSharedScanMidAttachWraps(t *testing.T) {
 		t.Fatalf("need several pages, have %d", pages)
 	}
 
-	shared := NewSharedScans(1)
+	shared := NewSharedScans(1, nil)
 	// Disable spills for determinism: the wheel must wait for A while B
 	// attaches mid-scan.
 	shared.stall = time.Minute
@@ -239,7 +239,7 @@ func TestSharedScanAbandonDoesNotStall(t *testing.T) {
 	tbl, _ := db.cat.Get("items")
 	h := db.heaps["items"]
 
-	shared := NewSharedScans(1)
+	shared := NewSharedScans(1, nil)
 	// Make genuine stalls effectively impossible so the test exercises the
 	// abandonment path, not the spill path.
 	shared.stall = time.Minute
@@ -292,7 +292,7 @@ func TestSharedScanSelfJoin(t *testing.T) {
 	q := "SELECT a.id FROM items a JOIN items b ON a.id = b.id WHERE b.grp = 3"
 	want := db.volcano(t, q)
 
-	shared := NewSharedScans(1)
+	shared := NewSharedScans(1, nil)
 	shared.stall = 2 * time.Millisecond
 	opt := plan.Options{DisableIndex: true}
 	node := db.plan(t, q, opt)

@@ -55,15 +55,22 @@ type pipeline struct {
 	pageRows    int
 	bufferPages int
 	shared      *SharedScans // non-nil: fscan operators attach to shared scans
+	pool        *PagePool    // exchange-page allocator (nil = unpooled)
 
 	done     chan struct{} // closed on failure or cancellation
 	failOnce sync.Once
 	err      error
 
-	mu       sync.Mutex
-	tasks    []*opTask       // resumable tasks, woken on failure
-	scanCons []*scanConsumer // shared-scan consumers this pipeline attached
-	noAttach bool            // RunStaged is returning; no new attachments
+	// running counts launched operator drive loops; RunStaged waits for all
+	// of them before returning so every pooled page the query checked out is
+	// back in the pool (and no operator outlives the query's table locks).
+	running sync.WaitGroup
+
+	mu        sync.Mutex
+	tasks     []*opTask       // resumable tasks, woken on failure
+	exchanges []*exchange     // all inter-operator buffers, drained at teardown
+	scanCons  []*scanConsumer // shared-scan consumers this pipeline attached
+	noAttach  bool            // RunStaged is returning; no new attachments
 }
 
 // attachShared joins the shared scan over h on this pipeline's behalf, or
@@ -93,6 +100,25 @@ func (p *pipeline) releaseScans() {
 	p.mu.Unlock()
 	for _, c := range cons {
 		c.awaitDetach()
+	}
+}
+
+// drainPages releases every page still buffered in the pipeline's exchanges
+// and shared-scan fan-out taps. Called after all operator tasks have
+// finished (their exchanges are closed, the wheel has detached every
+// consumer), it is the last step of the page-recycle protocol: a query that
+// stopped reading early (LIMIT, abandonment, failure) leaves pages stranded
+// in its buffers, and those must go back to the pool.
+func (p *pipeline) drainPages() {
+	p.mu.Lock()
+	exs := append([]*exchange(nil), p.exchanges...)
+	cons := append([]*scanConsumer(nil), p.scanCons...)
+	p.mu.Unlock()
+	for _, ex := range exs {
+		ex.drainRelease()
+	}
+	for _, c := range cons {
+		c.ex.drainRelease()
 	}
 }
 
@@ -234,6 +260,25 @@ func (e *exchange) wakeSender() {
 	}
 }
 
+// drainRelease empties whatever pages remain buffered, returning them to
+// their pool. Only called at pipeline teardown, after the producer finished
+// (the channel is closed or will receive nothing more) and the consumer
+// stopped reading; a racing consumer read is harmless — each page is
+// received, and released, exactly once.
+func (e *exchange) drainRelease() {
+	for {
+		select {
+		case pg, ok := <-e.ch:
+			if !ok {
+				return
+			}
+			pg.Release()
+		default:
+			return
+		}
+	}
+}
+
 func (e *exchange) close() {
 	e.mu.Lock()
 	close(e.ch)
@@ -366,10 +411,17 @@ func (t *opTask) finish(err error) {
 	if err != nil {
 		t.pipe.fail(err)
 	}
+	if t.pending != nil {
+		// A page produced but never delivered (the pipeline ended first)
+		// still belongs to this task; recycle it.
+		t.pending.Release()
+		t.pending = nil
+	}
 	if t.opened {
 		t.op.Close()
 	}
 	t.out.close()
+	t.pipe.running.Done()
 }
 
 // wake makes a parked task runnable again (re-enqueueing it at its stage),
@@ -435,13 +487,16 @@ func (p *pipeline) launch(n plan.Node) (*exchange, error) {
 		}
 		childSources = append(childSources, src)
 	}
-	op, err := BuildNode(n, childSources, p.tables, p.pageRows)
+	op, err := BuildNode(n, childSources, p.tables, p.pageRows, p.pool)
 	if err != nil {
 		return nil, err
 	}
 	p.prepareScan(op, nil)
 	out := newExchange(p.bufferPages, p.done)
+	p.registerExchange(out)
+	p.running.Add(1)
 	p.runner.Submit(plan.StageOf(n), func() {
+		defer p.running.Done()
 		defer out.close()
 		if err := op.Open(); err != nil {
 			p.fail(err)
@@ -458,11 +513,20 @@ func (p *pipeline) launch(n plan.Node) (*exchange, error) {
 				return
 			}
 			if !out.send(pg) {
+				// The pipeline ended before delivery; the page is still ours.
+				pg.Release()
 				return
 			}
 		}
 	})
 	return out, nil
+}
+
+// registerExchange records an inter-operator buffer for teardown draining.
+func (p *pipeline) registerExchange(ex *exchange) {
+	p.mu.Lock()
+	p.exchanges = append(p.exchanges, ex)
+	p.mu.Unlock()
 }
 
 // launchTask is the pooled variant of launch: each operator becomes a
@@ -478,16 +542,18 @@ func (p *pipeline) launchTask(n plan.Node) (*exchange, error) {
 		}
 		childSources = append(childSources, &nbSource{ex: src, task: t})
 	}
-	op, err := BuildNode(n, childSources, p.tables, p.pageRows)
+	op, err := BuildNode(n, childSources, p.tables, p.pageRows, p.pool)
 	if err != nil {
 		return nil, err
 	}
 	p.prepareScan(op, t.wake)
 	t.op = op
 	t.out = newExchange(p.bufferPages, p.done)
+	p.registerExchange(t.out)
 	p.mu.Lock()
 	p.tasks = append(p.tasks, t)
 	p.mu.Unlock()
+	p.running.Add(1)
 	p.sched.schedule(t)
 	return t.out, nil
 }
@@ -512,6 +578,9 @@ type StagedOptions struct {
 	// Shared, when non-nil, lets fscan operators join in-flight shared
 	// table scans owned by the manager instead of walking the heap alone.
 	Shared *SharedScans
+	// Pool, when non-nil, recycles exchange pages across queries instead of
+	// allocating them fresh (see pagepool.go for the ownership protocol).
+	Pool *PagePool
 }
 
 // RunStaged executes the plan with one task per operator, each owned by its
@@ -523,6 +592,7 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, opts StagedOption
 		pageRows:    opts.PageRows,
 		bufferPages: opts.BufferPages,
 		shared:      opts.Shared,
+		pool:        opts.Pool,
 		done:        make(chan struct{}),
 	}
 	if ts, ok := runner.(taskScheduler); ok {
@@ -535,6 +605,8 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, opts StagedOption
 		// still attach) shared consumers; wait for the wheel to drop them
 		// before the caller releases the query's locks.
 		p.releaseScans()
+		p.running.Wait()
+		p.drainPages()
 		return nil, err
 	}
 	var rows []value.Row
@@ -546,7 +618,11 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, opts StagedOption
 		if pg == nil {
 			break
 		}
-		rows = append(rows, pg.Rows...)
+		n := pg.Len()
+		for i := 0; i < n; i++ {
+			rows = append(rows, pg.Row(i))
+		}
+		pg.Release()
 	}
 	// Release the pipeline: an operator that stopped reading early (LIMIT)
 	// leaves upstream producers blocked on their exchanges; closing done
@@ -559,6 +635,11 @@ func RunStaged(n plan.Node, tables Tables, runner StageRunner, opts StagedOption
 	// return, and the wheel must not read heap pages on a lockless query's
 	// behalf.
 	p.releaseScans()
+	// Then wait for every operator drive loop to finish (all observe the
+	// closed done channel promptly) and recycle pages stranded in buffers,
+	// so the query returns with its page-pool balance at zero.
+	p.running.Wait()
+	p.drainPages()
 	if p.err != nil {
 		return nil, p.err
 	}

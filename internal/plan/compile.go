@@ -1,0 +1,334 @@
+package plan
+
+// compile.go turns bound Expr trees into closure evaluators. The interpreted
+// Expr.Eval walks the tree through interface dispatch and re-switches on
+// operator tokens for every row; the execution engine's page-at-a-time
+// kernels instead compile each expression once per operator at build time and
+// call one closure per row. Semantics are identical to Eval (the property
+// test in compile_test.go checks them against each other on randomized
+// expressions), but operator resolution, constant folding of IN lists, and
+// LIKE pattern state all happen once.
+//
+// Compiled evaluators may carry per-closure scratch state (LIKE's DP buffer),
+// so a CompiledExpr is owned by one operator and is not safe for concurrent
+// use. Compile a fresh one per operator instance.
+
+import (
+	"fmt"
+
+	"stagedb/internal/value"
+)
+
+// CompiledExpr evaluates a compiled expression over one row.
+type CompiledExpr func(row value.Row) (value.Value, error)
+
+// CompiledPredicate evaluates a compiled filter over one row: NULL and
+// non-bool results collapse to false, mirroring EvalPredicate.
+type CompiledPredicate func(row value.Row) (bool, error)
+
+// Compile builds a closure evaluator for e.
+func Compile(e Expr) CompiledExpr {
+	switch x := e.(type) {
+	case *Const:
+		v := x.Val
+		return func(value.Row) (value.Value, error) { return v, nil }
+	case *Column:
+		idx := x.Idx
+		return func(row value.Row) (value.Value, error) {
+			if idx >= len(row) {
+				return value.Value{}, fmt.Errorf("plan: column %d out of range (row width %d)", idx, len(row))
+			}
+			return row[idx], nil
+		}
+	case *Binary:
+		return compileBinary(x)
+	case *Not:
+		sub := Compile(x.E)
+		return func(row value.Row) (value.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			b := !v.IsNull() && v.Type() == value.Bool && v.Bool()
+			return value.NewBool(!b), nil
+		}
+	case *Neg:
+		sub := Compile(x.E)
+		zero := value.NewInt(0)
+		return func(row value.Row) (value.Value, error) {
+			v, err := sub(row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			return value.Arith('-', zero, v)
+		}
+	case *Between:
+		return compileBetween(x)
+	case *In:
+		return compileIn(x)
+	case *Like:
+		return compileLike(x)
+	case *IsNull:
+		sub := Compile(x.E)
+		neg := x.Negate
+		return func(row value.Row) (value.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewBool(v.IsNull() != neg), nil
+		}
+	}
+	// Unknown node kinds fall back to the interpreter.
+	return e.Eval
+}
+
+// CompilePredicate builds a closure filter for e with EvalPredicate's
+// NULL-is-false collapse.
+func CompilePredicate(e Expr) CompiledPredicate {
+	f := Compile(e)
+	return func(row value.Row) (bool, error) {
+		v, err := f(row)
+		if err != nil {
+			return false, err
+		}
+		return !v.IsNull() && v.Type() == value.Bool && v.Bool(), nil
+	}
+}
+
+func compileBinary(x *Binary) CompiledExpr {
+	switch x.Op {
+	case "AND", "OR":
+		l, r := Compile(x.L), Compile(x.R)
+		and := x.Op == "AND"
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			lb := !lv.IsNull() && lv.Type() == value.Bool && lv.Bool()
+			if and && !lb {
+				return value.NewBool(false), nil
+			}
+			if !and && lb {
+				return value.NewBool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rb := !rv.IsNull() && rv.Type() == value.Bool && rv.Bool()
+			return value.NewBool(rb), nil
+		}
+	case "=", "!=", "<", "<=", ">", ">=":
+		l, r := Compile(x.L), Compile(x.R)
+		cmp := cmpFn(x.Op)
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.NewBool(false), nil
+			}
+			c, err := value.Compare(lv, rv)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewBool(cmp(c)), nil
+		}
+	case "+", "-", "*", "/", "%":
+		l, r := Compile(x.L), Compile(x.R)
+		op := x.Op[0]
+		if x.L.Type() == value.Int && x.R.Type() == value.Int && (op == '+' || op == '-' || op == '*') {
+			// Statically-Int overflow-free ops skip Arith's dynamic dispatch;
+			// runtime NULLs (and any type drift) fall back to the general path.
+			return func(row value.Row) (value.Value, error) {
+				lv, err := l(row)
+				if err != nil {
+					return value.Value{}, err
+				}
+				rv, err := r(row)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if lv.Type() == value.Int && rv.Type() == value.Int {
+					switch op {
+					case '+':
+						return value.NewInt(lv.Int() + rv.Int()), nil
+					case '-':
+						return value.NewInt(lv.Int() - rv.Int()), nil
+					default:
+						return value.NewInt(lv.Int() * rv.Int()), nil
+					}
+				}
+				return value.Arith(op, lv, rv)
+			}
+		}
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.Arith(op, lv, rv)
+		}
+	}
+	err := fmt.Errorf("plan: unknown operator %q", x.Op)
+	return func(value.Row) (value.Value, error) { return value.Value{}, err }
+}
+
+// cmpFn resolves a comparison token to its three-way-result test once.
+func cmpFn(op string) func(int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "!=":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	default:
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+func compileBetween(x *Between) CompiledExpr {
+	e, lo, hi := Compile(x.E), Compile(x.Lo), Compile(x.Hi)
+	neg := x.Negate
+	return func(row value.Row) (value.Value, error) {
+		v, err := e(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		lov, err := lo(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		hiv, err := hi(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() || lov.IsNull() || hiv.IsNull() {
+			return value.NewBool(neg), nil
+		}
+		c1, err := value.Compare(v, lov)
+		if err != nil {
+			return value.Value{}, err
+		}
+		c2, err := value.Compare(v, hiv)
+		if err != nil {
+			return value.Value{}, err
+		}
+		in := c1 >= 0 && c2 <= 0
+		return value.NewBool(in != neg), nil
+	}
+}
+
+func compileIn(x *In) CompiledExpr {
+	e := Compile(x.E)
+	neg := x.Negate
+	// An all-constant list (the common shape after folding) is evaluated
+	// once at compile time.
+	consts := make([]value.Value, 0, len(x.List))
+	allConst := true
+	for _, item := range x.List {
+		c, ok := item.(*Const)
+		if !ok {
+			allConst = false
+			break
+		}
+		consts = append(consts, c.Val)
+	}
+	if allConst {
+		return func(row value.Row) (value.Value, error) {
+			v, err := e(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if v.IsNull() {
+				return value.NewBool(neg), nil
+			}
+			for _, c := range consts {
+				if value.Equal(v, c) {
+					return value.NewBool(!neg), nil
+				}
+			}
+			return value.NewBool(neg), nil
+		}
+	}
+	items := make([]CompiledExpr, len(x.List))
+	for i, item := range x.List {
+		items[i] = Compile(item)
+	}
+	return func(row value.Row) (value.Value, error) {
+		v, err := e(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() {
+			return value.NewBool(neg), nil
+		}
+		for _, item := range items {
+			iv, err := item(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if value.Equal(v, iv) {
+				return value.NewBool(!neg), nil
+			}
+		}
+		return value.NewBool(neg), nil
+	}
+}
+
+func compileLike(x *Like) CompiledExpr {
+	e := Compile(x.E)
+	neg := x.Negate
+	// Constant text patterns (the common case) get a matcher with a reusable
+	// DP buffer, so per-row LIKE evaluation stops allocating.
+	if c, ok := x.Pattern.(*Const); ok && c.Val.Type() == value.Text {
+		m := value.NewLikeMatcher(c.Val.Text())
+		return func(row value.Row) (value.Value, error) {
+			v, err := e(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if v.IsNull() {
+				return value.NewBool(neg), nil
+			}
+			if v.Type() != value.Text {
+				return value.Value{}, fmt.Errorf("plan: LIKE requires text operands")
+			}
+			return value.NewBool(m.Match(v.Text()) != neg), nil
+		}
+	}
+	pat := Compile(x.Pattern)
+	return func(row value.Row) (value.Value, error) {
+		v, err := e(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		p, err := pat(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return value.NewBool(neg), nil
+		}
+		if v.Type() != value.Text || p.Type() != value.Text {
+			return value.Value{}, fmt.Errorf("plan: LIKE requires text operands")
+		}
+		return value.NewBool(value.Like(v.Text(), p.Text()) != neg), nil
+	}
+}

@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stagedb/internal/value"
+)
+
+// exprGen generates random bound expression trees over a fixed test schema:
+// col0 INT, col1 FLOAT, col2 TEXT, col3 BOOL, col4 INT.
+type exprGen struct {
+	rng *rand.Rand
+}
+
+var genColTypes = []value.Type{value.Int, value.Float, value.Text, value.Bool, value.Int}
+
+func (g *exprGen) texts() string {
+	words := []string{"", "a", "ab", "abc", "ba", "hello", "xyzzy", "aa"}
+	return words[g.rng.Intn(len(words))]
+}
+
+func (g *exprGen) constOf(t value.Type) Expr {
+	if g.rng.Intn(8) == 0 {
+		return &Const{Val: value.NewNull()}
+	}
+	switch t {
+	case value.Int:
+		return &Const{Val: value.NewInt(int64(g.rng.Intn(7) - 3))}
+	case value.Float:
+		return &Const{Val: value.NewFloat(float64(g.rng.Intn(9)-4) / 2)}
+	case value.Text:
+		return &Const{Val: value.NewText(g.texts())}
+	default:
+		return &Const{Val: value.NewBool(g.rng.Intn(2) == 0)}
+	}
+}
+
+// scalar produces a leaf or arithmetic expression of roughly type t.
+func (g *exprGen) scalar(t value.Type, depth int) Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		// Leaf: a column of the right type, or a constant.
+		if g.rng.Intn(2) == 0 {
+			for _, i := range g.rng.Perm(len(genColTypes)) {
+				if genColTypes[i] == t {
+					return &Column{Idx: i, Name: "c", Typ: t}
+				}
+			}
+		}
+		return g.constOf(t)
+	}
+	if t == value.Int || t == value.Float {
+		ops := []string{"+", "-", "*", "/", "%"}
+		op := ops[g.rng.Intn(len(ops))]
+		e := &Binary{Op: op, L: g.scalar(t, depth-1), R: g.scalar(t, depth-1)}
+		if g.rng.Intn(4) == 0 {
+			return &Neg{E: e}
+		}
+		return e
+	}
+	return g.constOf(t)
+}
+
+// pred produces a boolean expression.
+func (g *exprGen) pred(depth int) Expr {
+	if depth <= 0 {
+		return g.constOf(value.Bool)
+	}
+	switch g.rng.Intn(9) {
+	case 0:
+		return &Binary{Op: []string{"AND", "OR"}[g.rng.Intn(2)], L: g.pred(depth - 1), R: g.pred(depth - 1)}
+	case 1:
+		return &Not{E: g.pred(depth - 1)}
+	case 2:
+		t := []value.Type{value.Int, value.Float, value.Text}[g.rng.Intn(3)]
+		op := []string{"=", "!=", "<", "<=", ">", ">="}[g.rng.Intn(6)]
+		return &Binary{Op: op, L: g.scalar(t, depth-1), R: g.scalar(t, depth-1)}
+	case 3:
+		t := []value.Type{value.Int, value.Float}[g.rng.Intn(2)]
+		return &Between{E: g.scalar(t, depth-1), Lo: g.scalar(t, depth-1), Hi: g.scalar(t, depth-1), Negate: g.rng.Intn(2) == 0}
+	case 4:
+		t := []value.Type{value.Int, value.Text}[g.rng.Intn(2)]
+		n := 1 + g.rng.Intn(4)
+		list := make([]Expr, n)
+		for i := range list {
+			if g.rng.Intn(3) == 0 {
+				list[i] = g.scalar(t, 0)
+			} else {
+				list[i] = g.constOf(t)
+			}
+		}
+		return &In{E: g.scalar(t, depth-1), List: list, Negate: g.rng.Intn(2) == 0}
+	case 5:
+		pats := []string{"%", "%a%", "a%", "%c", "_b_", "a_c", "", "abc", "%%b", "h_llo"}
+		var pat Expr = &Const{Val: value.NewText(pats[g.rng.Intn(len(pats))])}
+		if g.rng.Intn(5) == 0 {
+			pat = &Column{Idx: 2, Name: "c2", Typ: value.Text}
+		}
+		if g.rng.Intn(8) == 0 {
+			pat = &Const{Val: value.NewNull()}
+		}
+		var e Expr = &Column{Idx: 2, Name: "c2", Typ: value.Text}
+		if g.rng.Intn(6) == 0 {
+			e = g.scalar(value.Int, 0) // type error path
+		}
+		return &Like{E: e, Pattern: pat, Negate: g.rng.Intn(2) == 0}
+	case 6:
+		t := genColTypes[g.rng.Intn(len(genColTypes))]
+		return &IsNull{E: g.scalar(t, depth-1), Negate: g.rng.Intn(2) == 0}
+	default:
+		t := []value.Type{value.Int, value.Float}[g.rng.Intn(2)]
+		op := []string{"=", "<", ">="}[g.rng.Intn(3)]
+		return &Binary{Op: op, L: g.scalar(t, depth-1), R: g.scalar(t, depth-1)}
+	}
+}
+
+func (g *exprGen) row() value.Row {
+	row := make(value.Row, len(genColTypes))
+	for i, t := range genColTypes {
+		if g.rng.Intn(5) == 0 {
+			row[i] = value.NewNull()
+			continue
+		}
+		switch t {
+		case value.Int:
+			row[i] = value.NewInt(int64(g.rng.Intn(9) - 4))
+		case value.Float:
+			row[i] = value.NewFloat(float64(g.rng.Intn(11)-5) / 2)
+		case value.Text:
+			row[i] = value.NewText(g.texts())
+		default:
+			row[i] = value.NewBool(g.rng.Intn(2) == 0)
+		}
+	}
+	return row
+}
+
+// TestCompileMatchesEval is the compiled-evaluator property test: on
+// randomized expression trees and rows (NULLs, BETWEEN, IN, LIKE, type
+// errors, division by zero included), Compile(e) must agree with the
+// interpreted e.Eval — same value or same error outcome — and
+// CompilePredicate must agree with EvalPredicate.
+func TestCompileMatchesEval(t *testing.T) {
+	g := &exprGen{rng: rand.New(rand.NewSource(7))}
+	for iter := 0; iter < 4000; iter++ {
+		var e Expr
+		if iter%3 == 0 {
+			typ := []value.Type{value.Int, value.Float}[g.rng.Intn(2)]
+			e = g.scalar(typ, 3)
+		} else {
+			e = g.pred(3)
+		}
+		compiled := Compile(e)
+		compiledPred := CompilePredicate(e)
+		for r := 0; r < 8; r++ {
+			row := g.row()
+			want, wantErr := e.Eval(row)
+			got, gotErr := compiled(row)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("expr %s row %s:\n  interpreted err=%v\n  compiled err=%v", e, row, wantErr, gotErr)
+			}
+			if wantErr == nil && !reflect.DeepEqual(want, got) {
+				t.Fatalf("expr %s row %s:\n  interpreted %s (%s)\n  compiled %s (%s)", e, row, want, want.Type(), got, got.Type())
+			}
+			wantB, wantErr := EvalPredicate(e, row)
+			gotB, gotErr := compiledPred(row)
+			if (wantErr == nil) != (gotErr == nil) || wantB != gotB {
+				t.Fatalf("pred %s row %s: interpreted (%v,%v) compiled (%v,%v)", e, row, wantB, wantErr, gotB, gotErr)
+			}
+		}
+	}
+}
+
+// TestCompileColumnOutOfRange pins the compiled column bounds check.
+func TestCompileColumnOutOfRange(t *testing.T) {
+	c := Compile(&Column{Idx: 3, Name: "x", Typ: value.Int})
+	if _, err := c(value.Row{value.NewInt(1)}); err == nil {
+		t.Fatal("out-of-range column must error")
+	}
+}

@@ -1,0 +1,115 @@
+package value
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// refHash recomputes a value's hash through hash/fnv, the implementation the
+// inline FNV-1a replaced. Grouping stability depends on the two agreeing.
+func refHash(v Value) uint64 {
+	h := fnv.New64a()
+	writeU64 := func(u uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	switch v.Type() {
+	case Null:
+		h.Write([]byte{0})
+	case Int:
+		writeU64(uint64(v.Int()))
+	case Float:
+		f := v.Float()
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			writeU64(uint64(int64(f)))
+		} else {
+			writeU64(math.Float64bits(f))
+		}
+	case Text:
+		h.Write([]byte{2})
+		h.Write([]byte(v.Text()))
+	case Bool:
+		if v.Bool() {
+			h.Write([]byte{4, 1})
+		} else {
+			h.Write([]byte{4, 0})
+		}
+	}
+	return h.Sum64()
+}
+
+func TestHashMatchesFNVReference(t *testing.T) {
+	vals := []Value{
+		NewNull(),
+		NewInt(0), NewInt(1), NewInt(-1), NewInt(math.MaxInt64), NewInt(math.MinInt64),
+		NewFloat(0), NewFloat(3.5), NewFloat(-2.25), NewFloat(42), NewFloat(1e300),
+		NewText(""), NewText("a"), NewText("hello world"), NewText("héllo"),
+		NewBool(true), NewBool(false),
+	}
+	for _, v := range vals {
+		if got, want := v.Hash(), refHash(v); got != want {
+			t.Fatalf("Hash(%s) = %d, want fnv reference %d", v, got, want)
+		}
+	}
+}
+
+func TestHashRowsBatch(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewText("a")},
+		{NewInt(2), NewText("b")},
+		{NewNull(), NewText("c")},
+	}
+	cols := []int{0, 1}
+	dst := HashRows(rows, cols, nil)
+	if len(dst) != len(rows) {
+		t.Fatalf("got %d hashes, want %d", len(dst), len(rows))
+	}
+	for i, r := range rows {
+		if dst[i] != r.Hash(cols) {
+			t.Fatalf("row %d: batch hash %d != row hash %d", i, dst[i], r.Hash(cols))
+		}
+	}
+	// Reuse must not reallocate when capacity suffices.
+	again := HashRows(rows[:2], cols, dst)
+	if &again[0] != &dst[0] {
+		t.Fatal("HashRows should reuse dst's backing array")
+	}
+}
+
+func TestLikeMatcherAgreesWithLike(t *testing.T) {
+	cases := []struct{ s, p string }{
+		{"hello", "%ell%"}, {"hello", "h_llo"}, {"hello", "x%"},
+		{"", "%"}, {"", ""}, {"abc", "abc"}, {"abc", "%%c"}, {"aaa", "a%a"},
+	}
+	for _, c := range cases {
+		m := NewLikeMatcher(c.p)
+		// Twice: the second call exercises the reused DP buffer.
+		for i := 0; i < 2; i++ {
+			if got, want := m.Match(c.s), Like(c.s, c.p); got != want {
+				t.Fatalf("LikeMatcher(%q).Match(%q) = %v, want %v", c.p, c.s, got, want)
+			}
+		}
+	}
+	// Matcher shared across strings of different lengths must regrow.
+	m := NewLikeMatcher("%b%")
+	if !m.Match("abc") || m.Match("x") || !m.Match("a long string with b inside") {
+		t.Fatal("matcher must handle varying input lengths")
+	}
+}
+
+// BenchmarkRowHash measures the inline FNV-1a hot path used by join and
+// group-by keys; it must be allocation-free.
+func BenchmarkRowHash(b *testing.B) {
+	row := Row{NewInt(12345), NewText("benchmark-key"), NewFloat(2.5)}
+	cols := []int{0, 1, 2}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += row.Hash(cols)
+	}
+	_ = sink
+}

@@ -5,7 +5,6 @@ package value
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -252,51 +251,100 @@ func Arith(op byte, a, b Value) (Value, error) {
 	return Value{}, fmt.Errorf("unknown operator %q", op)
 }
 
-// Hash returns a stable hash of the value, with Int and equal-valued Float
-// hashing alike so numeric join keys match across types.
-func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	switch v.typ {
-	case Null:
-		h.Write([]byte{0})
-	case Int:
-		writeU64(h, uint64(v.i))
-	case Float:
-		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
-			writeU64(h, uint64(int64(v.f)))
-		} else {
-			writeU64(h, math.Float64bits(v.f))
-		}
-	case Text:
-		h.Write([]byte{2})
-		h.Write([]byte(v.s))
-	case Bool:
-		if v.b {
-			h.Write([]byte{4, 1})
-		} else {
-			h.Write([]byte{4, 0})
-		}
+// FNV-1a parameters, inlined so hashing the hot join/group keys never
+// allocates a hasher (hash/fnv returns its state behind an interface, which
+// escapes to the heap on every New64a call).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvByte folds one byte into an FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvU64 folds a little-endian uint64 into an FNV-1a state.
+func fnvU64(h, u uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(u>>i))) * fnvPrime64
 	}
-	return h.Sum64()
+	return h
 }
 
-func writeU64(h interface{ Write([]byte) (int, error) }, u uint64) {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
+// fnvString folds a string's bytes into an FNV-1a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
 	}
-	h.Write(b[:])
+	return h
+}
+
+// Hash returns a stable hash of the value, with Int and equal-valued Float
+// hashing alike so numeric join keys match across types. The hash is an
+// allocation-free inline FNV-1a over the same byte encoding earlier versions
+// fed through hash/fnv, so stored hash-dependent orderings are unchanged.
+func (v Value) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	switch v.typ {
+	case Null:
+		h = fnvByte(h, 0)
+	case Int:
+		h = fnvU64(h, uint64(v.i))
+	case Float:
+		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			h = fnvU64(h, uint64(int64(v.f)))
+		} else {
+			h = fnvU64(h, math.Float64bits(v.f))
+		}
+	case Text:
+		h = fnvByte(h, 2)
+		h = fnvString(h, v.s)
+	case Bool:
+		h = fnvByte(h, 4)
+		if v.b {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	return h
 }
 
 // Like implements the SQL LIKE operator with % and _ wildcards.
 func Like(s, pattern string) bool {
-	return likeMatch(s, pattern)
+	return likeMatch(s, pattern, nil)
 }
 
-func likeMatch(s, p string) bool {
+// LikeMatcher matches a fixed LIKE pattern, reusing its DP scratch buffer
+// across calls. Compiled predicate kernels hold one per LIKE with a constant
+// pattern; it is not safe for concurrent use.
+type LikeMatcher struct {
+	pattern string
+	dp      []bool
+}
+
+// NewLikeMatcher returns a matcher for the given pattern.
+func NewLikeMatcher(pattern string) *LikeMatcher {
+	return &LikeMatcher{pattern: pattern}
+}
+
+// Match reports whether s matches the matcher's pattern.
+func (m *LikeMatcher) Match(s string) bool {
+	if cap(m.dp) < len(s)+1 {
+		m.dp = make([]bool, len(s)+1)
+	}
+	return likeMatch(s, m.pattern, m.dp[:len(s)+1])
+}
+
+func likeMatch(s, p string, dp []bool) bool {
 	// Dynamic programming over bytes (patterns in this codebase are ASCII).
 	n, m := len(s), len(p)
-	dp := make([]bool, n+1)
+	if dp == nil {
+		dp = make([]bool, n+1)
+	} else {
+		for i := range dp {
+			dp[i] = false
+		}
+	}
 	dp[0] = true
 	for j := 0; j < m; j++ {
 		if p[j] == '%' {
@@ -341,7 +389,22 @@ func (r Row) String() string {
 func (r Row) Hash(cols []int) uint64 {
 	var h uint64 = 1469598103934665603
 	for _, c := range cols {
-		h = (h ^ r[c].Hash()) * 1099511628211
+		h = (h ^ r[c].Hash()) * fnvPrime64
 	}
 	return h
+}
+
+// HashRows hashes the key columns of each row into dst, the batch entry of
+// the vectorized join and aggregation kernels: one call hashes a whole page
+// of keys with zero allocations when dst capacity suffices. It returns dst
+// resized to len(rows).
+func HashRows(rows []Row, cols []int, dst []uint64) []uint64 {
+	if cap(dst) < len(rows) {
+		dst = make([]uint64, len(rows))
+	}
+	dst = dst[:len(rows)]
+	for i, r := range rows {
+		dst[i] = r.Hash(cols)
+	}
+	return dst
 }

@@ -233,6 +233,21 @@ func (db *DB) IOStats() (reads, writes uint64) {
 	return st.Reads(), st.Writes()
 }
 
+// PagePoolStats reports the executor's exchange-page pool activity: pool
+// hits and misses, recycled pages, and pages currently checked out.
+// Outstanding returning to zero between queries is the invariant the
+// page-recycle protocol guarantees (and the leak tests assert).
+type PagePoolStats struct {
+	Hits, Misses, Recycled, Outstanding int64
+}
+
+// PagePoolStats snapshots the exchange-page pool counters (also visible as
+// the pagepool pseudo-stage in Stages and the CLI \stages view).
+func (db *DB) PagePoolStats() PagePoolStats {
+	st := db.kernel.PagePool().Stats()
+	return PagePoolStats{Hits: st.Hits, Misses: st.Misses, Recycled: st.Recycled, Outstanding: st.Outstanding}
+}
+
 // Exec runs one statement on this connection. BEGIN/COMMIT/ROLLBACK manage
 // an explicit transaction; other statements auto-commit outside one.
 func (c *Conn) Exec(sqlText string) (*Result, error) {
