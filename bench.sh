@@ -7,7 +7,9 @@
 #   BENCH_scan.json — scan path: shared circular scans, streaming LIMIT.
 #   BENCH_exec.json — vectorized exec path: filter/join/agg kernel micro-
 #                     benches, the streaming-join LIMIT bench, row hashing,
-#                     and the SharedScan headline numbers.
+#                     the SharedScan headline numbers, and the client API
+#                     benches (streaming time-to-first-row, prepared vs
+#                     unprepared re-execution).
 #
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
@@ -37,7 +39,7 @@ echo "$scan_out" | to_json > BENCH_scan.json
 echo "wrote BENCH_scan.json:"
 cat BENCH_scan.json
 
-exec_out=$(go test . -run '^$' -bench 'SharedScan|JoinStreamLimit' \
+exec_out=$(go test . -run '^$' -bench 'SharedScan|JoinStreamLimit|ClientStreamFirstRow|PreparedExec' \
 	-benchtime "${BENCHTIME:-2s}" -benchmem
 go test ./internal/exec -run '^$' -bench 'FilterKernel|AggKernel|HashJoinStream' \
 	-benchtime "${BENCHTIME:-2s}" -benchmem

@@ -10,6 +10,7 @@ package stagedb
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -155,7 +156,7 @@ func BenchmarkEngineWorkloadA(b *testing.B) {
 		mode Mode
 	}{{"staged", Staged}, {"threaded", Threaded}} {
 		b.Run(mode.name, func(b *testing.B) {
-			db := Open(Options{Mode: mode.mode})
+			db := mustOpen(b, Options{Mode: mode.mode})
 			defer db.Close()
 			loadWisconsin(b, db, []string{"tenk"}, 2000)
 			gen := workload.NewWorkloadA("tenk", 2000, 5)
@@ -177,7 +178,7 @@ func BenchmarkEngineWorkloadB(b *testing.B) {
 		mode Mode
 	}{{"staged", Staged}, {"threaded", Threaded}} {
 		b.Run(mode.name, func(b *testing.B) {
-			db := Open(Options{Mode: mode.mode})
+			db := mustOpen(b, Options{Mode: mode.mode})
 			defer db.Close()
 			loadWisconsin(b, db, []string{"wtab", "wtab2"}, 1000)
 			gen := workload.NewWorkloadB("wtab", 1000, 5)
@@ -195,7 +196,7 @@ func BenchmarkEngineWorkloadB(b *testing.B) {
 func BenchmarkPageSize(b *testing.B) {
 	for _, pr := range []int{1, 16, 64, 256} {
 		b.Run(fmt.Sprintf("rows=%d", pr), func(b *testing.B) {
-			db := Open(Options{PageRows: pr})
+			db := mustOpen(b, Options{PageRows: pr})
 			defer db.Close()
 			loadWisconsin(b, db, []string{"p1", "p12"}, 1000)
 			q := "SELECT a.ten, COUNT(*) FROM p1 a JOIN p12 b ON a.unique1 = b.unique1 GROUP BY a.ten"
@@ -214,7 +215,7 @@ func BenchmarkPageSize(b *testing.B) {
 func BenchmarkJoinAlgorithms(b *testing.B) {
 	for _, algo := range []plan.JoinAlgo{plan.HashJoin, plan.SortMergeJoin, plan.NestedLoopJoin} {
 		b.Run(algo.String(), func(b *testing.B) {
-			db := Open(Options{})
+			db := mustOpen(b, Options{})
 			defer db.Close()
 			db.kernel.SetPlanOptions(plan.Options{ForceJoin: &algo})
 			loadWisconsin(b, db, []string{"j1", "j12"}, 500)
@@ -256,7 +257,7 @@ func BenchmarkSharedScan(b *testing.B) {
 		{"gorunner-unshared", Options{ExecWorkers: -1, PoolFrames: 8, DisableSharedScans: true}},
 	} {
 		b.Run(m.name, func(b *testing.B) {
-			db := Open(m.opts)
+			db := mustOpen(b, m.opts)
 			defer db.Close()
 			loadPadded(b, db, 3000)
 			q := "SELECT grp, COUNT(*) FROM padded GROUP BY grp"
@@ -290,7 +291,7 @@ func BenchmarkSharedScan(b *testing.B) {
 // LIMIT query over a multi-page table allocates O(limit), not O(table), and
 // reads only a prefix of the heap (heap-reads/op stays tiny).
 func BenchmarkScanStreamLimit(b *testing.B) {
-	db := Open(Options{Mode: Threaded, Workers: 1, PoolFrames: 8})
+	db := mustOpen(b, Options{Mode: Threaded, Workers: 1, PoolFrames: 8})
 	defer db.Close()
 	loadPadded(b, db, 3000)
 	q := "SELECT id FROM padded LIMIT 10"
@@ -313,7 +314,7 @@ func BenchmarkScanStreamLimit(b *testing.B) {
 // O(build) memory, because the probe side is no longer materialized before
 // emitting.
 func BenchmarkJoinStreamLimit(b *testing.B) {
-	db := Open(Options{Mode: Threaded, Workers: 1, PoolFrames: 8})
+	db := mustOpen(b, Options{Mode: Threaded, Workers: 1, PoolFrames: 8})
 	defer db.Close()
 	loadPadded(b, db, 3000)
 	if _, err := db.Exec("CREATE TABLE dims (id INT, name TEXT)"); err != nil {
@@ -361,7 +362,7 @@ func BenchmarkExecScheduler(b *testing.B) {
 		{"pooled-batched", 4},
 	} {
 		b.Run(m.name, func(b *testing.B) {
-			db := Open(Options{ExecWorkers: m.execWorkers, ExecBatch: 4})
+			db := mustOpen(b, Options{ExecWorkers: m.execWorkers, ExecBatch: 4})
 			defer db.Close()
 			loadWisconsin(b, db, []string{"wtab", "wtab2"}, 1000)
 			gen := workload.NewWorkloadB("wtab", 1000, 5)
@@ -371,6 +372,104 @@ func BenchmarkExecScheduler(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkClientStreamFirstRow measures time-to-first-row on the client
+// API: the streaming Rows cursor sees its first row as soon as the first
+// exchange page leaves the pipeline, while the materializing wrapper waits
+// for the whole result. The gap is the latency the streaming redesign
+// removes (and the early Close keeps client memory at O(page)).
+func BenchmarkClientStreamFirstRow(b *testing.B) {
+	for _, m := range []struct {
+		name   string
+		stream bool
+	}{{"streaming", true}, {"materializing", false}} {
+		b.Run(m.name, func(b *testing.B) {
+			db := mustOpen(b, Options{})
+			defer db.Close()
+			loadPadded(b, db, 3000)
+			ctx := context.Background()
+			q := "SELECT id, grp FROM padded"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if m.stream {
+					rows, err := db.QueryContext(ctx, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rows.Next() {
+						b.Fatal("no rows")
+					}
+					rows.Close()
+				} else {
+					res, err := db.Query(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Rows) == 0 {
+						b.Fatal("no rows")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPreparedExec measures prepared vs unprepared re-execution of a
+// point SELECT. The prepared path binds arguments into the cached plan and
+// enters the pipeline at the execute stage; the bench asserts the parse and
+// optimize stages' service counts stay flat across the timed loop.
+func BenchmarkPreparedExec(b *testing.B) {
+	for _, m := range []struct {
+		name     string
+		prepared bool
+	}{{"prepared", true}, {"unprepared", false}} {
+		b.Run(m.name, func(b *testing.B) {
+			db := mustOpen(b, Options{})
+			defer db.Close()
+			loadWisconsin(b, db, []string{"ptab"}, 2000)
+			ctx := context.Background()
+			var stmt *Stmt
+			if m.prepared {
+				var err error
+				stmt, err = db.Prepare("SELECT unique1 FROM ptab WHERE unique2 = ?")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer stmt.Close()
+			}
+			parse0 := stageServiced(db, "parse")
+			opt0 := stageServiced(db, "optimize")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := i % 2000
+				if m.prepared {
+					rows, err := stmt.QueryContext(ctx, key)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows.Next()
+					rows.Close()
+				} else {
+					if _, err := db.Query("SELECT unique1 FROM ptab WHERE unique2 = ?", key); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if m.prepared {
+				if d := stageServiced(db, "parse") - parse0; d != 0 {
+					b.Fatalf("prepared loop grew parse stage by %d", d)
+				}
+				if d := stageServiced(db, "optimize") - opt0; d != 0 {
+					b.Fatalf("prepared loop grew optimize stage by %d", d)
+				}
+			}
+			b.ReportMetric(float64(stageServiced(db, "parse")-parse0)/float64(b.N), "parse-services/op")
 		})
 	}
 }

@@ -121,7 +121,10 @@ func granularity() {
 
 func pagesize() {
 	header("§4.4(c) ablation — intermediate-result page size (staged join on the real engine)")
-	db := stagedb.Open(stagedb.Options{})
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		panic(err)
+	}
 	defer db.Close()
 	mustLoad(db)
 	head := []string{"page rows", "join+group time"}
@@ -136,7 +139,10 @@ func pagesize() {
 }
 
 func timeJoin(pageRows int) time.Duration {
-	db := stagedb.Open(stagedb.Options{PageRows: pageRows, BufferPages: 4})
+	db, err := stagedb.Open(stagedb.Options{PageRows: pageRows, BufferPages: 4})
+	if err != nil {
+		panic(err)
+	}
 	defer db.Close()
 	mustLoad(db)
 	q := "SELECT a.ten, COUNT(*) FROM wtab a JOIN wtab2 b ON a.unique1 = b.unique1 GROUP BY a.ten"

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -21,7 +22,11 @@ import (
 )
 
 func main() {
-	db := stagedb.Open(stagedb.Options{})
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stagedb:", err)
+		os.Exit(1)
+	}
 	defer db.Close()
 	conn := db.Conn()
 
@@ -117,25 +122,64 @@ func runStatement(conn *stagedb.Conn, stmt string) {
 		return
 	}
 	start := time.Now()
+	if isSelect(stmt) {
+		runQuery(conn, stmt, start)
+		return
+	}
 	res, err := conn.Exec(stmt)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	elapsed := time.Since(start)
-	switch {
-	case res.Columns != nil:
-		rows := make([][]string, len(res.Rows))
-		for i, r := range res.Rows {
-			cells := make([]string, len(r))
-			for j, v := range r {
-				cells[j] = v.String()
-			}
-			rows[i] = cells
-		}
-		fmt.Print(metrics.Table(res.Columns, rows))
-		fmt.Printf("(%d rows, %v)\n", len(res.Rows), elapsed)
-	default:
-		fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, elapsed)
+	if res.Columns != nil {
+		printResult(res, elapsed)
+		return
 	}
+	fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, elapsed)
+}
+
+// runQuery streams the SELECT through a Rows cursor — the shell holds one
+// page at a time however large the result is.
+func runQuery(conn *stagedb.Conn, stmt string, start time.Time) {
+	rows, err := conn.QueryContext(context.Background(), strings.TrimSuffix(stmt, ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	var cells [][]string
+	n := 0
+	for rows.Next() {
+		r := rows.Row()
+		line := make([]string, len(r))
+		for j, v := range r {
+			line[j] = v.String()
+		}
+		cells = append(cells, line)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(metrics.Table(rows.Columns(), cells))
+	fmt.Printf("(%d rows, %v)\n", n, time.Since(start))
+}
+
+func printResult(res *stagedb.Result, elapsed time.Duration) {
+	rows := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		rows[i] = cells
+	}
+	fmt.Print(metrics.Table(res.Columns, rows))
+	fmt.Printf("(%d rows, %v)\n", len(res.Rows), elapsed)
+}
+
+func isSelect(stmt string) bool {
+	return len(stmt) >= 6 && strings.EqualFold(strings.Fields(stmt)[0], "SELECT")
 }

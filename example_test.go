@@ -1,0 +1,112 @@
+package stagedb_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"stagedb"
+)
+
+// ExampleDB_QueryContext streams a SELECT through a Rows cursor: pages
+// arrive from the execute stage as the client iterates, so the result never
+// materializes in memory, and Close abandons whatever was not read.
+func ExampleDB_QueryContext() {
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`
+		CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+		INSERT INTO t VALUES (1, 'ann'), (2, 'bob'), (3, 'cyd');
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := db.QueryContext(context.Background(), "SELECT id, name FROM t WHERE id >= ?", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var id int64
+		var name string
+		if err := rows.Scan(&id, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(id, name)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// 2 bob
+	// 3 cyd
+}
+
+// ExampleDB_Prepare parses and plans a statement once; every execution
+// binds its arguments and enters the staged pipeline directly at the
+// execute stage, so the parse and optimize stages are never revisited.
+func ExampleDB_Prepare() {
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`
+		CREATE TABLE acct (id INT PRIMARY KEY, bal INT);
+		INSERT INTO acct VALUES (1, 10), (2, 20), (3, 30);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	stmt, err := db.Prepare("SELECT bal FROM acct WHERE id = ?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for id := 1; id <= 3; id++ {
+		res, err := stmt.Query(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Rows[0][0])
+	}
+	st := db.PlanCacheStats()
+	fmt.Printf("cache hits=%d misses=%d\n", st.Hits, st.Misses)
+	// Output:
+	// 10
+	// 20
+	// 30
+	// cache hits=3 misses=1
+}
+
+// ExampleConn_QueryContext_cancellation shows context cancellation: the
+// canceled request fails between pipeline stages instead of running, and a
+// cancel mid-stream surfaces through Rows.Err while every buffered page
+// drains back to the pool.
+func ExampleConn_QueryContext_cancellation() {
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`
+		CREATE TABLE t (id INT);
+		INSERT INTO t VALUES (1), (2), (3);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the packet enters the pipeline
+	conn := db.Conn()
+	if _, err := conn.QueryContext(ctx, "SELECT id FROM t"); err != nil {
+		fmt.Println("query failed:", err)
+	}
+	fmt.Println("outstanding pages:", db.PagePoolStats().Outstanding)
+	// Output:
+	// query failed: context canceled
+	// outstanding pages: 0
+}

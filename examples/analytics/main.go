@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,7 +16,10 @@ import (
 const rows = 5000
 
 func open(pageRows int) *stagedb.DB {
-	db := stagedb.Open(stagedb.Options{PageRows: pageRows})
+	db, err := stagedb.Open(stagedb.Options{PageRows: pageRows})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, tbl := range []string{"tenktup1", "tenktup2"} {
 		if _, err := db.Exec(workload.WisconsinDDL(tbl)); err != nil {
 			log.Fatal(err)
@@ -61,6 +65,29 @@ func main() {
 		}
 		fmt.Printf("-> %d rows in %v; first: %v\n", len(res.Rows), time.Since(start), first(res))
 	}
+
+	// Streaming: a Rows cursor sees the first page while the scan is still
+	// running, and Close after a prefix abandons the rest of the pipeline —
+	// client memory stays O(page) however large the result.
+	start := time.Now()
+	rows, err := db.QueryContext(context.Background(),
+		"SELECT unique1, stringu1 FROM tenktup1 WHERE twenty = ?", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	var firstRow time.Duration
+	for rows.Next() && n < 10 {
+		if n == 0 {
+			firstRow = time.Since(start)
+		}
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreamed %d rows; first row after %v, closed after a prefix (outstanding pages: %d)\n",
+		n, firstRow, db.PagePoolStats().Outstanding)
 
 	// §4.4(c): the page size for intermediate results is a tuning knob.
 	fmt.Println("\npage-size sweep on the join pipeline (smaller = chattier exchanges):")

@@ -15,7 +15,10 @@ import (
 )
 
 func main() {
-	db := stagedb.Open(stagedb.Options{})
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer db.Close()
 	if _, err := db.Exec(workload.WisconsinDDL("t")); err != nil {
 		log.Fatal(err)

@@ -80,14 +80,20 @@ func verify(db *stagedb.DB) {
 func main() {
 	fmt.Printf("OLTP: %d clients x %d transfer transactions\n\n", clients, txnsEach)
 
-	threaded := stagedb.Open(stagedb.Options{Mode: stagedb.Threaded, Workers: 8})
+	threaded, err := stagedb.Open(stagedb.Options{Mode: stagedb.Threaded, Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	load(threaded)
 	d := run(threaded)
 	fmt.Printf("threaded worker pool: %v (%.0f txn/s)\n", d, float64(clients*txnsEach)/d.Seconds())
 	verify(threaded)
 	threaded.Close()
 
-	staged := stagedb.Open(stagedb.Options{})
+	staged, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	load(staged)
 	d = run(staged)
 	fmt.Printf("\nstaged engine:        %v (%.0f txn/s)\n", d, float64(clients*txnsEach)/d.Seconds())

@@ -1,8 +1,10 @@
 // Quickstart: open a staged database, define a schema, load rows, and run
-// queries — the five-minute tour of the public API.
+// queries — the five-minute tour of the public API: streaming Rows cursors,
+// `?` placeholders, prepared statements, and context cancellation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,8 +14,11 @@ import (
 func main() {
 	// The default options run the paper's staged architecture: connect ->
 	// parse -> optimize -> execute -> disconnect, with staged relational
-	// operators inside execute.
-	db := stagedb.Open(stagedb.Options{})
+	// operators inside execute. Open validates the options.
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer db.Close()
 
 	if err := db.ExecScript(`
@@ -36,29 +41,70 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A filtered join with grouping, ordering and limiting.
-	res, err := db.Query(`
+	// A filtered join with grouping, ordering and limiting, streamed through
+	// a Rows cursor: pages arrive from the execute stage as we iterate, and
+	// `?` binds the rating threshold.
+	ctx := context.Background()
+	rows, err := db.QueryContext(ctx, `
 		SELECT m.title, COUNT(*) AS rooms, SUM(s.seats) AS seats
 		FROM movies m JOIN screenings s ON m.id = s.movie_id
-		WHERE m.rating >= 8.4
+		WHERE m.rating >= ?
 		GROUP BY m.title
 		ORDER BY seats DESC
-		LIMIT 3`)
+		LIMIT 3`, 8.4)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("screenings of top-rated movies:")
-	for _, row := range res.Rows {
-		fmt.Printf("  %-14s rooms=%v seats=%v\n", row[0].Text(), row[1], row[2])
+	for rows.Next() {
+		var title string
+		var nrooms, seats int64
+		if err := rows.Scan(&title, &nrooms, &seats); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s rooms=%d seats=%d\n", title, nrooms, seats)
 	}
+	if err := rows.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepared statements parse and plan once; each execution binds its
+	// arguments and enters the pipeline directly at the execute stage.
+	stmt, err := db.Prepare("SELECT title FROM movies WHERE year BETWEEN ? AND ?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	fmt.Println("\nmovies by decade (one plan, three executions):")
+	for _, decade := range [][2]int{{1920, 1929}, {1930, 1939}, {1940, 1949}} {
+		res, err := stmt.Query(decade[0], decade[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %ds:", decade[0])
+		for _, row := range res.Rows {
+			fmt.Printf(" %s;", row[0].Text())
+		}
+		fmt.Println()
+	}
+	pc := db.PlanCacheStats()
+	fmt.Printf("plan cache: %d hits, %d misses\n", pc.Hits, pc.Misses)
 
 	// Transactions: a reservation that fails rolls back atomically.
 	conn := db.Conn()
 	conn.Exec("BEGIN")
 	conn.Exec("UPDATE screenings SET seats = seats - 200 WHERE room = 'C'")
 	conn.Exec("ROLLBACK")
-	res, _ = db.Query("SELECT seats FROM screenings WHERE room = 'C'")
+	res, _ := db.Query("SELECT seats FROM screenings WHERE room = ?", "C")
 	fmt.Printf("\nseats in room C after rollback: %v (unchanged)\n", res.Rows[0][0])
+
+	// Context cancellation abandons a request between stages: the canceled
+	// query fails instead of running, and any pages it produced recycle.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := db.QueryContext(canceled, "SELECT * FROM movies"); err != nil {
+		fmt.Printf("canceled query: %v\n", err)
+	}
 
 	// The planner is inspectable: the year predicate uses the index.
 	explain, err := db.Explain("SELECT title FROM movies WHERE year BETWEEN 1930 AND 1940")

@@ -10,9 +10,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stagedb/internal/catalog"
 	"stagedb/internal/exec"
@@ -57,6 +59,11 @@ type DB struct {
 	// kernel (both the staged and the Volcano driver draw from it).
 	pages *exec.PagePool
 
+	// plans caches prepared statements; schemaVer invalidates them on DDL
+	// and ANALYZE.
+	plans     *planCache
+	schemaVer atomic.Uint64
+
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
 	indexes map[string]*storage.BTree
@@ -75,6 +82,7 @@ func NewDB(cfg Config) *DB {
 		pool:    storage.NewPool(store, cfg.PoolFrames),
 		tm:      txn.NewManager(),
 		pages:   exec.NewPagePool(),
+		plans:   newPlanCache(),
 		heaps:   make(map[string]*storage.Heap),
 		indexes: make(map[string]*storage.BTree),
 	}
@@ -111,6 +119,41 @@ func (db *DB) Store() *storage.Store { return db.store }
 // accounting for monitoring and the page-leak tests).
 func (db *DB) PagePool() *exec.PagePool { return db.pages }
 
+// PlanCacheStats snapshots the prepared-statement cache counters (also
+// visible as the "prepare" pseudo-stage in staged snapshots).
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.Stats() }
+
+// invalidatePlans bumps the schema version, turning every cached plan into
+// an invalidation on its next lookup. DDL and ANALYZE call it: both change
+// what the right plan for a statement is.
+func (db *DB) invalidatePlans() { db.schemaVer.Add(1) }
+
+// Prepare parses (and for SELECT, plans) sqlText, caching the result keyed
+// by the statement text. Placeholders stay unbound in the cached entry;
+// executions substitute arguments into private copies. The staged front end
+// routes cache misses through its parse and optimize stages instead — this
+// inline form serves the threaded engine and raw sessions.
+func (db *DB) Prepare(sqlText string) (*Prepared, error) {
+	ver := db.schemaVer.Load()
+	if e, ok := db.plans.get(sqlText, ver); ok {
+		return e, nil
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{SQL: sqlText, Stmt: stmt, NumParams: sql.CountParams(stmt), version: ver}
+	if sel, ok := stmt.(*sql.Select); ok {
+		node, err := plan.BindSelect(db.cat, sel, db.cfg.PlanOptions)
+		if err != nil {
+			return nil, err
+		}
+		p.Node = node
+	}
+	db.plans.put(p)
+	return p, nil
+}
+
 // SetPlanOptions changes the optimizer options (ablation benches force join
 // algorithms or disable rewrites through this). The live row-count fallback
 // is re-installed unless the caller supplied one.
@@ -144,6 +187,13 @@ func (db *DB) IndexOf(ix *catalog.Index) (*storage.BTree, error) {
 	return bt, nil
 }
 
+// RunnerFunc drives a SELECT plan to a materialized result set.
+type RunnerFunc func(ctx context.Context, node plan.Node) ([]value.Row, error)
+
+// StreamFunc drives a SELECT plan as a page cursor (the streaming client
+// API); the cursor's Close tears the execution down.
+type StreamFunc func(ctx context.Context, node plan.Node) (exec.Cursor, error)
+
 // Session is one client connection. Sessions are not safe for concurrent
 // use; each client drives its own.
 type Session struct {
@@ -151,7 +201,8 @@ type Session struct {
 	id       int
 	current  txn.ID
 	inTxn    bool
-	runnerFn func(node plan.Node) ([]value.Row, error) // SELECT driver
+	runnerFn RunnerFunc // materializing SELECT driver
+	streamFn StreamFunc // streaming SELECT driver
 }
 
 var sessionIDs struct {
@@ -166,19 +217,30 @@ func (db *DB) NewSession() *Session {
 	id := sessionIDs.n
 	sessionIDs.mu.Unlock()
 	s := &Session{db: db, id: id}
-	s.runnerFn = func(node plan.Node) ([]value.Row, error) {
+	s.runnerFn = func(ctx context.Context, node plan.Node) ([]value.Row, error) {
 		op, err := exec.BuildPooled(node, db, db.cfg.PageRows, db.pages)
 		if err != nil {
 			return nil, err
 		}
-		return exec.Run(op)
+		return exec.RunCtx(ctx, op)
+	}
+	s.streamFn = func(ctx context.Context, node plan.Node) (exec.Cursor, error) {
+		op, err := exec.BuildPooled(node, db, db.cfg.PageRows, db.pages)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewCursor(ctx, op)
 	}
 	return s
 }
 
-// SetRunner overrides the SELECT driver (the staged engine installs
-// exec.RunStaged here).
-func (s *Session) SetRunner(fn func(plan.Node) ([]value.Row, error)) { s.runnerFn = fn }
+// SetRunner overrides the materializing SELECT driver (the staged engine
+// installs exec.RunStaged here).
+func (s *Session) SetRunner(fn RunnerFunc) { s.runnerFn = fn }
+
+// SetStreamRunner overrides the streaming SELECT driver (the staged engine
+// installs exec.RunStagedCursor here).
+func (s *Session) SetStreamRunner(fn StreamFunc) { s.streamFn = fn }
 
 // ID returns the session's identifier.
 func (s *Session) ID() int { return s.id }
@@ -197,6 +259,13 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
+	return s.RunStmt(context.Background(), stmt, nil)
+}
+
+// RunStmt executes a parsed statement with a context checked between result
+// pages. node, when non-nil, is a pre-bound SELECT plan (the prepared path)
+// executed instead of re-planning stmt.
+func (s *Session) RunStmt(ctx context.Context, stmt sql.Statement, node plan.Node) (*Result, error) {
 	switch stmt.(type) {
 	case *sql.Begin:
 		if s.inTxn {
@@ -225,7 +294,7 @@ func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
 	if auto {
 		id = s.db.tm.Begin()
 	}
-	res, err := s.db.execInTxn(id, stmt, s.runnerFn)
+	res, err := s.db.execInTxn(ctx, id, stmt, node, s.runnerFn)
 	if auto {
 		if err != nil {
 			s.db.rollback(id)
@@ -240,8 +309,41 @@ func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
 	return res, err
 }
 
+// StreamStmt runs a SELECT as a streaming cursor: result pages flow to the
+// caller as the execution produces them, and the cursor's Close abandons
+// whatever has not been read. Outside an explicit transaction the statement
+// runs in its own transaction whose locks are held until Close — the query
+// stays covered while the engine reads pages on its behalf.
+func (s *Session) StreamStmt(ctx context.Context, sel *sql.Select, node plan.Node) (*Cursor, error) {
+	id := s.current
+	auto := !s.inTxn
+	if auto {
+		id = s.db.tm.Begin()
+	}
+	cur, err := s.db.queryCursor(ctx, id, sel, node, s.streamFn)
+	if err != nil {
+		if auto {
+			s.db.rollback(id)
+		} else if err == txn.ErrDeadlock {
+			s.db.rollback(id)
+			s.inTxn = false
+		}
+		return nil, err
+	}
+	if auto {
+		db := s.db
+		cur.finish = func(qerr error) error {
+			if qerr != nil {
+				return db.rollback(id)
+			}
+			return db.tm.Commit(id)
+		}
+	}
+	return cur, nil
+}
+
 // execInTxn dispatches one statement inside transaction id.
-func (db *DB) execInTxn(id txn.ID, stmt sql.Statement, runner func(plan.Node) ([]value.Row, error)) (*Result, error) {
+func (db *DB) execInTxn(ctx context.Context, id txn.ID, stmt sql.Statement, node plan.Node, runner RunnerFunc) (*Result, error) {
 	switch x := stmt.(type) {
 	case *sql.CreateTable:
 		return db.createTable(id, x)
@@ -256,7 +358,7 @@ func (db *DB) execInTxn(id txn.ID, stmt sql.Statement, runner func(plan.Node) ([
 	case *sql.Delete:
 		return db.delete(id, x)
 	case *sql.Select:
-		return db.query(id, x, runner)
+		return db.query(ctx, id, x, node, runner)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 }
@@ -287,6 +389,7 @@ func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
 		db.indexes[name] = storage.NewBTree()
 		db.mu.Unlock()
 	}
+	db.invalidatePlans()
 	return &Result{}, nil
 }
 
@@ -323,6 +426,7 @@ func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
 	db.mu.Lock()
 	db.indexes[stmt.Name] = bt
 	db.mu.Unlock()
+	db.invalidatePlans()
 	return &Result{}, nil
 }
 
@@ -348,6 +452,7 @@ func (db *DB) dropTable(id txn.ID, stmt *sql.DropTable) (*Result, error) {
 	db.mu.Lock()
 	delete(db.heaps, stmt.Name)
 	db.mu.Unlock()
+	db.invalidatePlans()
 	return &Result{}, nil
 }
 
@@ -636,9 +741,9 @@ func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
 
 // --- SELECT ---
 
-func (db *DB) query(id txn.ID, stmt *sql.Select, runner func(plan.Node) ([]value.Row, error)) (*Result, error) {
-	// Shared locks on every referenced table, in sorted order to avoid
-	// lock-order deadlocks between readers and writers.
+// lockQueryTables takes shared locks on every table the SELECT references,
+// in sorted order to avoid lock-order deadlocks between readers and writers.
+func (db *DB) lockQueryTables(id txn.ID, stmt *sql.Select) error {
 	var tables []string
 	for _, ref := range stmt.From {
 		tables = append(tables, ref.Table)
@@ -649,24 +754,112 @@ func (db *DB) query(id txn.ID, stmt *sql.Select, runner func(plan.Node) ([]value
 	sort.Strings(tables)
 	for _, t := range tables {
 		if err := db.tm.Locks.Lock(id, "table:"+t, txn.Shared); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) query(ctx context.Context, id txn.ID, stmt *sql.Select, node plan.Node, runner RunnerFunc) (*Result, error) {
+	if err := db.lockQueryTables(id, stmt); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		var err error
+		node, err = plan.BindSelect(db.cat, stmt, db.cfg.PlanOptions)
+		if err != nil {
 			return nil, err
 		}
 	}
-	node, err := plan.BindSelect(db.cat, stmt, db.cfg.PlanOptions)
+	rows, err := runner(ctx, node)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := runner(node)
+	return &Result{Columns: schemaColumns(node), Rows: rows}, nil
+}
+
+// queryCursor is the streaming form of query: it starts the execution and
+// returns a cursor over its result pages without draining them. The caller
+// (Session.StreamStmt) arranges transaction finish on the cursor's Close.
+func (db *DB) queryCursor(ctx context.Context, id txn.ID, stmt *sql.Select, node plan.Node, stream StreamFunc) (*Cursor, error) {
+	if err := db.lockQueryTables(id, stmt); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		var err error
+		node, err = plan.BindSelect(db.cat, stmt, db.cfg.PlanOptions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	src, err := stream(ctx, node)
 	if err != nil {
 		return nil, err
 	}
+	return &Cursor{cols: schemaColumns(node), src: src}, nil
+}
+
+func schemaColumns(node plan.Node) []string {
 	schema := node.Schema()
 	cols := make([]string, len(schema))
 	for i, c := range schema {
 		cols[i] = c.Name
 	}
-	return &Result{Columns: cols, Rows: rows}, nil
+	return cols
 }
+
+// Cursor is a streaming SELECT result: pages arrive from the execution as
+// the client asks for them, and Close ends the query — abandoning an
+// unfinished execution the way a satisfied LIMIT does, recycling buffered
+// pages, and committing (or rolling back) the statement's auto transaction
+// so its table locks are released. Cursors are not safe for concurrent use.
+type Cursor struct {
+	cols   []string
+	src    exec.Cursor
+	finish func(qerr error) error // transaction finish; nil inside explicit txns
+	closed bool
+	err    error
+}
+
+// Columns names the result columns.
+func (c *Cursor) Columns() []string { return c.cols }
+
+// NextPage returns the next result page (ownership transfers to the caller;
+// Release it after consuming its rows), or nil at end of stream.
+func (c *Cursor) NextPage() (*exec.Page, error) {
+	if c.closed {
+		return nil, c.err
+	}
+	pg, err := c.src.NextPage()
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return pg, err
+}
+
+// Close tears the execution down and finishes the statement's transaction.
+// It is idempotent and returns the first error of the execution (a query
+// failure, context cancellation, or a commit error).
+func (c *Cursor) Close() error {
+	if c.closed {
+		return c.err
+	}
+	c.closed = true
+	// Teardown first, transaction finish second: the execution must stop
+	// touching heap pages before the query's table locks are released.
+	if err := c.src.Close(); err != nil && c.err == nil {
+		c.err = err
+	}
+	if c.finish != nil {
+		if ferr := c.finish(c.err); ferr != nil && c.err == nil {
+			c.err = ferr
+		}
+	}
+	return c.err
+}
+
+// Err returns the first error observed by the cursor.
+func (c *Cursor) Err() error { return c.err }
 
 // Plan binds a SELECT for EXPLAIN-style inspection without executing it.
 func (db *DB) Plan(stmt *sql.Select) (plan.Node, error) {
@@ -898,6 +1091,8 @@ func (db *DB) Analyze(table string) error {
 	for i := range stats.Columns {
 		stats.Columns[i].Distinct = int64(len(distinct[i]))
 	}
+	// Fresh statistics change what the right plan is; cached plans go stale.
+	db.invalidatePlans()
 	return db.cat.UpdateStats(table, stats)
 }
 

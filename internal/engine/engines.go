@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,11 +16,11 @@ import (
 )
 
 // Request is one unit of client work submitted to a front end: a single
-// statement, or a whole transaction script. Submitting a multi-statement
-// transaction as one request matters on the worker-pool engine: if each
-// statement were a separate request, every worker could end up blocked on a
-// lock whose holder's COMMIT is stuck behind them in the queue — the
-// thread-pool sizing hazard of §3.1.1.
+// statement, a whole transaction script, or a prepared execution. Submitting
+// a multi-statement transaction as one request matters on the worker-pool
+// engine: if each statement were a separate request, every worker could end
+// up blocked on a lock whose holder's COMMIT is stuck behind them in the
+// queue — the thread-pool sizing hazard of §3.1.1.
 type Request struct {
 	Session *Session
 	SQL     string
@@ -28,8 +29,36 @@ type Request struct {
 	// ignored when Script is set.
 	Script []string
 
-	// Result and Err are populated before Done is closed.
+	// Ctx, when non-nil, cancels the request: the staged front end checks it
+	// between stages (the packet fails to the finish hook), and executions in
+	// flight abort between pages, draining outstanding pages to the pool.
+	Ctx context.Context
+	// Args bind the statement's `?` placeholders, substituted after parse.
+	Args []value.Value
+	// QueryOnly rejects non-SELECT statements with an error (the Query API
+	// must not silently execute DML).
+	QueryOnly bool
+	// Stream delivers SELECT results as a Cursor instead of materializing
+	// them into Result.
+	Stream bool
+
+	// Stmt, when set on submit, is a pre-parsed statement: the request skips
+	// the parse stage and enters the pipeline at the execute stage (§4.1's
+	// shorter itinerary for precompiled queries). The parse stage fills it in
+	// otherwise.
+	Stmt sql.Statement
+	// Node, when set on submit, is the pre-bound (prepared, parameter-
+	// substituted) SELECT plan; the optimize stage fills it in otherwise.
+	Node plan.Node
+	// PrepareOnly parses and plans without executing: the packet routes
+	// connect -> parse -> optimize -> disconnect, leaving Stmt and Node for
+	// the caller to cache.
+	PrepareOnly bool
+
+	// Result (or Cursor, for streaming SELECTs) and Err are populated before
+	// Done is closed.
 	Result *Result
+	Cursor *Cursor
 	Err    error
 	Done   chan struct{}
 }
@@ -44,21 +73,85 @@ func NewScriptRequest(s *Session, stmts []string) *Request {
 	return &Request{Session: s, Script: stmts, Done: make(chan struct{})}
 }
 
-// run executes the request's work on the current goroutine.
-func (r *Request) run() {
-	if len(r.Script) == 0 {
-		r.Result, r.Err = r.Session.Exec(r.SQL)
-		return
+// ctxErr reports the request's cancellation state; stage handlers call it on
+// entry so a canceled packet fails between stages instead of doing work.
+func (r *Request) ctxErr() error {
+	if r.Ctx == nil {
+		return nil
 	}
-	for _, q := range r.Script {
-		r.Result, r.Err = r.Session.Exec(q)
-		if r.Err != nil {
-			if r.Session.InTxn() {
-				r.Session.Exec("ROLLBACK")
+	return r.Ctx.Err()
+}
+
+// context returns the request's context for execution-time checks.
+func (r *Request) context() context.Context {
+	if r.Ctx == nil {
+		return context.Background()
+	}
+	return r.Ctx
+}
+
+// prepareStmt parses SQL (unless pre-parsed), substitutes placeholder
+// arguments, and enforces QueryOnly. It is shared by the staged parse stage
+// and the threaded worker.
+func (r *Request) prepareStmt() error {
+	nparams := -1 // unknown until counted
+	if r.Stmt == nil {
+		stmt, n, err := sql.ParseCounted(r.SQL)
+		if err != nil {
+			return err
+		}
+		r.Stmt, nparams = stmt, n
+	}
+	// Prepared SELECTs keep placeholders in the shared AST; their arguments
+	// were already substituted into the private plan (Node), so only
+	// plan-less statements bind here. The placeholder count comes from the
+	// parse when we did it; only pre-parsed statements (the rare prepared-DML
+	// path) pay the AST walk.
+	if !r.PrepareOnly && r.Node == nil {
+		if nparams < 0 && len(r.Args) == 0 {
+			nparams = sql.CountParams(r.Stmt)
+		}
+		if len(r.Args) > 0 || nparams > 0 {
+			stmt, err := sql.BindParams(r.Stmt, r.Args)
+			if err != nil {
+				return err
 			}
-			return
+			r.Stmt = stmt
 		}
 	}
+	if r.QueryOnly {
+		if _, ok := r.Stmt.(*sql.Select); !ok {
+			return fmt.Errorf("engine: Query requires a SELECT statement, got %s; use Exec", r.Stmt)
+		}
+	}
+	return nil
+}
+
+// run executes the request's work on the current goroutine.
+func (r *Request) run() {
+	if r.Err = r.ctxErr(); r.Err != nil {
+		return
+	}
+	if len(r.Script) > 0 {
+		for _, q := range r.Script {
+			r.Result, r.Err = r.Session.Exec(q)
+			if r.Err != nil {
+				if r.Session.InTxn() {
+					r.Session.Exec("ROLLBACK")
+				}
+				return
+			}
+		}
+		return
+	}
+	if r.Err = r.prepareStmt(); r.Err != nil {
+		return
+	}
+	if sel, ok := r.Stmt.(*sql.Select); ok && r.Stream {
+		r.Cursor, r.Err = r.Session.StreamStmt(r.context(), sel, r.Node)
+		return
+	}
+	r.Result, r.Err = r.Session.RunStmt(r.context(), r.Stmt, r.Node)
 }
 
 // Wait blocks until the request completes and returns its outcome.
@@ -130,6 +223,13 @@ func (t *Threaded) ExecTxn(s *Session, stmts []string) (*Result, error) {
 	return req.Wait()
 }
 
+// Prepare parses and plans sqlText inline (the threaded baseline has no
+// parse/optimize stages to route through), sharing the kernel's plan cache
+// so prepared re-execution skips both phases here too.
+func (t *Threaded) Prepare(s *Session, sqlText string) (*Prepared, error) {
+	return t.db.Prepare(sqlText)
+}
+
 // Close drains and stops the pool.
 func (t *Threaded) Close() {
 	t.once.Do(func() {
@@ -139,16 +239,6 @@ func (t *Threaded) Close() {
 		t.mu.Unlock()
 	})
 	t.wg.Wait()
-}
-
-// queryCtx is the packet backpack flowing through the staged engine: the
-// query's state accumulates as it passes each stage (§4.1.1 "the query's
-// backpack"). In this shared-memory implementation the packet carries a
-// pointer, not copies.
-type queryCtx struct {
-	req  *Request
-	stmt sql.Statement
-	node plan.Node
 }
 
 // Staged is the paper's front end: connect -> parse -> optimize -> execute
@@ -248,14 +338,14 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 	s.srv.OnFinish(func(pkt *core.Packet) {
 		// A packet destroyed before disconnect (routing error) must still
 		// release its client.
-		qc := pkt.Backpack.(*queryCtx)
+		req := pkt.Backpack.(*Request)
 		select {
-		case <-qc.req.Done:
+		case <-req.Done:
 		default:
-			if pkt.Err != nil && qc.req.Err == nil {
-				qc.req.Err = pkt.Err
+			if pkt.Err != nil && req.Err == nil {
+				req.Err = pkt.Err
 			}
-			close(qc.req.Done)
+			close(req.Done)
 		}
 	})
 	s.srv.Start()
@@ -265,16 +355,54 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 // Server exposes the underlying staged server (monitoring, tuning).
 func (s *Staged) Server() *core.Server { return s.srv }
 
-// Submit routes a request through the staged pipeline. Precompiled requests
-// (already parsed and planned) could route connect->execute directly; this
-// entry point routes the full itinerary.
+// Submit routes a request through the staged pipeline. The route is the
+// request's itinerary (§4.1): full requests visit every stage, prepare-only
+// requests stop before execute, and prepared executions — already parsed and
+// planned — enter the pipeline directly at the execute stage.
 func (s *Staged) Submit(req *Request) error {
+	if req.Session == nil {
+		return fmt.Errorf("engine: request without session")
+	}
+	route := []string{"connect", "parse", "optimize", "execute", "disconnect"}
+	switch {
+	case req.PrepareOnly:
+		route = []string{"connect", "parse", "optimize", "disconnect"}
+	case req.Stmt != nil && len(req.Script) == 0:
+		route = []string{"execute", "disconnect"}
+	}
+	// The Request is the packet's backpack (§4.1.1): the query's state
+	// accumulates on it as it passes each stage — parse fills Stmt, optimize
+	// fills Node. In this shared-memory implementation the packet carries a
+	// pointer, not copies.
 	pkt := &core.Packet{
 		Client:   req.Session.ID(),
-		Route:    []string{"connect", "parse", "optimize", "execute", "disconnect"},
-		Backpack: &queryCtx{req: req},
+		Route:    route,
+		Backpack: req,
 	}
 	return s.srv.Submit(pkt)
+}
+
+// Prepare parses and plans sqlText on the parse and optimize stages, caching
+// the result keyed by the statement text. A cache hit skips the pipeline
+// entirely; subsequent executions of the returned entry enter at the execute
+// stage. DDL and ANALYZE invalidate cached entries (re-preparing is
+// transparent to Stmt holders).
+func (s *Staged) Prepare(sess *Session, sqlText string) (*Prepared, error) {
+	ver := s.db.schemaVer.Load()
+	if e, ok := s.db.plans.get(sqlText, ver); ok {
+		return e, nil
+	}
+	req := &Request{Session: sess, SQL: sqlText, PrepareOnly: true, Done: make(chan struct{})}
+	if err := s.Submit(req); err != nil {
+		return nil, err
+	}
+	if _, err := req.Wait(); err != nil {
+		return nil, err
+	}
+	p := &Prepared{SQL: sqlText, Stmt: req.Stmt, Node: req.Node,
+		NumParams: sql.CountParams(req.Stmt), version: ver}
+	s.db.plans.put(p)
+	return p, nil
 }
 
 // Exec is a convenience: submit and wait.
@@ -333,9 +461,11 @@ func (s *Staged) Snapshot() []metrics.StageSnapshot {
 			out = append(out, metrics.StageSnapshot{Name: "fscan", Counters: counters})
 		}
 	}
-	// The exchange-page pool's hit/miss/outstanding counters ride along as a
-	// pseudo-stage so \stages surfaces them (§5.2 monitoring).
+	// The exchange-page pool's hit/miss/outstanding counters and the
+	// prepared-statement cache's hit/miss/invalidation counters ride along
+	// as pseudo-stages so \stages surfaces them (§5.2 monitoring).
 	out = append(out, metrics.StageSnapshot{Name: "pagepool", Counters: s.db.pages.Counters()})
+	out = append(out, metrics.StageSnapshot{Name: "prepare", Counters: s.db.plans.Counters()})
 	return out
 }
 
@@ -371,74 +501,102 @@ func (s *Staged) AutotuneExec(maxWorkers int) []autotune.ThreadRecommendation {
 // connect authenticates the client and starts the query's packet on its
 // way (client state creation in the paper's connect stage).
 func (s *Staged) connect(pkt *core.Packet) (core.Verdict, error) {
-	qc := pkt.Backpack.(*queryCtx)
-	if qc.req.Session == nil {
+	req := pkt.Backpack.(*Request)
+	if req.Session == nil {
 		return core.Done, fmt.Errorf("engine: request without session")
+	}
+	if err := req.ctxErr(); err != nil {
+		return core.Done, err
 	}
 	return core.Forward, nil
 }
 
-// parse runs the SQL front end (syntactic/semantic check of Figure 3).
-// Transaction scripts are parsed statement-by-statement inside execute.
+// parse runs the SQL front end (syntactic/semantic check of Figure 3),
+// substitutes placeholder arguments, and enforces QueryOnly. Transaction
+// scripts are parsed statement-by-statement inside execute.
 func (s *Staged) parse(pkt *core.Packet) (core.Verdict, error) {
-	qc := pkt.Backpack.(*queryCtx)
-	if len(qc.req.Script) > 0 {
-		return core.Forward, nil
-	}
-	stmt, err := sql.Parse(qc.req.SQL)
-	if err != nil {
+	req := pkt.Backpack.(*Request)
+	if err := req.ctxErr(); err != nil {
 		return core.Done, err
 	}
-	qc.stmt = stmt
+	if len(req.Script) > 0 {
+		return core.Forward, nil
+	}
+	if err := req.prepareStmt(); err != nil {
+		return core.Done, err
+	}
 	return core.Forward, nil
 }
 
 // optimize plans SELECTs (other statements pass through: their "plans" are
-// trivial and built inside execute).
+// trivial and built inside execute). Prepared requests arrive with Node set
+// and pass through untouched.
 func (s *Staged) optimize(pkt *core.Packet) (core.Verdict, error) {
-	qc := pkt.Backpack.(*queryCtx)
-	if len(qc.req.Script) > 0 {
+	req := pkt.Backpack.(*Request)
+	if err := req.ctxErr(); err != nil {
+		return core.Done, err
+	}
+	if len(req.Script) > 0 || req.Node != nil {
 		return core.Forward, nil
 	}
-	if sel, ok := qc.stmt.(*sql.Select); ok {
+	if sel, ok := req.Stmt.(*sql.Select); ok {
 		node, err := plan.BindSelect(s.db.cat, sel, s.db.cfg.PlanOptions)
 		if err != nil {
 			return core.Done, err
 		}
-		qc.node = node
+		req.Node = node
 	}
 	return core.Forward, nil
 }
 
 // execute runs the statement. SELECT plans run on the staged execution
 // engine: one task per operator, owned by its fscan/iscan/sort/join/aggr
-// stage, with page-based dataflow (§4.1.2).
+// stage, with page-based dataflow (§4.1.2). Streaming SELECTs launch their
+// pipeline and hand the client a cursor over the final exchange without
+// occupying the stage worker; the cursor's Close (or a context cancel)
+// abandons the pipeline and recycles its pages.
 func (s *Staged) execute(pkt *core.Packet) (core.Verdict, error) {
-	qc := pkt.Backpack.(*queryCtx)
-	sess := qc.req.Session
-	sess.SetRunner(func(node plan.Node) ([]value.Row, error) {
-		return exec.RunStaged(node, s.db, s.execRunner(), exec.StagedOptions{
-			PageRows:    s.db.cfg.PageRows,
-			BufferPages: s.db.cfg.BufferPages,
-			Shared:      s.shared,
-			Pool:        s.db.pages,
-		})
+	req := pkt.Backpack.(*Request)
+	if err := req.ctxErr(); err != nil {
+		return core.Done, err
+	}
+	sess := req.Session
+	sess.SetRunner(func(ctx context.Context, node plan.Node) ([]value.Row, error) {
+		return exec.RunStaged(node, s.db, s.execRunner(), s.stagedOptions(ctx))
 	})
-	if len(qc.req.Script) > 0 {
-		qc.req.run()
+	sess.SetStreamRunner(func(ctx context.Context, node plan.Node) (exec.Cursor, error) {
+		return exec.RunStagedCursor(node, s.db, s.execRunner(), s.stagedOptions(ctx))
+	})
+	if len(req.Script) > 0 {
+		req.run()
 		return core.Forward, nil
 	}
-	qc.req.Result, qc.req.Err = sess.ExecStmt(qc.stmt)
+	if sel, ok := req.Stmt.(*sql.Select); ok && req.Stream {
+		req.Cursor, req.Err = sess.StreamStmt(req.context(), sel, req.Node)
+		return core.Forward, nil
+	}
+	req.Result, req.Err = sess.RunStmt(req.context(), req.Stmt, req.Node)
 	return core.Forward, nil
+}
+
+// stagedOptions assembles one execution's StagedOptions.
+func (s *Staged) stagedOptions(ctx context.Context) exec.StagedOptions {
+	return exec.StagedOptions{
+		PageRows:    s.db.cfg.PageRows,
+		BufferPages: s.db.cfg.BufferPages,
+		Shared:      s.shared,
+		Pool:        s.db.pages,
+		Ctx:         ctx,
+	}
 }
 
 // disconnect finishes the request: deliver results, destroy client state.
 func (s *Staged) disconnect(pkt *core.Packet) (core.Verdict, error) {
-	qc := pkt.Backpack.(*queryCtx)
-	if pkt.Err != nil && qc.req.Err == nil {
-		qc.req.Err = pkt.Err
+	req := pkt.Backpack.(*Request)
+	if pkt.Err != nil && req.Err == nil {
+		req.Err = pkt.Err
 	}
-	close(qc.req.Done)
+	close(req.Done)
 	return core.Done, nil
 }
 

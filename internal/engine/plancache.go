@@ -1,0 +1,111 @@
+package engine
+
+// plancache.go implements the prepared-statement cache: parsed (and, for
+// SELECT, planned) statements keyed by SQL text. A prepared request skips
+// the parse and optimize stages and enters the staged pipeline at the
+// execute stage — the paper's §4.1 observation that a packet can start with
+// a shorter itinerary, made concrete. Entries are invalidated by schema
+// changes (DDL) and by ANALYZE: the kernel bumps a schema version on those,
+// and a lookup whose entry predates the current version is a miss that
+// drops the stale plan.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"stagedb/internal/plan"
+	"stagedb/internal/sql"
+)
+
+// Prepared is a cached, parsed and (for SELECT) planned statement. The AST
+// and plan are shared by every execution and must not be mutated: parameter
+// binding substitutes into clones (sql.BindParams, plan.Substitute).
+type Prepared struct {
+	// SQL is the cache key: the statement's original text.
+	SQL string
+	// Stmt is the parsed statement, placeholders intact.
+	Stmt sql.Statement
+	// Node is the bound SELECT plan (nil for non-SELECT), with `?`
+	// placeholders bound as plan.Param expressions.
+	Node plan.Node
+	// NumParams is the number of `?` placeholders the statement declares.
+	NumParams int
+
+	version uint64 // kernel schema version the entry was built against
+}
+
+// planCache is the kernel's prepared-statement cache with hit/miss
+// accounting (surfaced as the "prepare" pseudo-stage).
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*Prepared
+
+	hits, misses, invalidations atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]*Prepared)}
+}
+
+// get returns the cached entry for sqlText if it is still valid against the
+// current schema version. Stale entries are dropped and counted as
+// invalidations; both stale and absent lookups count as misses.
+func (c *planCache) get(sqlText string, version uint64) (*Prepared, bool) {
+	c.mu.Lock()
+	e := c.entries[sqlText]
+	if e != nil && e.version != version {
+		delete(c.entries, sqlText)
+		e = nil
+		c.invalidations.Add(1)
+	}
+	c.mu.Unlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e, true
+}
+
+// put stores an entry (last writer wins on a racing double-prepare).
+func (c *planCache) put(e *Prepared) {
+	c.mu.Lock()
+	c.entries[e.SQL] = e
+	c.mu.Unlock()
+}
+
+// PlanCacheStats is a point-in-time copy of the cache counters.
+type PlanCacheStats struct {
+	// Hits counts lookups served from cache; Misses counts lookups that had
+	// to parse and plan.
+	Hits, Misses int64
+	// Invalidations counts entries dropped because DDL or ANALYZE changed
+	// the schema version underneath them.
+	Invalidations int64
+	// Entries is the current number of cached statements.
+	Entries int
+}
+
+// Stats snapshots the cache counters.
+func (c *planCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       n,
+	}
+}
+
+// Counters renders the cache counters for the "prepare" pseudo-stage row.
+func (c *planCache) Counters() map[string]int64 {
+	st := c.Stats()
+	return map[string]int64{
+		"prepare.hits":          st.Hits,
+		"prepare.misses":        st.Misses,
+		"prepare.invalidations": st.Invalidations,
+		"prepare.entries":       int64(st.Entries),
+	}
+}

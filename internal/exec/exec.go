@@ -16,6 +16,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"stagedb/internal/catalog"
@@ -120,7 +121,19 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, po
 		if err != nil {
 			return nil, err
 		}
-		s := &indexScan{node: x, heap: h, tree: bt, pageRows: pageRows, pool: pool}
+		// Expression bounds (prepared-statement parameters, by now
+		// substituted to constants) resolve here, once per execution. A
+		// parameter bound that resolved to NULL came from a comparison
+		// (`col = ?`, `col < ?`, BETWEEN) whose NULL operand matches no row
+		// — it must not degrade to an open bound scanning everything.
+		lo, hi, err := x.Bounds()
+		if err != nil {
+			return nil, err
+		}
+		if (x.LoExpr != nil && lo.IsNull()) || (x.HiExpr != nil && hi.IsNull()) {
+			return emptyOp{}, nil
+		}
+		s := &indexScan{node: x, heap: h, tree: bt, lo: lo, hi: hi, pageRows: pageRows, pool: pool}
 		if x.Filter != nil {
 			s.pred = plan.CompilePredicate(x.Filter)
 		}
@@ -185,26 +198,15 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, po
 }
 
 // Run pulls the entire result through the operator tree (Volcano driver).
-func Run(op Operator) ([]value.Row, error) {
-	if err := op.Open(); err != nil {
+func Run(op Operator) ([]value.Row, error) { return RunCtx(nil, op) }
+
+// RunCtx is Run with context cancellation checked between pages.
+func RunCtx(ctx context.Context, op Operator) ([]value.Row, error) {
+	cur, err := NewCursor(ctx, op)
+	if err != nil {
 		return nil, err
 	}
-	defer op.Close()
-	var out []value.Row
-	for {
-		pg, err := op.Next()
-		if err != nil {
-			return nil, err
-		}
-		if pg == nil {
-			return out, nil
-		}
-		n := pg.Len()
-		for i := 0; i < n; i++ {
-			out = append(out, pg.Row(i))
-		}
-		pg.Release()
-	}
+	return drainCursor(cur)
 }
 
 // --- scans ---
@@ -440,6 +442,7 @@ type indexScan struct {
 	node     *plan.IndexScan
 	heap     *storage.Heap
 	tree     *storage.BTree
+	lo, hi   value.Value // resolved key bounds (NULL = open)
 	pageRows int
 	pool     *PagePool
 	pred     plan.CompiledPredicate
@@ -451,7 +454,7 @@ type indexScan struct {
 
 func (s *indexScan) Open() error {
 	s.out, s.eos = nil, false
-	s.cur = s.tree.Cursor(s.node.Lo, s.node.Hi)
+	s.cur = s.tree.Cursor(s.lo, s.hi)
 	return nil
 }
 
@@ -495,6 +498,14 @@ func (s *indexScan) Close() error {
 	s.out = nil
 	return nil
 }
+
+// emptyOp produces no rows: the operator for predicates the planner (or a
+// NULL-resolved parameter bound) proves can match nothing.
+type emptyOp struct{}
+
+func (emptyOp) Open() error          { return nil }
+func (emptyOp) Next() (*Page, error) { return nil, nil }
+func (emptyOp) Close() error         { return nil }
 
 // slicePage cuts the next batch from a fully materialized result (used by
 // pipeline-breaking operators: sort, join, aggregate). The emitted pages are

@@ -43,6 +43,7 @@ type SharedScans struct {
 	Attaches       metrics.Counter // consumers that joined an in-flight scan (share hits)
 	Wraps          metrics.Counter // attaches mid-scan that wrap circularly
 	Spills         metrics.Counter // stalled consumers kicked to a private continuation
+	Detaches       metrics.Counter // consumers released by their producer (served, spilled, or abandoned)
 	PagesDecoded   metrics.Counter // heap pages pinned+decoded by shared producers
 	PagesDelivered metrics.Counter // decoded pages fanned out to consumers
 }
@@ -66,6 +67,7 @@ type SharedScanStats struct {
 	Attaches       int64
 	Wraps          int64
 	Spills         int64
+	Detaches       int64
 	PagesDecoded   int64
 	PagesDelivered int64
 }
@@ -77,6 +79,7 @@ func (m *SharedScans) Stats() SharedScanStats {
 		Attaches:       m.Attaches.Value(),
 		Wraps:          m.Wraps.Value(),
 		Spills:         m.Spills.Value(),
+		Detaches:       m.Detaches.Value(),
 		PagesDecoded:   m.PagesDecoded.Value(),
 		PagesDelivered: m.PagesDelivered.Value(),
 	}
@@ -91,6 +94,7 @@ func (m *SharedScans) Counters() map[string]int64 {
 		"share.attach-hits":     st.Attaches,
 		"share.wraps":           st.Wraps,
 		"share.spills":          st.Spills,
+		"share.detaches":        st.Detaches,
 		"share.pages-decoded":   st.PagesDecoded,
 		"share.pages-delivered": st.PagesDelivered,
 	}
@@ -118,6 +122,7 @@ type sharedScan struct {
 // decoded pages plus detach bookkeeping. The producer is the sole closer of
 // ex; close (the consumer side) only signals abandonment.
 type scanConsumer struct {
+	mgr  *SharedScans
 	scan *sharedScan
 	ex   *exchange
 
@@ -148,12 +153,17 @@ type scanConsumer struct {
 // detachAck marks the producer done with this consumer. Idempotent.
 func (c *scanConsumer) detachAck() {
 	c.mu.Lock()
+	released := false
 	select {
 	case <-c.detached:
 	default:
 		close(c.detached)
+		released = true
 	}
 	c.mu.Unlock()
+	if released && c.mgr != nil {
+		c.mgr.Detaches.Inc()
+	}
 }
 
 // awaitDetach blocks until the producer has released this consumer. The
@@ -172,7 +182,7 @@ func (c *scanConsumer) continuation() ([]storage.PageID, int, int) {
 // pipeline's failure/completion channel: when it closes, deliveries to this
 // consumer abort and the producer detaches it.
 func (m *SharedScans) attach(h *storage.Heap, tbl *catalog.Table, done <-chan struct{}) *scanConsumer {
-	c := &scanConsumer{quit: make(chan struct{}), detached: make(chan struct{})}
+	c := &scanConsumer{mgr: m, quit: make(chan struct{}), detached: make(chan struct{})}
 	m.mu.Lock()
 	s := m.scans[h]
 	if s != nil {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -581,67 +582,19 @@ type StagedOptions struct {
 	// Pool, when non-nil, recycles exchange pages across queries instead of
 	// allocating them fresh (see pagepool.go for the ownership protocol).
 	Pool *PagePool
+	// Ctx, when cancellable, aborts the execution between pages: the
+	// pipeline fails with the context's error, producers stop, and every
+	// checked-out page drains back to the pool.
+	Ctx context.Context
 }
 
 // RunStaged executes the plan with one task per operator, each owned by its
-// stage, connected by bounded page buffers. It returns the full result set.
+// stage, connected by bounded page buffers. It returns the full result set;
+// RunStagedCursor (cursor.go) is the streaming form this wraps.
 func RunStaged(n plan.Node, tables Tables, runner StageRunner, opts StagedOptions) ([]value.Row, error) {
-	p := &pipeline{
-		tables:      tables,
-		runner:      runner,
-		pageRows:    opts.PageRows,
-		bufferPages: opts.BufferPages,
-		shared:      opts.Shared,
-		pool:        opts.Pool,
-		done:        make(chan struct{}),
-	}
-	if ts, ok := runner.(taskScheduler); ok {
-		p.sched = ts
-	}
-	root, err := p.launch(n)
+	cur, err := RunStagedCursor(n, tables, runner, opts)
 	if err != nil {
-		p.fail(err)
-		// Scan tasks launched before the error may have attached (or may
-		// still attach) shared consumers; wait for the wheel to drop them
-		// before the caller releases the query's locks.
-		p.releaseScans()
-		p.running.Wait()
-		p.drainPages()
 		return nil, err
 	}
-	var rows []value.Row
-	for {
-		pg, err := root.Next()
-		if err != nil {
-			break
-		}
-		if pg == nil {
-			break
-		}
-		n := pg.Len()
-		for i := 0; i < n; i++ {
-			rows = append(rows, pg.Row(i))
-		}
-		pg.Release()
-	}
-	// Release the pipeline: an operator that stopped reading early (LIMIT)
-	// leaves upstream producers blocked on their exchanges; closing done
-	// lets them observe termination, run their Close, and free their
-	// goroutine or parked task instead of leaking. fail is a no-op if a
-	// real failure already fired, and the Once orders our read of p.err.
-	p.fail(nil)
-	// Wait until the shared-scan wheel has let go of every consumer this
-	// query attached: the caller releases the query's table locks after we
-	// return, and the wheel must not read heap pages on a lockless query's
-	// behalf.
-	p.releaseScans()
-	// Then wait for every operator drive loop to finish (all observe the
-	// closed done channel promptly) and recycle pages stranded in buffers,
-	// so the query returns with its page-pool balance at zero.
-	p.running.Wait()
-	p.drainPages()
-	if p.err != nil {
-		return nil, p.err
-	}
-	return rows, nil
+	return drainCursor(cur)
 }

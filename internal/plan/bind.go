@@ -388,10 +388,15 @@ func (b *selBinder) buildScan(r *relation) (Node, error) {
 		base = 1000
 	}
 
-	// Estimate selectivity and look for an indexable bound.
+	// Estimate selectivity and look for an indexable bound. Bounds are
+	// Const or Param expressions (nil = open side); Params keep their index
+	// access in prepared plans and resolve at execution. Strict bounds
+	// (< and >) narrow the B+tree range but keep their predicate as a
+	// residual filter, because tree cursors are endpoint-inclusive.
 	sel := 1.0
 	var best *catalog.Index
-	var bestLo, bestHi value.Value
+	var bestLo, bestHi Expr
+	var bestSrc Expr // the original predicate the bound stands for
 	bestEq := false
 	var residual []Expr
 
@@ -402,14 +407,21 @@ func (b *selBinder) buildScan(r *relation) (Node, error) {
 			residual = append(residual, f)
 			continue
 		}
-		if col, lo, hi, eq, ok := indexableBound(f); ok {
+		if col, lo, hi, eq, strict, ok := indexableBoundExpr(f); ok {
 			ix := r.table.IndexOn(r.table.Schema.Columns[col].Name)
 			if ix != nil && (best == nil || eq) {
-				if best != nil {
-					// Displaced candidate's filter must be re-applied.
-					residual = append(residual, bestResidualFor(best, r, bestLo, bestHi, bestEq))
+				if best != nil && bestSrc != nil {
+					// Displaced candidate's original filter must be re-applied.
+					residual = append(residual, bestSrc)
 				}
 				best, bestLo, bestHi, bestEq = ix, lo, hi, eq
+				bestSrc = f
+				if strict {
+					// The inclusive index range over-approximates < / >;
+					// re-apply the exact predicate during the scan.
+					residual = append(residual, f)
+					bestSrc = nil // already in residual; nothing to restore
+				}
 				continue
 			}
 		}
@@ -422,29 +434,81 @@ func (b *selBinder) buildScan(r *relation) (Node, error) {
 	}
 	filter := andAll(residual)
 	if best != nil {
-		return &IndexScan{
+		node := &IndexScan{
 			Table: r.table, Binding: r.binding, Index: best,
-			Lo: bestLo, Hi: bestHi, Filter: filter, Est: est, out: out,
-		}, nil
+			Lo: value.NewNull(), Hi: value.NewNull(),
+			Filter: filter, Est: est, out: out,
+		}
+		// Constant bounds resolve now; parameter bounds ride as expressions.
+		assign := func(e Expr, v *value.Value, ve *Expr) {
+			if c, ok := e.(*Const); ok {
+				*v = c.Val
+			} else if e != nil {
+				*ve = e
+			}
+		}
+		assign(bestLo, &node.Lo, &node.LoExpr)
+		assign(bestHi, &node.Hi, &node.HiExpr)
+		return node, nil
 	}
 	filter = andAll(r.filters)
 	return &SeqScan{Table: r.table, Binding: r.binding, Filter: filter, Est: est, out: out}, nil
 }
 
-// bestResidualFor reconstructs the predicate an index bound stood for, so a
-// displaced index candidate still filters rows.
-func bestResidualFor(ix *catalog.Index, r *relation, lo, hi value.Value, eq bool) Expr {
-	col := &Column{Idx: ix.ColIdx, Name: ix.Column, Typ: r.table.Schema.Columns[ix.ColIdx].Type}
-	switch {
-	case eq:
-		return &Binary{Op: "=", L: col, R: &Const{Val: lo}}
-	case lo.IsNull():
-		return &Binary{Op: "<=", L: col, R: &Const{Val: hi}}
-	case hi.IsNull():
-		return &Binary{Op: ">=", L: col, R: &Const{Val: lo}}
-	default:
-		return &Between{E: col, Lo: &Const{Val: lo}, Hi: &Const{Val: hi}}
+// indexableBoundExpr recognizes col-vs-key predicates usable for an index,
+// where the key side is a constant or a `?` parameter: equality, range
+// comparisons, and BETWEEN. Bounds come back as expressions (nil = open
+// side) so parameterized bounds survive into prepared plans. strict reports
+// an exclusive comparison (< or >): the B+tree range is endpoint-inclusive,
+// so the caller must re-apply the predicate as a residual filter.
+func indexableBoundExpr(e Expr) (col int, lo, hi Expr, eq, strict, ok bool) {
+	key := func(e Expr) bool {
+		switch x := e.(type) {
+		case *Const:
+			return !x.Val.IsNull()
+		case *Param:
+			return true
+		}
+		return false
 	}
+	switch x := e.(type) {
+	case *Binary:
+		c, cok := x.L.(*Column)
+		k := x.R
+		op := x.Op
+		if !cok || !key(k) {
+			// Try reversed: key OP col.
+			c, cok = x.R.(*Column)
+			k = x.L
+			if !cok || !key(k) {
+				return 0, nil, nil, false, false, false
+			}
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+		switch op {
+		case "=":
+			return c.Idx, k, k, true, false, true
+		case "<", "<=":
+			return c.Idx, nil, k, false, op == "<", true
+		case ">", ">=":
+			return c.Idx, k, nil, false, op == ">", true
+		}
+	case *Between:
+		c, cok := x.E.(*Column)
+		if cok && key(x.Lo) && key(x.Hi) && !x.Negate {
+			return c.Idx, x.Lo, x.Hi, false, false, true
+		}
+	}
+	return 0, nil, nil, false, false, false
 }
 
 // joinOrder returns relations in greedy join order: start with the smallest
@@ -741,6 +805,8 @@ func (b exprBinder) bind(e sql.Expr) (Expr, error) {
 	switch x := e.(type) {
 	case *sql.Literal:
 		return &Const{Val: x.Val}, nil
+	case *sql.Placeholder:
+		return &Param{Idx: x.Idx}, nil
 	case *sql.ColumnRef:
 		i := b.schema.Find(x.Table, x.Name)
 		if i == -2 {

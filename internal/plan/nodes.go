@@ -49,15 +49,38 @@ func (n *SeqScan) String() string {
 }
 
 // IndexScan reads a table through a B+tree index over [Lo, Hi] (NULL bound =
-// open), applying an optional residual filter.
+// open), applying an optional residual filter. A prepared statement whose
+// bound is a `?` parameter carries it as LoExpr/HiExpr instead: the bound
+// resolves when the execution builds its operators, after parameter
+// substitution — so prepared point and range queries keep their index access
+// even though the plan is built before the arguments exist.
 type IndexScan struct {
 	Table   *catalog.Table
 	Binding string
 	Index   *catalog.Index
 	Lo, Hi  value.Value
-	Filter  Expr
-	Est     float64
-	out     Schema
+	// LoExpr/HiExpr, when non-nil, override Lo/Hi with a constant-foldable
+	// expression (a Const or a Param awaiting substitution).
+	LoExpr, HiExpr Expr
+	Filter         Expr
+	Est            float64
+	out            Schema
+}
+
+// Bounds resolves the scan's effective [lo, hi] key range, evaluating any
+// expression bounds (which must be parameter-free by execution time).
+func (n *IndexScan) Bounds() (lo, hi value.Value, err error) {
+	lo, hi = n.Lo, n.Hi
+	if n.LoExpr != nil {
+		lo, err = n.LoExpr.Eval(nil)
+		if err != nil {
+			return lo, hi, err
+		}
+	}
+	if n.HiExpr != nil {
+		hi, err = n.HiExpr.Eval(nil)
+	}
+	return lo, hi, err
 }
 
 // Schema implements Node.
@@ -70,7 +93,14 @@ func (n *IndexScan) Children() []Node { return nil }
 func (n *IndexScan) Rows() float64 { return n.Est }
 
 func (n *IndexScan) String() string {
-	s := fmt.Sprintf("IndexScan %s via %s [%s, %s]", n.Binding, n.Index.Name, n.Lo, n.Hi)
+	lo, hi := n.Lo.String(), n.Hi.String()
+	if n.LoExpr != nil {
+		lo = n.LoExpr.String()
+	}
+	if n.HiExpr != nil {
+		hi = n.HiExpr.String()
+	}
+	s := fmt.Sprintf("IndexScan %s via %s [%s, %s]", n.Binding, n.Index.Name, lo, hi)
 	if n.Filter != nil {
 		s += " filter=" + n.Filter.String()
 	}

@@ -180,6 +180,15 @@ type Literal struct{ Val value.Value }
 func (*Literal) expr()            {}
 func (e *Literal) String() string { return e.Val.String() }
 
+// Placeholder is one `?` parameter marker. Idx is the zero-based ordinal in
+// parse order; BindParams substitutes the matching argument before the
+// statement executes, and prepared statements keep the placeholder in the
+// cached AST/plan until execution time.
+type Placeholder struct{ Idx int }
+
+func (*Placeholder) expr()            {}
+func (e *Placeholder) String() string { return "?" }
+
 // ColumnRef names a column, optionally qualified by table or alias.
 type ColumnRef struct {
 	Table string // empty when unqualified

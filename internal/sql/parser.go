@@ -10,10 +10,11 @@ import (
 
 // Parser turns SQL text into Statements.
 type Parser struct {
-	lex   *Lexer
-	tok   Token
-	probe Probe
-	nodes int // AST nodes allocated (probed as the private working set)
+	lex    *Lexer
+	tok    Token
+	probe  Probe
+	nodes  int // AST nodes allocated (probed as the private working set)
+	params int // `?` placeholders seen, in parse order
 }
 
 // NewParser returns a parser over src.
@@ -31,20 +32,28 @@ func (p *Parser) SetProbe(probe Probe) {
 // Parse parses a single statement from the input text. A trailing semicolon
 // is accepted; trailing garbage is an error.
 func Parse(src string) (Statement, error) {
+	stmt, _, err := ParseCounted(src)
+	return stmt, err
+}
+
+// ParseCounted is Parse reporting the number of `?` placeholders seen — the
+// count falls out of the parse for free, so callers on the per-statement hot
+// path need no CountParams AST walk.
+func ParseCounted(src string) (Statement, int, error) {
 	p := NewParser(src)
 	stmt, err := p.ParseStatement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if p.tok.Kind == TokSymbol && p.tok.Text == ";" {
 		if err := p.advance(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if p.tok.Kind != TokEOF {
-		return nil, fmt.Errorf("sql: unexpected %q after statement", p.tok.Text)
+		return nil, 0, fmt.Errorf("sql: unexpected %q after statement", p.tok.Text)
 	}
-	return stmt, nil
+	return stmt, p.params, nil
 }
 
 // ParseAll parses a semicolon-separated script.
@@ -1037,6 +1046,12 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		p.node()
 		return &ColumnRef{Name: name}, nil
 	case TokSymbol:
+		if p.tok.Text == "?" {
+			idx := p.params
+			p.params++
+			p.node()
+			return &Placeholder{Idx: idx}, p.advance()
+		}
 		if p.tok.Text == "(" {
 			if err := p.advance(); err != nil {
 				return nil, err

@@ -302,3 +302,50 @@ func TestParseIdentifierCaseKept(t *testing.T) {
 		t.Fatal("column name case")
 	}
 }
+
+func TestParsePlaceholders(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE a = ? AND b BETWEEN ? AND ? OR name LIKE ?")
+	if n := CountParams(stmt); n != 4 {
+		t.Fatalf("CountParams = %d, want 4", n)
+	}
+	// Ordinals are assigned in parse order.
+	var idxs []int
+	walkStatement(stmt, func(e Expr) {
+		Walk(e, func(x Expr) bool {
+			if p, ok := x.(*Placeholder); ok {
+				idxs = append(idxs, p.Idx)
+			}
+			return true
+		})
+	})
+	if len(idxs) != 4 || idxs[0] != 0 || idxs[3] != 3 {
+		t.Fatalf("placeholder ordinals: %v", idxs)
+	}
+
+	ins := MustParse("INSERT INTO t VALUES (?, ?), (3, ?)")
+	if n := CountParams(ins); n != 3 {
+		t.Fatalf("INSERT CountParams = %d, want 3", n)
+	}
+}
+
+func TestBindParams(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE a = ? AND b = 2")
+	bound, err := BindParams(stmt, []value.Value{value.NewInt(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountParams(bound) != 0 {
+		t.Fatal("BindParams left placeholders")
+	}
+	// The original statement keeps its placeholder (prepared ASTs are
+	// shared; substitution must clone).
+	if CountParams(stmt) != 1 {
+		t.Fatal("BindParams mutated the input statement")
+	}
+	if _, err := BindParams(stmt, nil); err == nil {
+		t.Fatal("missing argument must fail")
+	}
+	if _, err := BindParams(stmt, []value.Value{value.NewInt(1), value.NewInt(2)}); err == nil {
+		t.Fatal("extra argument must fail")
+	}
+}

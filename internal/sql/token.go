@@ -172,7 +172,7 @@ scan:
 			}
 		}
 		switch c {
-		case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.':
+		case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.', '?':
 			l.pos++
 			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
 		}

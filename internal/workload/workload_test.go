@@ -9,7 +9,10 @@ import (
 )
 
 func TestWisconsinLoadAndQuery(t *testing.T) {
-	db := stagedb.Open(stagedb.Options{})
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer db.Close()
 	if _, err := db.Exec(WisconsinDDL("tenk")); err != nil {
 		t.Fatal(err)
@@ -71,7 +74,10 @@ func TestQueryGenDeterministicAndParseable(t *testing.T) {
 }
 
 func TestWorkloadBRunsOnEngine(t *testing.T) {
-	db := stagedb.Open(stagedb.Options{})
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer db.Close()
 	for _, tbl := range []string{"wtab", "wtab2"} {
 		if _, err := db.Exec(WisconsinDDL(tbl)); err != nil {

@@ -36,7 +36,7 @@ func loadPadded(t testing.TB, db *DB, n int) {
 // the staged engine shares by default, DisableSharedScans turns it off, and
 // concurrent identical queries return identical multisets either way.
 func TestScanSharesSurface(t *testing.T) {
-	db := Open(Options{PoolFrames: 8}) // tiny pool: page reads hit the store
+	db := mustOpen(t, Options{PoolFrames: 8}) // tiny pool: page reads hit the store
 	defer db.Close()
 	loadPadded(t, db, 800)
 
@@ -89,7 +89,7 @@ func TestScanSharesSurface(t *testing.T) {
 		t.Fatal("fscan stage snapshot should carry share counters")
 	}
 
-	off := Open(Options{DisableSharedScans: true})
+	off := mustOpen(t, Options{DisableSharedScans: true})
 	defer off.Close()
 	loadPadded(t, off, 200)
 	if _, err := off.Query("SELECT COUNT(*) FROM padded"); err != nil {

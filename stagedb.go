@@ -10,11 +10,18 @@
 //
 // Quick start:
 //
-//	db := stagedb.Open(stagedb.Options{})
+//	db, err := stagedb.Open(stagedb.Options{})
+//	if err != nil { ... }
 //	defer db.Close()
 //	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, name TEXT)`)
 //	db.Exec(`INSERT INTO t VALUES (1, 'ann')`)
-//	res, err := db.Query(`SELECT name FROM t WHERE id = 1`)
+//	rows, err := db.QueryContext(ctx, `SELECT name FROM t WHERE id = ?`, 1)
+//
+// SELECT results stream: QueryContext returns a Rows cursor fed
+// page-at-a-time from the execute stage, Prepare caches parsed+planned
+// statements that re-enter the pipeline at the execute stage, and context
+// cancellation abandons a request between stages. The materializing Exec and
+// Query wrappers remain for small results.
 //
 // The simulators and experiment harnesses behind the paper's figures live
 // under internal/ and are driven by cmd/figures and the benchmarks in
@@ -22,6 +29,7 @@
 package stagedb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -109,8 +117,36 @@ type Conn struct {
 	sess *engine.Session
 }
 
+// validate rejects option values no engine configuration can honor.
+// ExecWorkers may be negative: that selects the goroutine-per-task baseline.
+func (o Options) validate() error {
+	if o.Mode != Staged && o.Mode != Threaded {
+		return fmt.Errorf("stagedb: unknown Mode %d", o.Mode)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Workers", o.Workers},
+		{"PageRows", o.PageRows},
+		{"BufferPages", o.BufferPages},
+		{"PoolFrames", o.PoolFrames},
+		{"ExecQueueDepth", o.ExecQueueDepth},
+		{"ExecBatch", o.ExecBatch},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("stagedb: Options.%s must not be negative (got %d)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 // Open creates an empty in-memory database with the selected architecture.
-func Open(opts Options) *DB {
+// It fails on invalid Options.
+func Open(opts Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	kernel := engine.NewDB(engine.Config{
 		PoolFrames:  opts.PoolFrames,
 		PageRows:    opts.PageRows,
@@ -134,7 +170,7 @@ func Open(opts Options) *DB {
 		})
 	}
 	db.defConn = db.Conn()
-	return db
+	return db, nil
 }
 
 // Conn opens a new client connection.
@@ -153,10 +189,26 @@ func (db *DB) Close() {
 }
 
 // Exec runs a statement on the default connection.
-func (db *DB) Exec(sqlText string) (*Result, error) { return db.defConn.Exec(sqlText) }
+func (db *DB) Exec(sqlText string, args ...any) (*Result, error) {
+	return db.defConn.Exec(sqlText, args...)
+}
 
-// Query runs a SELECT on the default connection.
-func (db *DB) Query(sqlText string) (*Result, error) { return db.defConn.Exec(sqlText) }
+// ExecContext runs a statement on the default connection with cancellation.
+func (db *DB) ExecContext(ctx context.Context, sqlText string, args ...any) (*Result, error) {
+	return db.defConn.ExecContext(ctx, sqlText, args...)
+}
+
+// Query runs a SELECT on the default connection and materializes the result.
+// Non-SELECT statements are rejected; use Exec for those.
+func (db *DB) Query(sqlText string, args ...any) (*Result, error) {
+	return db.defConn.Query(sqlText, args...)
+}
+
+// QueryContext runs a SELECT on the default connection, streaming the result
+// as a Rows cursor.
+func (db *DB) QueryContext(ctx context.Context, sqlText string, args ...any) (*Rows, error) {
+	return db.defConn.QueryContext(ctx, sqlText, args...)
+}
 
 // ExecScript runs a semicolon-separated script, stopping at the first error.
 func (db *DB) ExecScript(script string) error { return db.defConn.ExecScript(script) }
@@ -202,6 +254,9 @@ type ScanShareStats struct {
 	Wraps int64
 	// Spills counts stalled consumers kicked to a private continuation.
 	Spills int64
+	// Detaches counts consumers the producer has released — served in full,
+	// spilled, or abandoned (an early Rows.Close detaches its consumer).
+	Detaches int64
 	// PagesDecoded counts heap pages pinned+decoded by shared producers.
 	PagesDecoded int64
 	// PagesDelivered counts decoded pages fanned out to consumers; the
@@ -221,6 +276,7 @@ func (db *DB) ScanShares() ScanShareStats {
 		Attaches:       st.Attaches,
 		Wraps:          st.Wraps,
 		Spills:         st.Spills,
+		Detaches:       st.Detaches,
 		PagesDecoded:   st.PagesDecoded,
 		PagesDelivered: st.PagesDelivered,
 	}
@@ -248,27 +304,153 @@ func (db *DB) PagePoolStats() PagePoolStats {
 	return PagePoolStats{Hits: st.Hits, Misses: st.Misses, Recycled: st.Recycled, Outstanding: st.Outstanding}
 }
 
-// Exec runs one statement on this connection. BEGIN/COMMIT/ROLLBACK manage
-// an explicit transaction; other statements auto-commit outside one.
-func (c *Conn) Exec(sqlText string) (*Result, error) {
-	var res *engine.Result
-	var err error
+// PlanCacheStats reports the prepared-statement cache's activity: lookups
+// served from cache, lookups that had to parse and plan, entries dropped by
+// DDL/Analyze invalidation, and the current entry count. The same counters
+// appear as the "prepare" pseudo-stage in Stages.
+type PlanCacheStats struct {
+	Hits, Misses, Invalidations int64
+	Entries                     int
+}
+
+// PlanCacheStats snapshots the prepared-statement cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	st := db.kernel.PlanCacheStats()
+	return PlanCacheStats{Hits: st.Hits, Misses: st.Misses, Invalidations: st.Invalidations, Entries: st.Entries}
+}
+
+// submit hands a request to the connection's front end.
+func (c *Conn) submit(req *engine.Request) error {
 	switch {
 	case c.db.staged != nil:
-		res, err = c.db.staged.Exec(c.sess, sqlText)
+		return c.db.staged.Submit(req)
 	case c.db.pool != nil:
-		res, err = c.db.pool.Exec(c.sess, sqlText)
-	default:
-		res, err = c.sess.Exec(sqlText)
+		c.db.pool.Submit(req)
+		return nil
 	}
+	return fmt.Errorf("stagedb: no front end to submit to")
+}
+
+// request builds, submits, and waits on one statement request. Every SELECT
+// streams (Stream is always set); callers either hand the cursor out as
+// Rows or materialize it, so there is exactly one delivery path.
+func (c *Conn) request(ctx context.Context, sqlText string, args []any, queryOnly bool) (*engine.Request, error) {
+	vals, err := bindArgs(args)
 	if err != nil {
 		return nil, err
 	}
+	req := &engine.Request{
+		Session:   c.sess,
+		SQL:       sqlText,
+		Ctx:       ctx,
+		Args:      vals,
+		QueryOnly: queryOnly,
+		Stream:    true,
+		Done:      make(chan struct{}),
+	}
+	if err := c.submit(req); err != nil {
+		return nil, err
+	}
+	if _, err := req.Wait(); err != nil {
+		// A cursor created before the request failed (e.g. shutdown racing
+		// the packet between execute and disconnect) still owns a running
+		// pipeline and an open transaction; release both.
+		if req.Cursor != nil {
+			req.Cursor.Close()
+		}
+		return nil, err
+	}
+	return req, nil
+}
+
+// Exec runs one statement on this connection. BEGIN/COMMIT/ROLLBACK manage
+// an explicit transaction; other statements auto-commit outside one. `?`
+// placeholders bind the trailing arguments. SELECT results are materialized
+// through the streaming path; use QueryContext to stream them instead.
+func (c *Conn) Exec(sqlText string, args ...any) (*Result, error) {
+	return c.ExecContext(context.Background(), sqlText, args...)
+}
+
+// ExecContext is Exec with cancellation: a canceled context fails the
+// request between pipeline stages, and an execution in flight stops between
+// pages.
+func (c *Conn) ExecContext(ctx context.Context, sqlText string, args ...any) (*Result, error) {
+	req, err := c.request(ctx, sqlText, args, false)
+	if err != nil {
+		return nil, err
+	}
+	if req.Cursor != nil {
+		rows := &Rows{cur: req.Cursor}
+		return rows.materialize()
+	}
+	res := req.Result
 	return &Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
 }
 
-// Query is Exec for SELECT statements (same semantics, clearer call sites).
-func (c *Conn) Query(sqlText string) (*Result, error) { return c.Exec(sqlText) }
+// Query runs a SELECT and materializes the result. Unlike Exec it rejects
+// non-SELECT statements instead of silently executing DML.
+func (c *Conn) Query(sqlText string, args ...any) (*Result, error) {
+	rows, err := c.QueryContext(context.Background(), sqlText, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryContext runs a SELECT, streaming the result as a Rows cursor fed
+// page-at-a-time from the execute stage's final exchange. The caller must
+// Close the cursor: an early Close abandons the producing pipeline like a
+// satisfied LIMIT, and a canceled ctx fails the request wherever it stands.
+// Non-SELECT statements are rejected.
+func (c *Conn) QueryContext(ctx context.Context, sqlText string, args ...any) (*Rows, error) {
+	req, err := c.request(ctx, sqlText, args, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: req.Cursor}, nil
+}
+
+// bindArgs converts Go arguments to SQL values for `?` binding.
+func bindArgs(args []any) ([]Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("stagedb: argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func toValue(a any) (Value, error) {
+	switch x := a.(type) {
+	case nil:
+		return value.NewNull(), nil
+	case Value:
+		return x, nil
+	case int:
+		return value.NewInt(int64(x)), nil
+	case int32:
+		return value.NewInt(int64(x)), nil
+	case int64:
+		return value.NewInt(x), nil
+	case uint32:
+		return value.NewInt(int64(x)), nil
+	case float32:
+		return value.NewFloat(float64(x)), nil
+	case float64:
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewText(x), nil
+	case bool:
+		return value.NewBool(x), nil
+	}
+	return Value{}, fmt.Errorf("unsupported argument type %T", a)
+}
 
 // ExecTxn submits a whole transaction script as one unit of work. On the
 // worker-pool engine this keeps a single worker responsible for the whole
@@ -306,28 +488,61 @@ func (c *Conn) ExecScript(script string) error {
 // InTxn reports whether this connection has an open transaction.
 func (c *Conn) InTxn() bool { return c.sess.InTxn() }
 
-// splitScript splits on semicolons outside string literals.
+// splitScript splits on semicolons outside string literals and SQL line
+// comments. Inside a string, a doubled quote (”) is an escaped quote, not a
+// string boundary; inside a `-- ...` comment, quotes and semicolons are
+// plain text until the end of the line.
 func splitScript(script string) []string {
 	var out []string
 	var cur strings.Builder
+	hasCode := false // segment contains bytes outside comments and whitespace
+	flush := func() {
+		if s := strings.TrimSpace(cur.String()); s != "" && hasCode {
+			out = append(out, s)
+		}
+		cur.Reset()
+		hasCode = false
+	}
 	inStr := false
 	for i := 0; i < len(script); i++ {
 		ch := script[i]
-		if ch == '\'' {
-			inStr = !inStr
-		}
-		if ch == ';' && !inStr {
-			if s := strings.TrimSpace(cur.String()); s != "" {
-				out = append(out, s)
+		switch {
+		case inStr:
+			if ch == '\'' {
+				if i+1 < len(script) && script[i+1] == '\'' {
+					// Escaped quote: copy both bytes, stay in the string.
+					cur.WriteByte('\'')
+					i++
+				} else {
+					inStr = false
+				}
 			}
-			cur.Reset()
-			continue
+			cur.WriteByte(ch)
+		case ch == '\'':
+			inStr = true
+			hasCode = true
+			cur.WriteByte(ch)
+		case ch == '-' && i+1 < len(script) && script[i+1] == '-':
+			// Line comment: copy through the newline verbatim (the statement
+			// parser skips it); a ; or ' inside must not split or toggle, and
+			// a segment holding only comments is not a statement.
+			for i < len(script) && script[i] != '\n' {
+				cur.WriteByte(script[i])
+				i++
+			}
+			if i < len(script) {
+				cur.WriteByte('\n')
+			}
+		case ch == ';':
+			flush()
+		default:
+			if ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r' {
+				hasCode = true
+			}
+			cur.WriteByte(ch)
 		}
-		cur.WriteByte(ch)
 	}
-	if s := strings.TrimSpace(cur.String()); s != "" {
-		out = append(out, s)
-	}
+	flush()
 	return out
 }
 

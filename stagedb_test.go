@@ -7,7 +7,7 @@ import (
 )
 
 func TestOpenStagedQuickstart(t *testing.T) {
-	db := Open(Options{})
+	db := mustOpen(t, Options{})
 	defer db.Close()
 	if err := db.ExecScript(`
 		CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
@@ -29,7 +29,7 @@ func TestOpenStagedQuickstart(t *testing.T) {
 
 func TestOpenThreadedSameResults(t *testing.T) {
 	for _, mode := range []Mode{Staged, Threaded} {
-		db := Open(Options{Mode: mode})
+		db := mustOpen(t, Options{Mode: mode})
 		if err := db.ExecScript(`
 			CREATE TABLE n (v INT);
 			INSERT INTO n VALUES (3), (1), (2);
@@ -51,7 +51,7 @@ func TestOpenThreadedSameResults(t *testing.T) {
 }
 
 func TestConnTransactions(t *testing.T) {
-	db := Open(Options{})
+	db := mustOpen(t, Options{})
 	defer db.Close()
 	if err := db.ExecScript("CREATE TABLE acct (id INT, bal INT); INSERT INTO acct VALUES (1, 100)"); err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestConnTransactions(t *testing.T) {
 }
 
 func TestConcurrentConns(t *testing.T) {
-	db := Open(Options{})
+	db := mustOpen(t, Options{})
 	defer db.Close()
 	if err := db.ExecScript("CREATE TABLE c (id INT PRIMARY KEY)"); err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func itoa(v int) string {
 }
 
 func TestExplain(t *testing.T) {
-	db := Open(Options{})
+	db := mustOpen(t, Options{})
 	defer db.Close()
 	if err := db.ExecScript("CREATE TABLE e (id INT PRIMARY KEY, v INT)"); err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func TestExplain(t *testing.T) {
 }
 
 func TestExecScriptErrorsNameStatement(t *testing.T) {
-	db := Open(Options{})
+	db := mustOpen(t, Options{})
 	defer db.Close()
 	err := db.ExecScript("CREATE TABLE s (id INT); INSERT INTO nope VALUES (1)")
 	if err == nil || !strings.Contains(err.Error(), "nope") {
@@ -156,6 +156,59 @@ func TestSplitScriptRespectsStrings(t *testing.T) {
 	}
 }
 
+// TestSplitScriptCommentsAndQuotes pins the two lexical edge cases the old
+// splitter got wrong: a semicolon (or quote) inside a `-- ...` line comment
+// must not split (or toggle string state), and a doubled quote (”) is an
+// escaped quote inside the string, not a close-then-open.
+func TestSplitScriptCommentsAndQuotes(t *testing.T) {
+	parts := splitScript("SELECT 1 FROM t -- trailing; don't split\nWHERE id = 2; SELECT 2 FROM t;")
+	if len(parts) != 2 {
+		t.Fatalf("comment split: %q", parts)
+	}
+	if !strings.Contains(parts[0], "WHERE id = 2") || !strings.Contains(parts[0], "don't") {
+		t.Fatalf("comment must stay inside its statement: %q", parts)
+	}
+
+	parts = splitScript("INSERT INTO t VALUES ('it''s; fine'); SELECT 1 FROM t;")
+	if len(parts) != 2 {
+		t.Fatalf("escaped-quote split: %q", parts)
+	}
+	if !strings.Contains(parts[0], "it''s; fine") {
+		t.Fatalf("doubled quote must survive verbatim: %q", parts[0])
+	}
+
+	// Comment-only segments are not statements: a script ending in a
+	// comment (or made only of comments) must not produce unparsable parts.
+	if parts := splitScript("-- nothing here;\n"); len(parts) != 0 {
+		t.Fatalf("comment-only script: %q", parts)
+	}
+	if parts := splitScript("SELECT 1 FROM t;\n-- done\n"); len(parts) != 1 {
+		t.Fatalf("trailing comment script: %q", parts)
+	}
+}
+
+// TestExecScriptWithCommentsAndEscapes runs a script through the engine end
+// to end: comments and escaped quotes must parse and execute.
+func TestExecScriptWithCommentsAndEscapes(t *testing.T) {
+	db := mustOpen(t, Options{})
+	defer db.Close()
+	if err := db.ExecScript(`
+		-- schema; one table
+		CREATE TABLE notes (id INT, body TEXT);
+		INSERT INTO notes VALUES (1, 'it''s a; note'); -- trailing comment
+		INSERT INTO notes VALUES (2, 'plain');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT body FROM notes WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "it's a; note" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
 func TestExecSchedulerOptions(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -165,7 +218,7 @@ func TestExecSchedulerOptions(t *testing.T) {
 		{"goroutine-baseline", Options{ExecWorkers: -1}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			db := Open(tc.opts)
+			db := mustOpen(t, tc.opts)
 			defer db.Close()
 			if err := db.ExecScript(`
 				CREATE TABLE t (id INT PRIMARY KEY, grp INT);
@@ -200,4 +253,14 @@ func TestExecSchedulerOptions(t *testing.T) {
 			}
 		})
 	}
+}
+
+// mustOpen opens a database or fails the test.
+func mustOpen(tb testing.TB, opts Options) *DB {
+	tb.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db
 }

@@ -20,7 +20,7 @@ func TestPagePoolBalancesAfterQueries(t *testing.T) {
 		{"threaded", Options{Mode: Threaded, Workers: 2}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
-			db := Open(mode.opts)
+			db := mustOpen(t, mode.opts)
 			defer db.Close()
 			loadPadded(t, db, 600)
 			queries := []string{
@@ -64,7 +64,7 @@ func TestPagePoolBalancesAfterQueries(t *testing.T) {
 // TestStagesExposePagePoolCounters: the pagepool pseudo-stage must surface
 // pool counters through the §5.2 monitoring view (and thereby \stages).
 func TestStagesExposePagePoolCounters(t *testing.T) {
-	db := Open(Options{})
+	db := mustOpen(t, Options{})
 	defer db.Close()
 	loadPadded(t, db, 200)
 	if _, err := db.Query("SELECT grp, COUNT(*) FROM padded GROUP BY grp"); err != nil {
