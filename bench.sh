@@ -10,6 +10,10 @@
 #                     the SharedScan headline numbers, and the client API
 #                     benches (streaming time-to-first-row, prepared vs
 #                     unprepared re-execution).
+#   BENCH_sort.json — memory-bounded stateful operators: in-memory vs
+#                     spilling external sort, Top-N vs full sort + limit,
+#                     and the grace-spilling aggregation/join vs their
+#                     in-memory forms.
 #
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
@@ -48,3 +52,9 @@ go test ./internal/value -run '^$' -bench 'RowHash' \
 echo "$exec_out" | to_json > BENCH_exec.json
 echo "wrote BENCH_exec.json:"
 cat BENCH_exec.json
+
+sort_out=$(go test ./internal/exec -run '^$' -bench 'ExtSort|TopN|SpillAgg|SpillJoin' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem)
+echo "$sort_out" | to_json > BENCH_sort.json
+echo "wrote BENCH_sort.json:"
+cat BENCH_sort.json

@@ -1,37 +1,47 @@
 #!/usr/bin/env sh
-# bench_gate.sh — CI allocation-regression gate for the vectorized exec
-# path. Fails if BenchmarkSharedScan allocs/op regresses more than 20% over
-# the committed BENCH_scan.json baseline.
+# bench_gate.sh — CI allocation-regression gates for the vectorized exec
+# path. Fails if a gated benchmark's allocs/op regresses more than 20% over
+# its committed baseline:
 #
-# The gate keys on the staged-unshared variant: its allocation count is a
-# deterministic function of the query mix (8 private scans, no work
-# sharing), whereas staged-shared allocs depend on how many queries manage
-# to attach to an in-flight wheel — scheduler- and machine-dependent, which
-# would make a 20% margin flaky on slow CI runners. Any allocation
-# regression in the scan/filter/agg exec path shows up identically in the
-# unshared variant.
+#   - BenchmarkSharedScan/staged-unshared vs BENCH_scan.json. The gate keys
+#     on the unshared variant: its allocation count is a deterministic
+#     function of the query mix (8 private scans, no work sharing), whereas
+#     staged-shared allocs depend on how many queries manage to attach to an
+#     in-flight wheel — scheduler- and machine-dependent, which would make a
+#     20% margin flaky on slow CI runners.
+#   - BenchmarkTopN vs BENCH_sort.json. Top-N must stay O(k): a fixed-size
+#     heap over a 50k-row input. Any accidental materialization or per-row
+#     key allocation shows up as an allocs/op explosion here.
 set -e
 cd "$(dirname "$0")"
 
-base=$(awk -F'"allocs/op": ' '/staged-unshared/ { print $2 + 0; exit }' BENCH_scan.json)
-if [ -z "$base" ] || [ "$base" -le 0 ] 2>/dev/null; then
-	echo "bench_gate: no staged-unshared allocs/op baseline in BENCH_scan.json" >&2
-	exit 1
-fi
-
-out=$(go test . -run '^$' -bench 'SharedScan/staged-unshared' -benchtime 5x -benchmem)
-echo "$out"
-cur=$(echo "$out" | awk '/^Benchmark/ { for (i = 1; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit } }')
-if [ -z "$cur" ]; then
-	echo "bench_gate: benchmark produced no allocs/op datapoint" >&2
-	exit 1
-fi
-
-awk -v cur="$cur" -v base="$base" 'BEGIN {
-	lim = base * 1.2
-	if (cur > lim) {
-		printf("bench_gate: allocs/op regression: %d > %.0f (baseline %d + 20%%)\n", cur, lim, base)
+# gate BASELINE_FILE BASELINE_PATTERN BENCH_PKG BENCH_PATTERN
+gate() {
+	file=$1
+	pat=$2
+	pkg=$3
+	bench=$4
+	base=$(awk -F'"allocs/op": ' "/$pat/ { print \$2 + 0; exit }" "$file")
+	if [ -z "$base" ] || [ "$base" -le 0 ] 2>/dev/null; then
+		echo "bench_gate: no $pat allocs/op baseline in $file" >&2
 		exit 1
-	}
-	printf("bench_gate: allocs/op ok: %d <= %.0f (baseline %d + 20%%)\n", cur, lim, base)
-}'
+	fi
+	out=$(go test "$pkg" -run '^$' -bench "$bench" -benchtime 5x -benchmem)
+	echo "$out"
+	cur=$(echo "$out" | awk '/^Benchmark/ { for (i = 1; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit } }')
+	if [ -z "$cur" ]; then
+		echo "bench_gate: benchmark $bench produced no allocs/op datapoint" >&2
+		exit 1
+	fi
+	awk -v cur="$cur" -v base="$base" -v name="$bench" 'BEGIN {
+		lim = base * 1.2
+		if (cur > lim) {
+			printf("bench_gate: %s allocs/op regression: %d > %.0f (baseline %d + 20%%)\n", name, cur, lim, base)
+			exit 1
+		}
+		printf("bench_gate: %s allocs/op ok: %d <= %.0f (baseline %d + 20%%)\n", name, cur, lim, base)
+	}'
+}
+
+gate BENCH_scan.json 'staged-unshared' . 'SharedScan/staged-unshared'
+gate BENCH_sort.json 'BenchmarkTopN[-"]' ./internal/exec 'BenchmarkTopN$'

@@ -501,6 +501,191 @@ func TestOpenValidatesOptions(t *testing.T) {
 	db.Close()
 }
 
+// TestSpillingSortStreamLeakFree is the memory-bounded execution acceptance
+// test: an ORDER BY over 100k rows far beyond a tiny WorkMem completes by
+// spilling runs (SpillStats shows them), matches the in-memory ordering
+// exactly, and every termination path — full drain, mid-merge Rows.Close,
+// context cancellation — removes all temp run files and returns
+// PagePoolStats.Outstanding to zero.
+func TestSpillingSortStreamLeakFree(t *testing.T) {
+	const rows = 100_000
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"staged", Options{WorkMem: 64 << 10, PoolFrames: 16}},
+		{"threaded", Options{Mode: Threaded, Workers: 2, WorkMem: 64 << 10, PoolFrames: 16}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			db := mustOpen(t, mode.opts)
+			defer db.Close()
+			loadBig(t, db, rows)
+			ctx := context.Background()
+			q := "SELECT id, v FROM big ORDER BY v"
+
+			// Full drain: spilled, complete, and ordered exactly like the
+			// in-memory sort — by (v, arrival), arrival being id order here.
+			cur, err := db.QueryContext(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			lastV, lastID := int64(-1), int64(-1)
+			for cur.Next() {
+				var id, v int64
+				if err := cur.Scan(&id, &v); err != nil {
+					t.Fatal(err)
+				}
+				if v < lastV || (v == lastV && id <= lastID) {
+					t.Fatalf("row %d: (v=%d id=%d) out of order after (v=%d id=%d)", n, v, id, lastV, lastID)
+				}
+				lastV, lastID = v, id
+				n++
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if n != rows {
+				t.Fatalf("spilled ORDER BY returned %d rows, want %d", n, rows)
+			}
+			st := db.SpillStats()
+			if st.SortSpills == 0 || st.SortRuns == 0 {
+				t.Fatalf("ORDER BY over %d rows with WorkMem=64KB must spill: %+v", rows, st)
+			}
+			if live := st.FilesLive(); live != 0 {
+				t.Fatalf("%d spill files live after full drain", live)
+			}
+			waitPoolBalanced(t, db)
+
+			// Mid-merge close: read a few rows (the k-way merge is mid-flight,
+			// run files on disk), then Close — files must be removed.
+			early, err := db.QueryContext(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5 && early.Next(); i++ {
+			}
+			if err := early.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if live := db.SpillStats().FilesLive(); live != 0 {
+				t.Fatalf("%d spill files live after mid-merge Close", live)
+			}
+			waitPoolBalanced(t, db)
+
+			// Cancellation mid-stream: same invariant.
+			cctx, cancel := context.WithCancel(ctx)
+			mid, err := db.QueryContext(cctx, q)
+			if err != nil {
+				cancel()
+				t.Fatal(err)
+			}
+			if !mid.Next() {
+				t.Fatalf("no first row before cancel: %v", mid.Err())
+			}
+			cancel()
+			for mid.Next() {
+			}
+			if !errors.Is(mid.Err(), context.Canceled) {
+				t.Fatalf("Err after cancel = %v, want context.Canceled", mid.Err())
+			}
+			mid.Close()
+			waitPoolBalanced(t, db)
+			if live := db.SpillStats().FilesLive(); live != 0 {
+				t.Fatalf("%d spill files live after cancellation", live)
+			}
+		})
+	}
+}
+
+// TestTopNFusesAndSkipsSpill: ORDER BY + LIMIT k plans a TopN node (visible
+// in EXPLAIN), returns exactly the full sort's first k rows, and never
+// touches the spill layer even when the input dwarfs WorkMem.
+func TestTopNFusesAndSkipsSpill(t *testing.T) {
+	const rows = 50_000
+	db := mustOpen(t, Options{WorkMem: 64 << 10})
+	defer db.Close()
+	loadBig(t, db, rows)
+
+	out, err := db.Explain("SELECT id, v FROM big ORDER BY v LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TopN") {
+		t.Fatalf("ORDER BY + LIMIT should plan a TopN node:\n%s", out)
+	}
+	if strings.Contains(out, "Sort") || strings.Contains(out, "Limit") {
+		t.Fatalf("TopN should replace both Sort and Limit:\n%s", out)
+	}
+
+	before := db.SpillStats()
+	res, err := db.Query("SELECT id, v FROM big ORDER BY v LIMIT 10 OFFSET 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("TopN returned %d rows, want 10", len(res.Rows))
+	}
+	// v = id % 97, so the smallest v values are 0 with ids ascending: the
+	// full sort's rows 3..12 are ids 3*97..12*97 with v=0.
+	for i, r := range res.Rows {
+		wantID := int64((i + 3) * 97)
+		if r[0].Int() != wantID || r[1].Int() != 0 {
+			t.Fatalf("row %d = (%s, %s), want (%d, 0)", i, r[0], r[1], wantID)
+		}
+	}
+	after := db.SpillStats()
+	if after.TopN == before.TopN {
+		t.Fatal("TopN execution should be counted in SpillStats")
+	}
+	if after.FilesCreated != before.FilesCreated || after.SortRuns != before.SortRuns {
+		t.Fatalf("TopN must not spill: before %+v after %+v", before, after)
+	}
+
+	// A prepared ORDER BY + LIMIT keeps its TopN through the plan cache and
+	// parameter substitution.
+	stmt, err := db.Prepare("SELECT id FROM big WHERE v >= ? ORDER BY id DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 3; i++ {
+		res, err := stmt.Query(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 || res.Rows[0][0].Int() != rows-1 {
+			t.Fatalf("prepared TopN rows: %v", res.Rows)
+		}
+	}
+}
+
+// TestAutotuneWorkMem: the §4.4-style work-mem controller doubles the
+// budget after observing spills and holds it through quiet windows.
+func TestAutotuneWorkMem(t *testing.T) {
+	db := mustOpen(t, Options{WorkMem: 64 << 10})
+	defer db.Close()
+	loadBig(t, db, 30_000)
+	if got := db.AutotuneWorkMem(0); got != 64<<10 {
+		t.Fatalf("budget moved without any spills: %d", got)
+	}
+	if _, err := db.Query("SELECT id FROM big ORDER BY v"); err != nil {
+		t.Fatal(err)
+	}
+	if db.SpillStats().SortSpills == 0 {
+		t.Fatal("sort should have spilled; tuning test is vacuous")
+	}
+	if got := db.AutotuneWorkMem(0); got != 128<<10 {
+		t.Fatalf("observed spills should double the budget: %d", got)
+	}
+	if got := db.AutotuneWorkMem(0); got != 128<<10 {
+		t.Fatalf("quiet window should hold the budget: %d", got)
+	}
+	if got := db.WorkMem(); got != 128<<10 {
+		t.Fatalf("WorkMem() = %d after tuning", got)
+	}
+}
+
 // TestStreamInsideTransaction: a Rows cursor opened inside an explicit
 // transaction streams under the transaction's locks and leaves the
 // transaction open on Close.

@@ -102,4 +102,27 @@ func main() {
 		fmt.Printf("§4.4(d) load=%.0f%% l=%.0f%% -> %-10s (simulated mean response %.2fs)\n",
 			op.rho*100, op.lf*100, p.Name(), r.MeanResponse.Seconds())
 	}
+
+	// (e) the per-query work-mem budget from observed spill pressure: a
+	// deliberately tiny budget forces the ORDER BY to spill sorted runs, and
+	// the controller doubles the budget in response.
+	tiny, err := stagedb.Open(stagedb.Options{WorkMem: 64 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tiny.Close()
+	if _, err := tiny.Exec(workload.WisconsinDDL("t")); err != nil {
+		log.Fatal(err)
+	}
+	for _, stmt := range workload.WisconsinRows("t", 3000, 5, 200) {
+		if _, err := tiny.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := tiny.Query("SELECT unique1 FROM t ORDER BY stringu1"); err != nil {
+		log.Fatal(err)
+	}
+	st := tiny.SpillStats()
+	fmt.Printf("\n§4.4(e) work-mem: %d KB budget spilled %d sorted run(s); retuned to %d KB\n",
+		tiny.WorkMem()>>10, st.SortRuns, tiny.AutotuneWorkMem(0)>>10)
 }

@@ -89,6 +89,41 @@ type Module struct {
 	Bytes int64 // common working-set size
 }
 
+// TuneWorkMem recommends the next per-query memory budget from observed
+// spill pressure (§4.4 applied to the stateful operators' work-mem knob).
+// spillEvents is the number of operator spills (sorts, aggregations, join
+// builds crossing their budget) observed since the last tuning pass: any
+// spilling doubles the budget — spills trade memory for temp-file I/O, so a
+// budget that keeps forcing them is mis-sized — capped at maxBytes (0 =
+// 256 MB); a quiet window keeps the current budget (shrinking would only
+// re-induce the spills the next repeat of the workload). Budgets never drop
+// below the stateful operators' 64 KB floor.
+func TuneWorkMem(spillEvents, current, maxBytes int64) int64 {
+	const floor = 64 << 10
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if current < floor {
+		current = floor
+	}
+	if spillEvents <= 0 {
+		return current
+	}
+	next := current * 2
+	if next > maxBytes {
+		next = maxBytes
+	}
+	if next < current {
+		// The cap never shrinks an already-larger budget: a spill response
+		// must not reduce memory (that would only induce more spills).
+		next = current
+	}
+	if next < floor {
+		next = floor
+	}
+	return next
+}
+
 // GroupStages fuses adjacent modules while their combined working set fits
 // the cache (§4.4b: "dynamically merge or split stages"): few huge stages
 // fail to exploit the cache, many tiny ones pay queueing overhead, so the

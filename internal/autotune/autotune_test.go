@@ -111,3 +111,33 @@ func TestTuneExecWorkersFromQueueLength(t *testing.T) {
 		}
 	}
 }
+
+func TestTuneWorkMem(t *testing.T) {
+	const mb = 1 << 20
+	// Spilling doubles, capped at maxBytes.
+	if got := TuneWorkMem(3, 16*mb, 256*mb); got != 32*mb {
+		t.Fatalf("spilling should double: %d", got)
+	}
+	if got := TuneWorkMem(1, 200*mb, 256*mb); got != 256*mb {
+		t.Fatalf("doubling should cap at max: %d", got)
+	}
+	// A quiet window keeps the budget.
+	if got := TuneWorkMem(0, 16*mb, 256*mb); got != 16*mb {
+		t.Fatalf("no spills should hold: %d", got)
+	}
+	// A cap below the current budget must never shrink it — a spill response
+	// reducing memory would only induce more spills.
+	if got := TuneWorkMem(1, 512*mb, 256*mb); got != 512*mb {
+		t.Fatalf("cap must not shrink an already-larger budget: %d", got)
+	}
+	if got := TuneWorkMem(1, 16*mb, 8*mb); got != 16*mb {
+		t.Fatalf("user cap below current must hold, not shrink: %d", got)
+	}
+	// Budgets never drop below the operator floor.
+	if got := TuneWorkMem(0, 1, 256*mb); got != 64<<10 {
+		t.Fatalf("floor: %d", got)
+	}
+	if got := TuneWorkMem(5, 1, 256*mb); got != 128<<10 {
+		t.Fatalf("spill from floor doubles the floor: %d", got)
+	}
+}

@@ -33,6 +33,14 @@ type Config struct {
 	PageRows int
 	// BufferPages bounds each staged-exchange buffer.
 	BufferPages int
+	// WorkMem is the per-query memory budget, in bytes, enforced by the
+	// stateful operators (sort, hash aggregation, hash-join build): past it
+	// they spill to temp-file runs/partitions instead of growing the heap.
+	// 0 resolves through the STAGEDB_WORKMEM environment variable and then
+	// exec.DefaultWorkMem.
+	WorkMem int64
+	// TempDir hosts spill files ("" = os.TempDir()).
+	TempDir string
 	// PlanOptions steer the optimizer.
 	PlanOptions plan.Options
 }
@@ -59,6 +67,17 @@ type DB struct {
 	// kernel (both the staged and the Volcano driver draw from it).
 	pages *exec.PagePool
 
+	// spill accumulates the memory-bounded operators' spill counters
+	// (sort runs, agg/join grace partitions, file lifecycle) across both
+	// drivers.
+	spill *exec.SpillMetrics
+
+	// workMem is the live per-query memory budget. It starts at
+	// Config.WorkMem and may be retuned at runtime (SetWorkMem /
+	// stagedb.DB.AutotuneWorkMem) while queries are in flight, so reads go
+	// through the atomic.
+	workMem atomic.Int64
+
 	// plans caches prepared statements; schemaVer invalidates them on DDL
 	// and ANALYZE.
 	plans     *planCache
@@ -82,10 +101,12 @@ func NewDB(cfg Config) *DB {
 		pool:    storage.NewPool(store, cfg.PoolFrames),
 		tm:      txn.NewManager(),
 		pages:   exec.NewPagePool(),
+		spill:   &exec.SpillMetrics{},
 		plans:   newPlanCache(),
 		heaps:   make(map[string]*storage.Heap),
 		indexes: make(map[string]*storage.BTree),
 	}
+	db.workMem.Store(cfg.WorkMem)
 	db.installLiveRowCount()
 	return db
 }
@@ -122,6 +143,32 @@ func (db *DB) PagePool() *exec.PagePool { return db.pages }
 // PlanCacheStats snapshots the prepared-statement cache counters (also
 // visible as the "prepare" pseudo-stage in staged snapshots).
 func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.Stats() }
+
+// SpillMetrics exposes the kernel's spill counters (sort runs, grace
+// partitions, spill-file lifecycle), shared by every query of both drivers.
+func (db *DB) SpillMetrics() *exec.SpillMetrics { return db.spill }
+
+// SpillStats snapshots the spill counters.
+func (db *DB) SpillStats() exec.SpillStats { return db.spill.Stats() }
+
+// WorkMem reports the live per-query memory budget (0 = resolve defaults).
+func (db *DB) WorkMem() int64 { return db.workMem.Load() }
+
+// SetWorkMem changes the per-query memory budget for subsequently built
+// executions (queries in flight keep the budget they started with).
+func (db *DB) SetWorkMem(v int64) { db.workMem.Store(v) }
+
+// buildConfig assembles the executor build parameters every query of this
+// kernel runs under.
+func (db *DB) buildConfig() exec.BuildConfig {
+	return exec.BuildConfig{
+		PageRows: db.cfg.PageRows,
+		Pool:     db.pages,
+		WorkMem:  db.workMem.Load(),
+		TempDir:  db.cfg.TempDir,
+		Spill:    db.spill,
+	}
+}
 
 // invalidatePlans bumps the schema version, turning every cached plan into
 // an invalidation on its next lookup. DDL and ANALYZE call it: both change
@@ -218,14 +265,14 @@ func (db *DB) NewSession() *Session {
 	sessionIDs.mu.Unlock()
 	s := &Session{db: db, id: id}
 	s.runnerFn = func(ctx context.Context, node plan.Node) ([]value.Row, error) {
-		op, err := exec.BuildPooled(node, db, db.cfg.PageRows, db.pages)
+		op, err := exec.BuildWith(node, db, db.buildConfig())
 		if err != nil {
 			return nil, err
 		}
 		return exec.RunCtx(ctx, op)
 	}
 	s.streamFn = func(ctx context.Context, node plan.Node) (exec.Cursor, error) {
-		op, err := exec.BuildPooled(node, db, db.cfg.PageRows, db.pages)
+		op, err := exec.BuildWith(node, db, db.buildConfig())
 		if err != nil {
 			return nil, err
 		}

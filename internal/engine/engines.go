@@ -461,11 +461,13 @@ func (s *Staged) Snapshot() []metrics.StageSnapshot {
 			out = append(out, metrics.StageSnapshot{Name: "fscan", Counters: counters})
 		}
 	}
-	// The exchange-page pool's hit/miss/outstanding counters and the
-	// prepared-statement cache's hit/miss/invalidation counters ride along
-	// as pseudo-stages so \stages surfaces them (§5.2 monitoring).
+	// The exchange-page pool's hit/miss/outstanding counters, the
+	// prepared-statement cache's hit/miss/invalidation counters, and the
+	// memory-bounded operators' spill counters ride along as pseudo-stages
+	// so \stages surfaces them (§5.2 monitoring).
 	out = append(out, metrics.StageSnapshot{Name: "pagepool", Counters: s.db.pages.Counters()})
 	out = append(out, metrics.StageSnapshot{Name: "prepare", Counters: s.db.plans.Counters()})
+	out = append(out, metrics.StageSnapshot{Name: "spill", Counters: s.db.spill.Counters()})
 	return out
 }
 
@@ -586,6 +588,9 @@ func (s *Staged) stagedOptions(ctx context.Context) exec.StagedOptions {
 		BufferPages: s.db.cfg.BufferPages,
 		Shared:      s.shared,
 		Pool:        s.db.pages,
+		WorkMem:     s.db.WorkMem(),
+		TempDir:     s.db.cfg.TempDir,
+		Spill:       s.db.spill,
 		Ctx:         ctx,
 	}
 }

@@ -1,14 +1,29 @@
 package exec
 
 import (
-	"fmt"
-	"sort"
-
+	"stagedb/internal/exec/spill"
 	"stagedb/internal/plan"
 	"stagedb/internal/value"
 )
 
 // --- aggregate ---
+
+// aggFanOut is the grace-partitioning fan-out of the spilling aggregation
+// (and, in join.go, the grace hash join): a spilled operator splits its keys
+// into aggFanOut partition files per level.
+const aggFanOut = 8
+
+// aggMaxDepth bounds partition recursion. A partition still over budget at
+// the bottom aggregates in memory anyway — termination beats a hard failure
+// on adversarial key distributions.
+const aggMaxDepth = 6
+
+// partOf selects a grace partition for a key hash at a recursion depth, each
+// level consuming a fresh slice of the hash's bits (the in-memory group and
+// join tables use the low bits, so start above them).
+func partOf(h uint64, depth int) int {
+	return int((h >> (7 + 3*depth)) & (aggFanOut - 1))
+}
 
 type aggState struct {
 	groupKey value.Row
@@ -28,11 +43,23 @@ type aggState struct {
 // steady-state cost of aggregating a row in an existing group is zero
 // allocations. The groups table is pre-sized from the planner's cardinality
 // estimate.
+//
+// Memory is bounded by the query's WorkMem budget: when the group table
+// outgrows it, the operator spills grace-style — current groups serialize
+// their partial state to per-partition files, subsequent input rows are
+// routed raw to partition files, and each partition aggregates independently
+// at the end (recursing with a deeper hash when a partition itself exceeds
+// the budget). Un-spilled aggregations keep group-arrival output order;
+// spilled ones emit partition by partition.
 type aggregateOp struct {
 	node      *plan.Aggregate
 	child     Operator
 	pageRows  int
 	groupHint int
+
+	workMem int64
+	tmpDir  string
+	spillM  *SpillMetrics
 
 	groupBy []plan.CompiledExpr
 	aggArg  []plan.CompiledExpr // nil entries for COUNT(*)
@@ -41,28 +68,51 @@ type aggregateOp struct {
 	order     []*aggState // arrival order for deterministic output
 	scratch   value.Row   // reused group-key buffer
 	keyCols   []int       // identity column set over the key
+	memBytes  int64
 	inputDone bool
 	loaded    bool
 	out       []value.Row
 	pos       int
+
+	// Spill state. Once spilled, every subsequent input row routes raw into
+	// rowFiles by group-key hash; the groups held at spill time were written
+	// as partial-state rows into stateFiles.
+	spilled    bool
+	stateFiles []*spill.File
+	rowFiles   []*spill.File
+	work       []aggWork // partitions awaiting aggregation at emit time
+	emitDone   bool
+}
+
+// aggWork is one pending grace partition: partial aggregate states to merge,
+// raw rows to fold in, and the recursion depth its files were hashed at.
+type aggWork struct {
+	state *spill.File
+	rows  *spill.File
+	depth int
 }
 
 func (a *aggregateOp) Open() error {
-	a.groups = make(map[uint64][]*aggState, a.groupHint)
+	a.workMem = ResolveWorkMem(a.workMem) // directly built operators get defaults
+	a.closeSpillFiles()
+	a.groups = make(map[uint64][]*aggState, budgetPresize(a.groupHint, a.workMem))
 	a.order = nil
 	a.scratch = make(value.Row, len(a.groupBy))
 	a.keyCols = make([]int, len(a.groupBy))
 	for i := range a.keyCols {
 		a.keyCols[i] = i
 	}
+	a.memBytes = 0
 	a.inputDone, a.loaded = false, false
 	a.out, a.pos = nil, 0
+	a.spilled, a.emitDone = false, false
 	return a.child.Open()
 }
 
 // Next folds child pages into the group table as they arrive (resumably:
 // errWouldBlock suspends with the partial group table preserved in fields),
-// then emits the grouped output.
+// then emits the grouped output — directly for in-memory aggregations,
+// partition by partition for spilled ones.
 func (a *aggregateOp) Next() (*Page, error) {
 	if !a.loaded {
 		for !a.inputDone {
@@ -85,7 +135,17 @@ func (a *aggregateOp) Next() (*Page, error) {
 		}
 		a.loaded = true
 	}
-	return slicePage(&a.pos, a.out, a.pageRows), nil
+	for {
+		if pg := slicePage(&a.pos, a.out, a.pageRows); pg != nil {
+			return pg, nil
+		}
+		if a.emitDone {
+			return nil, nil
+		}
+		if err := a.nextPartition(); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // find locates (or creates) the group for the scratch key.
@@ -111,10 +171,12 @@ func (a *aggregateOp) find() *aggState {
 	}
 	a.groups[h] = append(a.groups[h], st)
 	a.order = append(a.order, st)
+	a.memBytes += rowMemSize(st.groupKey) + int64(48+96*nAggs)
 	return st
 }
 
-// consume folds one page of input into the group table.
+// consume folds one page of input into the group table, or — once spilled —
+// routes its rows into the grace partition files.
 func (a *aggregateOp) consume(pg *Page) error {
 	n := pg.Len()
 	for r := 0; r < n; r++ {
@@ -126,54 +188,181 @@ func (a *aggregateOp) consume(pg *Page) error {
 			}
 			a.scratch[i] = v
 		}
-		st := a.find()
-		st.count++
-		for i, spec := range a.node.Aggs {
-			if spec.Kind == plan.AggCountStar {
-				st.counts[i]++
-				continue
-			}
-			v, err := a.aggArg[i](row)
-			if err != nil {
+		if a.spilled {
+			p := partOf(a.scratch.Hash(a.keyCols), 0)
+			if err := a.rowFiles[p].Append(row); err != nil {
 				return err
 			}
-			if v.IsNull() {
-				continue
-			}
+			continue
+		}
+		if err := a.fold(a.find(), row); err != nil {
+			return err
+		}
+	}
+	// Global aggregates hold one group; only keyed aggregations can exceed
+	// the budget meaningfully, and only they can spill.
+	if !a.spilled && len(a.node.GroupBy) > 0 && a.memBytes > a.workMem {
+		return a.doSpill()
+	}
+	return nil
+}
+
+// fold applies one input row to its group's running aggregates.
+func (a *aggregateOp) fold(st *aggState, row value.Row) error {
+	st.count++
+	for i, spec := range a.node.Aggs {
+		if spec.Kind == plan.AggCountStar {
 			st.counts[i]++
-			switch spec.Kind {
-			case plan.AggCount:
-				// counted above
-			case plan.AggSum, plan.AggAvg:
-				if v.Type() == value.Float {
-					st.sumIsInt[i] = false
-				}
-				st.sums[i] += v.Float()
-				if v.Type() == value.Int {
-					st.sumInts[i] += v.Int()
-				}
-			case plan.AggMin:
-				if st.mins[i].IsNull() {
-					st.mins[i] = v
-				} else if c, err := value.Compare(v, st.mins[i]); err == nil && c < 0 {
-					st.mins[i] = v
-				}
-			case plan.AggMax:
-				if st.maxs[i].IsNull() {
-					st.maxs[i] = v
-				} else if c, err := value.Compare(v, st.maxs[i]); err == nil && c > 0 {
-					st.maxs[i] = v
-				}
+			continue
+		}
+		v, err := a.aggArg[i](row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		st.counts[i]++
+		switch spec.Kind {
+		case plan.AggCount:
+			// counted above
+		case plan.AggSum, plan.AggAvg:
+			if v.Type() == value.Float {
+				st.sumIsInt[i] = false
+			}
+			st.sums[i] += v.Float()
+			if v.Type() == value.Int {
+				st.sumInts[i] += v.Int()
+			}
+		case plan.AggMin:
+			if st.mins[i].IsNull() {
+				a.setExtreme(&st.mins[i], v)
+			} else if c, err := value.Compare(v, st.mins[i]); err == nil && c < 0 {
+				a.setExtreme(&st.mins[i], v)
+			}
+		case plan.AggMax:
+			if st.maxs[i].IsNull() {
+				a.setExtreme(&st.maxs[i], v)
+			} else if c, err := value.Compare(v, st.maxs[i]); err == nil && c > 0 {
+				a.setExtreme(&st.maxs[i], v)
 			}
 		}
 	}
 	return nil
 }
 
-// finish materializes the output rows in group-arrival order.
+// setExtreme replaces a retained MIN/MAX value, keeping the budget charged
+// for its text payload — without this, wide text aggregates would pin
+// unbounded string storage the spill threshold never sees.
+func (a *aggregateOp) setExtreme(dst *value.Value, v value.Value) {
+	a.memBytes += textMem(v) - textMem(*dst)
+	*dst = v
+}
+
+// doSpill crosses into grace mode: the current groups' partial states are
+// serialized into per-partition state files, the table is dropped, and every
+// later input row is routed raw by key hash.
+func (a *aggregateOp) doSpill() error {
+	a.spillM.addAggSpill()
+	var err error
+	if a.stateFiles, err = makeSpillFiles(a.tmpDir, a.spillM, aggFanOut); err != nil {
+		return err
+	}
+	if a.rowFiles, err = makeSpillFiles(a.tmpDir, a.spillM, aggFanOut); err != nil {
+		return err
+	}
+	a.spillM.addAggParts(2 * aggFanOut)
+	for _, st := range a.order {
+		p := partOf(st.groupKey.Hash(a.keyCols), 0)
+		if err := a.stateFiles[p].Append(a.encodeState(st)); err != nil {
+			return err
+		}
+	}
+	a.groups = make(map[uint64][]*aggState)
+	a.order, a.memBytes = nil, 0
+	a.spilled = true
+	return nil
+}
+
+// encodeState flattens a group's partial aggregate state into one row:
+// groupKey, count, then (counts, sums, sumIsInt, sumInts, mins, maxs) per
+// aggregate. mergeState is its inverse.
+func (a *aggregateOp) encodeState(st *aggState) value.Row {
+	nAggs := len(a.node.Aggs)
+	out := make(value.Row, 0, len(st.groupKey)+1+6*nAggs)
+	out = append(out, st.groupKey...)
+	out = append(out, value.NewInt(st.count))
+	for i := 0; i < nAggs; i++ {
+		out = append(out,
+			value.NewInt(st.counts[i]),
+			value.NewFloat(st.sums[i]),
+			value.NewBool(st.sumIsInt[i]),
+			value.NewInt(st.sumInts[i]),
+			st.mins[i],
+			st.maxs[i],
+		)
+	}
+	return out
+}
+
+// mergeState folds one serialized partial state into the group table.
+func (a *aggregateOp) mergeState(row value.Row) error {
+	kw := len(a.groupBy)
+	copy(a.scratch, row[:kw])
+	st := a.find()
+	st.count += row[kw].Int()
+	for i := range a.node.Aggs {
+		f := row[kw+1+6*i:]
+		st.counts[i] += f[0].Int()
+		st.sums[i] += f[1].Float()
+		st.sumIsInt[i] = st.sumIsInt[i] && f[2].Bool()
+		st.sumInts[i] += f[3].Int()
+		if v := f[4]; !v.IsNull() {
+			if st.mins[i].IsNull() {
+				a.setExtreme(&st.mins[i], v)
+			} else if c, err := value.Compare(v, st.mins[i]); err == nil && c < 0 {
+				a.setExtreme(&st.mins[i], v)
+			}
+		}
+		if v := f[5]; !v.IsNull() {
+			if st.maxs[i].IsNull() {
+				a.setExtreme(&st.maxs[i], v)
+			} else if c, err := value.Compare(v, st.maxs[i]); err == nil && c > 0 {
+				a.setExtreme(&st.maxs[i], v)
+			}
+		}
+	}
+	return nil
+}
+
+// finish closes the input phase: in-memory aggregations materialize their
+// output; spilled ones seal the partition files and queue them for
+// per-partition aggregation during emission.
 func (a *aggregateOp) finish() error {
+	if !a.spilled {
+		a.materialize()
+		a.emitDone = true
+		return nil
+	}
+	for i := 0; i < aggFanOut; i++ {
+		if err := a.stateFiles[i].Finish(); err != nil {
+			return err
+		}
+		if err := a.rowFiles[i].Finish(); err != nil {
+			return err
+		}
+		a.work = append(a.work, aggWork{state: a.stateFiles[i], rows: a.rowFiles[i], depth: 1})
+	}
+	a.stateFiles, a.rowFiles = nil, nil
+	a.out, a.pos = nil, 0
+	return nil
+}
+
+// materialize renders the current group table as output rows in group-arrival
+// order.
+func (a *aggregateOp) materialize() {
 	// Global aggregate with no input rows still yields one row.
-	if len(a.node.GroupBy) == 0 && len(a.order) == 0 {
+	if len(a.node.GroupBy) == 0 && len(a.order) == 0 && !a.spilled {
 		a.find()
 	}
 	nAggs := len(a.node.Aggs)
@@ -187,6 +376,181 @@ func (a *aggregateOp) finish() error {
 		a.out = append(a.out, row)
 	}
 	a.pos = 0
+}
+
+// nextPartition aggregates one queued grace partition into output rows,
+// splitting it into deeper partitions instead when it exceeds the budget.
+func (a *aggregateOp) nextPartition() error {
+	if len(a.work) == 0 {
+		a.emitDone = true
+		a.out, a.pos = nil, 0
+		return nil
+	}
+	w := a.work[0]
+	a.work = a.work[1:]
+	a.groups = make(map[uint64][]*aggState)
+	a.order, a.memBytes = nil, 0
+
+	split := func(consumedStates bool, states, rows *spill.Reader) error {
+		return a.splitPartition(w, consumedStates, states, rows)
+	}
+
+	states, err := w.state.Reader()
+	if err != nil {
+		return err
+	}
+	defer states.Close()
+	for {
+		row, ok, err := states.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := a.mergeState(row); err != nil {
+			return err
+		}
+		if a.memBytes > a.workMem && w.depth < aggMaxDepth {
+			// The raw-row file is entirely unread here; splitPartition opens
+			// it itself so every row is re-routed, not dropped.
+			return split(false, states, nil)
+		}
+	}
+	rows, err := w.rows.Reader()
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for i, g := range a.groupBy {
+			v, err := g(row)
+			if err != nil {
+				return err
+			}
+			a.scratch[i] = v
+		}
+		if err := a.fold(a.find(), row); err != nil {
+			return err
+		}
+		if a.memBytes > a.workMem && w.depth < aggMaxDepth {
+			return split(true, states, rows)
+		}
+	}
+	w.state.Close()
+	w.rows.Close()
+	a.materialize()
+	return nil
+}
+
+// splitPartition recurses: the partition's groups (partial states) and its
+// unread file remainders are re-hashed one level deeper into aggFanOut
+// sub-partitions, which replace it on the work queue. A nil rows reader
+// means the raw-row file was never opened — it is routed here in full.
+// Every error path removes the sub-partition files and the parent's, so an
+// I/O failure mid-split leaves no temp files behind.
+func (a *aggregateOp) splitPartition(w aggWork, consumedStates bool, states, rows *spill.Reader) (err error) {
+	a.spillM.addAggSpill()
+	var subState, subRows []*spill.File
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, f := range subState {
+			f.Close()
+		}
+		for _, f := range subRows {
+			f.Close()
+		}
+		w.state.Close()
+		w.rows.Close()
+	}()
+	if subState, err = makeSpillFiles(a.tmpDir, a.spillM, aggFanOut); err != nil {
+		return err
+	}
+	if subRows, err = makeSpillFiles(a.tmpDir, a.spillM, aggFanOut); err != nil {
+		return err
+	}
+	a.spillM.addAggParts(2 * aggFanOut)
+	// Current groups re-spill as partial states at the deeper level.
+	for _, st := range a.order {
+		p := partOf(st.groupKey.Hash(a.keyCols), w.depth)
+		if err = subState[p].Append(a.encodeState(st)); err != nil {
+			return err
+		}
+	}
+	a.groups = make(map[uint64][]*aggState)
+	a.order, a.memBytes = nil, 0
+	// Unread partial states route by their embedded key.
+	kw := len(a.groupBy)
+	if !consumedStates {
+		for {
+			row, ok, nerr := states.Next()
+			if nerr != nil {
+				err = nerr
+				return err
+			}
+			if !ok {
+				break
+			}
+			p := partOf(value.Row(row[:kw]).Hash(a.keyCols), w.depth)
+			if err = subState[p].Append(row); err != nil {
+				return err
+			}
+		}
+	}
+	// Raw rows route by their computed key. A split during the state merge
+	// never opened the row file — open it now so its rows are redistributed
+	// rather than dropped with the parent partition.
+	if rows == nil {
+		var r *spill.Reader
+		if r, err = w.rows.Reader(); err != nil {
+			return err
+		}
+		defer r.Close()
+		rows = r
+	}
+	for {
+		row, ok, nerr := rows.Next()
+		if nerr != nil {
+			err = nerr
+			return err
+		}
+		if !ok {
+			break
+		}
+		for i, g := range a.groupBy {
+			var v value.Value
+			if v, err = g(row); err != nil {
+				return err
+			}
+			a.scratch[i] = v
+		}
+		p := partOf(a.scratch.Hash(a.keyCols), w.depth)
+		if err = subRows[p].Append(row); err != nil {
+			return err
+		}
+	}
+	w.state.Close()
+	w.rows.Close()
+	sub := make([]aggWork, 0, aggFanOut)
+	for i := 0; i < aggFanOut; i++ {
+		if err = subState[i].Finish(); err != nil {
+			return err
+		}
+		if err = subRows[i].Finish(); err != nil {
+			return err
+		}
+		sub = append(sub, aggWork{state: subState[i], rows: subRows[i], depth: w.depth + 1})
+	}
+	a.work = append(sub, a.work...)
 	return nil
 }
 
@@ -215,95 +579,29 @@ func finishAgg(spec plan.AggSpec, st *aggState, i int) value.Value {
 	return value.NewNull()
 }
 
+// closeSpillFiles removes every partition file the aggregation still owns —
+// the teardown path an abandoned or cancelled query takes mid-spill.
+func (a *aggregateOp) closeSpillFiles() {
+	for _, f := range a.stateFiles {
+		if f != nil {
+			f.Close()
+		}
+	}
+	for _, f := range a.rowFiles {
+		if f != nil {
+			f.Close()
+		}
+	}
+	a.stateFiles, a.rowFiles = nil, nil
+	for _, w := range a.work {
+		w.state.Close()
+		w.rows.Close()
+	}
+	a.work = nil
+}
+
 func (a *aggregateOp) Close() error {
+	a.closeSpillFiles()
 	a.groups, a.order, a.out = nil, nil, nil
 	return a.child.Close()
-}
-
-// --- sort ---
-
-type sortOp struct {
-	node     *plan.Sort
-	child    Operator
-	pageRows int
-	keys     []plan.CompiledExpr
-
-	acc    rowAccum
-	loaded bool
-	out    []value.Row
-	pos    int
-}
-
-func (s *sortOp) Open() error {
-	s.acc = rowAccum{hint: s.acc.hint}
-	s.loaded = false
-	return s.child.Open()
-}
-
-// Next drains the child on first call (resumably), then emits in order.
-func (s *sortOp) Next() (*Page, error) {
-	if !s.loaded {
-		if err := s.acc.fill(s.child); err != nil {
-			return nil, err
-		}
-		if err := s.sortRows(s.acc.rows); err != nil {
-			return nil, err
-		}
-		s.acc.rows = nil
-		s.loaded = true
-	}
-	return slicePage(&s.pos, s.out, s.pageRows), nil
-}
-
-func (s *sortOp) sortRows(rows []value.Row) error {
-	// Precompute sort keys per row (through the compiled key expressions) to
-	// avoid re-evaluating during comparison.
-	type keyed struct {
-		row  value.Row
-		keys value.Row
-	}
-	items := make([]keyed, len(rows))
-	arena := make([]value.Value, len(rows)*len(s.keys))
-	for i, row := range rows {
-		ks := arena[i*len(s.keys) : (i+1)*len(s.keys) : (i+1)*len(s.keys)]
-		for j, k := range s.keys {
-			v, err := k(row)
-			if err != nil {
-				return err
-			}
-			ks[j] = v
-		}
-		items[i] = keyed{row: row, keys: ks}
-	}
-	var sortErr error
-	sort.SliceStable(items, func(a, b int) bool {
-		for j, k := range s.node.Keys {
-			c, err := value.Compare(items[a].keys[j], items[b].keys[j])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c != 0 {
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
-	})
-	if sortErr != nil {
-		return fmt.Errorf("exec: sort: %v", sortErr)
-	}
-	s.out = make([]value.Row, len(items))
-	for i, it := range items {
-		s.out[i] = it.row
-	}
-	s.pos = 0
-	return nil
-}
-
-func (s *sortOp) Close() error {
-	s.out = nil
-	return s.child.Close()
 }

@@ -99,9 +99,15 @@ type stagedCursor struct {
 // cursor's error.
 func RunStagedCursor(n plan.Node, tables Tables, runner StageRunner, opts StagedOptions) (Cursor, error) {
 	p := &pipeline{
-		tables:      tables,
-		runner:      runner,
-		pageRows:    opts.PageRows,
+		tables: tables,
+		runner: runner,
+		cfg: BuildConfig{
+			PageRows: opts.PageRows,
+			Pool:     opts.Pool,
+			WorkMem:  opts.WorkMem,
+			TempDir:  opts.TempDir,
+			Spill:    opts.Spill,
+		},
 		bufferPages: opts.BufferPages,
 		shared:      opts.Shared,
 		pool:        opts.Pool,

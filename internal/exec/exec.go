@@ -18,6 +18,9 @@ package exec
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
 
 	"stagedb/internal/catalog"
 	"stagedb/internal/plan"
@@ -28,6 +31,75 @@ import (
 // DefaultPageRows is the default number of rows per exchanged page; §4.4(c)
 // identifies it as a self-tuning knob.
 const DefaultPageRows = 64
+
+// DefaultWorkMem is the per-query memory budget of the stateful operators
+// (sort, hash aggregation, hash-join build) when none is configured.
+const DefaultWorkMem = 16 << 20
+
+// MinWorkMem floors the effective budget: below it, spill runs degenerate to
+// a handful of rows each and the operator drowns in file churn. Configured
+// budgets are clamped up to it.
+const MinWorkMem = 64 << 10
+
+// WorkMemEnv names the environment variable consulted when no explicit
+// budget is configured — CI's spill-smoke step sets it tiny so the spill
+// paths run under the ordinary test suite.
+const WorkMemEnv = "STAGEDB_WORKMEM"
+
+var envWorkMem struct {
+	once sync.Once
+	v    int64
+}
+
+// resolveWorkMem turns a configured budget into the effective one: explicit
+// values are clamped to MinWorkMem, zero falls back to WorkMemEnv and then
+// DefaultWorkMem.
+func ResolveWorkMem(v int64) int64 {
+	if v <= 0 {
+		envWorkMem.once.Do(func() {
+			if s := os.Getenv(WorkMemEnv); s != "" {
+				if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+					envWorkMem.v = n
+				}
+			}
+		})
+		v = envWorkMem.v
+	}
+	if v <= 0 {
+		v = DefaultWorkMem
+	}
+	if v < MinWorkMem {
+		v = MinWorkMem
+	}
+	return v
+}
+
+// BuildConfig parameterizes operator construction.
+type BuildConfig struct {
+	// PageRows is the exchange batch size (0 = DefaultPageRows).
+	PageRows int
+	// Pool recycles exchange pages (nil = plain allocation).
+	Pool *PagePool
+	// WorkMem is the per-query memory budget, in bytes, enforced by the
+	// stateful operators: sorts past it spill sorted runs, hash aggregations
+	// and hash-join build sides past it partition to temp files. 0 resolves
+	// through the STAGEDB_WORKMEM environment variable and then
+	// DefaultWorkMem; values below MinWorkMem clamp up to it.
+	WorkMem int64
+	// TempDir hosts spill files ("" = os.TempDir()).
+	TempDir string
+	// Spill accumulates spill counters (nil = discarded).
+	Spill *SpillMetrics
+}
+
+// resolve fills defaulted fields.
+func (c BuildConfig) resolve() BuildConfig {
+	if c.PageRows <= 0 {
+		c.PageRows = DefaultPageRows
+	}
+	c.WorkMem = ResolveWorkMem(c.WorkMem)
+	return c
+}
 
 // maxPresize bounds operator pre-sizing from planner estimates so a wild
 // estimate cannot allocate an absurd hash table up front.
@@ -75,28 +147,35 @@ func Build(n plan.Node, tables Tables, pageRows int) (Operator, error) {
 // BuildPooled is Build with operators drawing their exchange pages from pool
 // (nil falls back to plain allocation).
 func BuildPooled(n plan.Node, tables Tables, pageRows int, pool *PagePool) (Operator, error) {
-	if pageRows <= 0 {
-		pageRows = DefaultPageRows
-	}
-	var children []Operator
-	for _, c := range n.Children() {
-		op, err := BuildPooled(c, tables, pageRows, pool)
-		if err != nil {
-			return nil, err
+	return BuildWith(n, tables, BuildConfig{PageRows: pageRows, Pool: pool})
+}
+
+// BuildWith converts a plan into an operator tree under the given build
+// configuration (page sizing, page pool, WorkMem budget, spill wiring).
+func BuildWith(n plan.Node, tables Tables, cfg BuildConfig) (Operator, error) {
+	cfg = cfg.resolve()
+	var build func(n plan.Node) (Operator, error)
+	build = func(n plan.Node) (Operator, error) {
+		var children []Operator
+		for _, c := range n.Children() {
+			op, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, op)
 		}
-		children = append(children, op)
+		return BuildNode(n, children, tables, cfg)
 	}
-	return BuildNode(n, children, tables, pageRows, pool)
+	return build(n)
 }
 
 // BuildNode constructs the operator for a single plan node over
 // already-built child operators, compiling the node's expressions into
 // closure evaluators. The staged driver uses it to splice exchanges between
 // nodes.
-func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, pool *PagePool) (Operator, error) {
-	if pageRows <= 0 {
-		pageRows = DefaultPageRows
-	}
+func BuildNode(n plan.Node, children []Operator, tables Tables, cfg BuildConfig) (Operator, error) {
+	cfg = cfg.resolve()
+	pageRows, pool := cfg.PageRows, cfg.Pool
 	want := len(n.Children())
 	if len(children) != want {
 		return nil, fmt.Errorf("exec: node %T wants %d children, got %d", n, want, len(children))
@@ -157,6 +236,7 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, po
 			return &hashJoin{
 				node: x, left: l, right: r, pageRows: pageRows, pool: pool,
 				resid: resid, buildHint: presizeHint(x.R.Rows()),
+				workMem: cfg.WorkMem, tmpDir: cfg.TempDir, spillM: cfg.Spill,
 			}, nil
 		case plan.SortMergeJoin:
 			j := &mergeJoin{node: x, left: l, right: r, pageRows: pageRows, resid: resid}
@@ -169,7 +249,8 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, po
 		}
 	case *plan.Aggregate:
 		a := &aggregateOp{node: x, child: children[0], pageRows: pageRows,
-			groupHint: presizeHint(x.Est)}
+			groupHint: presizeHint(x.Est),
+			workMem:   cfg.WorkMem, tmpDir: cfg.TempDir, spillM: cfg.Spill}
 		a.groupBy = make([]plan.CompiledExpr, len(x.GroupBy))
 		for i, g := range x.GroupBy {
 			a.groupBy[i] = plan.Compile(g)
@@ -182,13 +263,21 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, pageRows int, po
 		}
 		return a, nil
 	case *plan.Sort:
-		s := &sortOp{node: x, child: children[0], pageRows: pageRows}
+		s := &sortOp{node: x, child: children[0], pageRows: pageRows, pool: pool,
+			workMem: cfg.WorkMem, tmpDir: cfg.TempDir, spill: cfg.Spill}
 		s.keys = make([]plan.CompiledExpr, len(x.Keys))
 		for i, k := range x.Keys {
 			s.keys[i] = plan.Compile(k.Expr)
 		}
-		s.acc.hint = presizeHint(x.Child.Rows())
+		s.hint = presizeHint(x.Child.Rows())
 		return s, nil
+	case *plan.TopN:
+		t := &topNOp{node: x, child: children[0], pageRows: pageRows, spill: cfg.Spill}
+		t.keys = make([]plan.CompiledExpr, len(x.Keys))
+		for i, k := range x.Keys {
+			t.keys[i] = plan.Compile(k.Expr)
+		}
+		return t, nil
 	case *plan.Limit:
 		return &limitOp{child: children[0], n: x.N, offset: x.Offset}, nil
 	case *plan.Distinct:

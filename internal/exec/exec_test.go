@@ -475,10 +475,22 @@ func TestExplainShape(t *testing.T) {
 	db := seedDB(t)
 	node := db.plan(t, "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept LIMIT 5", plan.Options{})
 	out := plan.Explain(node)
-	for _, want := range []string{"Limit", "Sort", "Project", "Aggregate", "SeqScan"} {
+	// ORDER BY + LIMIT fuses into a TopN node (bounded k-heap).
+	for _, want := range []string{"TopN", "Project", "Aggregate", "SeqScan"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("explain missing %s:\n%s", want, out)
 		}
+	}
+	node = db.plan(t, "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept", plan.Options{})
+	if out := plan.Explain(node); !strings.Contains(out, "Sort") {
+		t.Fatalf("unbounded ORDER BY keeps its Sort:\n%s", out)
+	}
+	// A huge LIMIT must not fuse: the Top-N heap has no spill path, so past
+	// TopNMaxK the Sort+Limit shape (external sort, O(budget)) stays.
+	node = db.plan(t, "SELECT id FROM emp ORDER BY id LIMIT 50000000", plan.Options{})
+	out = plan.Explain(node)
+	if strings.Contains(out, "TopN") || !strings.Contains(out, "Sort") {
+		t.Fatalf("huge LIMIT should keep Sort+Limit, not TopN:\n%s", out)
 	}
 }
 

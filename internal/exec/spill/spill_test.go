@@ -1,0 +1,121 @@
+package spill
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stagedb/internal/value"
+)
+
+type countTracker struct {
+	created, removed int
+	rows, bytes      int64
+}
+
+func (t *countTracker) FileCreated() { t.created++ }
+func (t *countTracker) FileRemoved() { t.removed++ }
+func (t *countTracker) Wrote(rows, bytes int64) {
+	t.rows += rows
+	t.bytes += bytes
+}
+
+// TestRoundTrip pins the row codec across every value type (negative ints,
+// non-finite-free floats, empty and quoted text, bools, NULLs) and the
+// page framing across page boundaries.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := &countTracker{}
+	f, err := Create(dir, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Row{
+		{value.NewInt(0), value.NewInt(-1), value.NewInt(math.MaxInt64), value.NewInt(math.MinInt64)},
+		{value.NewFloat(0), value.NewFloat(-2.5), value.NewFloat(1e308)},
+		{value.NewText(""), value.NewText("it's"), value.NewText(string(make([]byte, 40000)))},
+		{value.NewBool(true), value.NewBool(false)},
+		{value.NewNull()},
+		{},
+	}
+	// Append enough copies to cross several page boundaries.
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		for _, r := range rows {
+			if err := f.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != int64(reps*len(rows)) {
+		t.Fatalf("Rows() = %d, want %d", f.Rows(), reps*len(rows))
+	}
+	r, err := f.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reps; i++ {
+		for j, want := range rows {
+			got, ok, err := r.Next()
+			if err != nil || !ok {
+				t.Fatalf("rep %d row %d: ok=%v err=%v", i, j, ok, err)
+			}
+			if got.String() != want.String() {
+				t.Fatalf("rep %d row %d = %s, want %s", i, j, got, want)
+			}
+		}
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("expected clean EOF, got ok=%v err=%v", ok, err)
+	}
+	r.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if tr.created != 1 || tr.removed != 1 {
+		t.Fatalf("tracker: %+v", tr)
+	}
+	if tr.rows != int64(reps*len(rows)) || tr.bytes == 0 {
+		t.Fatalf("tracker volume: %+v", tr)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "stagedb-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spill files left on disk: %v", left)
+	}
+}
+
+// TestCloseBeforeFinishRemoves: closing an unfinished file (the abandonment
+// path) flushes nothing durable but still removes it.
+func TestCloseBeforeFinishRemoves(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(value.Row{value.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("dir not empty after Close: %v", ents)
+	}
+	if _, err := f.Reader(); err == nil {
+		t.Fatal("Reader on a removed file must fail")
+	}
+}

@@ -53,7 +53,7 @@ type pipeline struct {
 	tables      Tables
 	runner      StageRunner
 	sched       taskScheduler // non-nil when runner supports resumable tasks
-	pageRows    int
+	cfg         BuildConfig   // operator build parameters (pages, pool, WorkMem)
 	bufferPages int
 	shared      *SharedScans // non-nil: fscan operators attach to shared scans
 	pool        *PagePool    // exchange-page allocator (nil = unpooled)
@@ -488,7 +488,7 @@ func (p *pipeline) launch(n plan.Node) (*exchange, error) {
 		}
 		childSources = append(childSources, src)
 	}
-	op, err := BuildNode(n, childSources, p.tables, p.pageRows, p.pool)
+	op, err := BuildNode(n, childSources, p.tables, p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -543,7 +543,7 @@ func (p *pipeline) launchTask(n plan.Node) (*exchange, error) {
 		}
 		childSources = append(childSources, &nbSource{ex: src, task: t})
 	}
-	op, err := BuildNode(n, childSources, p.tables, p.pageRows, p.pool)
+	op, err := BuildNode(n, childSources, p.tables, p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -582,6 +582,13 @@ type StagedOptions struct {
 	// Pool, when non-nil, recycles exchange pages across queries instead of
 	// allocating them fresh (see pagepool.go for the ownership protocol).
 	Pool *PagePool
+	// WorkMem is the per-query memory budget of the stateful operators (see
+	// BuildConfig.WorkMem).
+	WorkMem int64
+	// TempDir hosts spill files ("" = os.TempDir()).
+	TempDir string
+	// Spill accumulates spill counters (nil = discarded).
+	Spill *SpillMetrics
 	// Ctx, when cancellable, aborts the execution between pages: the
 	// pipeline fails with the context's error, producers stop, and every
 	// checked-out page drains back to the pool.

@@ -374,9 +374,36 @@ func (b *selBinder) bind(sel *sql.Select) (Node, error) {
 		if n < 0 {
 			n = -1
 		}
-		tree = &Limit{Child: tree, N: n, Offset: sel.Offset}
+		tree = fuseTopN(tree, n, sel.Offset)
 	}
 	return tree, nil
+}
+
+// TopNMaxK bounds the fused Top-N heap: the Top-N operator holds k=N+Offset
+// rows in memory with no spill path, so a LIMIT beyond this keeps the
+// Sort+Limit shape, whose external sort stays within the WorkMem budget by
+// spilling runs.
+const TopNMaxK = 8192
+
+// fuseTopN wraps tree in a Limit — or, when a bounded LIMIT sits directly on
+// a Sort (or on a Project over a Sort, which is row-wise and passes the
+// bound through), fuses the pair into a TopN node: the executor then keeps a
+// k-heap of N+Offset rows instead of materializing and sorting everything.
+// Huge limits (k > TopNMaxK) are not fused — a bounded heap of millions of
+// rows would just be the unbounded sort again, without its spill path.
+func fuseTopN(tree Node, n, offset int) Node {
+	if n >= 0 && n+offset <= TopNMaxK {
+		switch x := tree.(type) {
+		case *Sort:
+			return &TopN{Child: x.Child, Keys: x.Keys, N: n, Offset: offset}
+		case *Project:
+			if srt, ok := x.Child.(*Sort); ok {
+				x.Child = &TopN{Child: srt.Child, Keys: srt.Keys, N: n, Offset: offset}
+				return x
+			}
+		}
+	}
+	return &Limit{Child: tree, N: n, Offset: offset}
 }
 
 // buildScan chooses sequential or index access for a relation and computes

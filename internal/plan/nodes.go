@@ -260,6 +260,37 @@ func (n *Sort) Rows() float64 { return n.Child.Rows() }
 
 func (n *Sort) String() string { return fmt.Sprintf("Sort keys=%d", len(n.Keys)) }
 
+// TopN is a fused Sort+Limit: the binder rewrites ORDER BY + LIMIT N
+// [OFFSET M] into one node the executor serves with a bounded heap of
+// N+Offset rows — O(k) memory, no input materialization, and never a spill,
+// however large the input. Output order (including NULL placement and key
+// ties, which break by arrival order) is byte-for-byte what Sort followed by
+// Limit would produce.
+type TopN struct {
+	Child     Node
+	Keys      []SortKey
+	N, Offset int
+}
+
+// Schema implements Node.
+func (n *TopN) Schema() Schema { return n.Child.Schema() }
+
+// Children implements Node.
+func (n *TopN) Children() []Node { return []Node{n.Child} }
+
+// Rows implements Node.
+func (n *TopN) Rows() float64 {
+	r := n.Child.Rows()
+	if float64(n.N) < r {
+		return float64(n.N)
+	}
+	return r
+}
+
+func (n *TopN) String() string {
+	return fmt.Sprintf("TopN %d offset %d keys=%d", n.N, n.Offset, len(n.Keys))
+}
+
 // Limit passes at most N rows after skipping Offset.
 type Limit struct {
 	Child     Node
@@ -329,6 +360,8 @@ func StageOf(n Node) string {
 	case *Filter:
 		return "filter"
 	case *Sort:
+		return "sort"
+	case *TopN:
 		return "sort"
 	case *Join:
 		return "join"

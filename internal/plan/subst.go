@@ -66,6 +66,12 @@ func nodeExprs(n Node) []Expr {
 			out[i] = k.Expr
 		}
 		return out
+	case *TopN:
+		out := make([]Expr, len(x.Keys))
+		for i, k := range x.Keys {
+			out[i] = k.Expr
+		}
+		return out
 	}
 	return nil
 }
@@ -141,18 +147,16 @@ func (s *paramSubst) node(n Node) Node {
 		return &cp
 	case *Sort:
 		child := s.node(x.Child)
-		keys := x.Keys
-		changed := false
-		for i, k := range x.Keys {
-			e := s.expr(k.Expr)
-			if e != k.Expr {
-				if !changed {
-					keys = append([]SortKey(nil), x.Keys...)
-					changed = true
-				}
-				keys[i].Expr = e
-			}
+		keys, changed := s.sortKeys(x.Keys)
+		if child == x.Child && !changed {
+			return x
 		}
+		cp := *x
+		cp.Child, cp.Keys = child, keys
+		return &cp
+	case *TopN:
+		child := s.node(x.Child)
+		keys, changed := s.sortKeys(x.Keys)
 		if child == x.Child && !changed {
 			return x
 		}
@@ -177,6 +181,23 @@ func (s *paramSubst) node(n Node) Node {
 		return &cp
 	}
 	return n
+}
+
+// sortKeys substitutes a key list, cloning it only when a key changed.
+func (s *paramSubst) sortKeys(in []SortKey) ([]SortKey, bool) {
+	out := in
+	changed := false
+	for i, k := range in {
+		e := s.expr(k.Expr)
+		if e != k.Expr {
+			if !changed {
+				out = append([]SortKey(nil), in...)
+				changed = true
+			}
+			out[i].Expr = e
+		}
+	}
+	return out, changed
 }
 
 func (s *paramSubst) exprs(in []Expr) ([]Expr, bool) {

@@ -32,8 +32,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
+	"stagedb/internal/autotune"
 	"stagedb/internal/engine"
+	"stagedb/internal/exec"
 	"stagedb/internal/metrics"
 	"stagedb/internal/plan"
 	"stagedb/internal/sql"
@@ -66,6 +69,17 @@ type Options struct {
 	BufferPages int
 	// PoolFrames sizes the buffer pool in 8 KB pages (0 = 1024).
 	PoolFrames int
+	// WorkMem is the per-query memory budget, in bytes, of the stateful
+	// operators: a sort past it spills sorted runs to temp files and merges
+	// them back streaming; hash aggregation and the hash-join build side
+	// past it partition grace-style and recurse per partition. ORDER BY +
+	// LIMIT k never engages it — the planner fuses the pair into a TopN node
+	// running a bounded k-heap. 0 resolves through the STAGEDB_WORKMEM
+	// environment variable and then the 16 MB default; budgets below 64 KB
+	// clamp up to it. See DB.SpillStats for the observable effects.
+	WorkMem int
+	// TempDir hosts spill files ("" = the system temp directory).
+	TempDir string
 	// ExecWorkers sizes each execution-engine stage pool on the staged
 	// engine (fscan/iscan/filter/sort/join/aggr/exec). 0 selects the
 	// default pooled scheduler (2 workers per stage); a negative value
@@ -109,6 +123,10 @@ type DB struct {
 	staged  *engine.Staged
 	pool    *engine.Threaded
 	defConn *Conn
+
+	// tuneMu guards the work-mem tuner's observation window.
+	tuneMu          sync.Mutex
+	prevSpillEvents int64
 }
 
 // Conn is one client connection (not safe for concurrent use).
@@ -131,6 +149,7 @@ func (o Options) validate() error {
 		{"PageRows", o.PageRows},
 		{"BufferPages", o.BufferPages},
 		{"PoolFrames", o.PoolFrames},
+		{"WorkMem", o.WorkMem},
 		{"ExecQueueDepth", o.ExecQueueDepth},
 		{"ExecBatch", o.ExecBatch},
 	} {
@@ -151,6 +170,8 @@ func Open(opts Options) (*DB, error) {
 		PoolFrames:  opts.PoolFrames,
 		PageRows:    opts.PageRows,
 		BufferPages: opts.BufferPages,
+		WorkMem:     int64(opts.WorkMem),
+		TempDir:     opts.TempDir,
 	})
 	db := &DB{opts: opts, kernel: kernel}
 	switch opts.Mode {
@@ -317,6 +338,72 @@ type PlanCacheStats struct {
 func (db *DB) PlanCacheStats() PlanCacheStats {
 	st := db.kernel.PlanCacheStats()
 	return PlanCacheStats{Hits: st.Hits, Misses: st.Misses, Invalidations: st.Invalidations, Entries: st.Entries}
+}
+
+// SpillStats reports the memory-bounded operators' spill activity: external
+// sorts that wrote runs, cascade merge passes, Top-N executions, grace
+// partitions of spilling aggregations and joins, and spill-file lifecycle.
+// FilesLive must be zero whenever no query is running — early Rows.Close and
+// context cancellation remove every temp run file (the leak tests assert
+// it). The same counters appear as the "spill" pseudo-stage in Stages and
+// the CLI \stages view.
+type SpillStats struct {
+	SortSpills, SortRuns, MergePasses int64
+	TopN                              int64
+	AggSpills, AggPartitions          int64
+	JoinSpills, JoinPartitions        int64
+	SpilledRows, SpilledBytes         int64
+	FilesCreated, FilesRemoved        int64
+}
+
+// FilesLive reports spill files currently on disk.
+func (s SpillStats) FilesLive() int64 { return s.FilesCreated - s.FilesRemoved }
+
+// WorkMem reports the effective per-query memory budget in bytes (the
+// configured value, or the environment/default resolution when none is set,
+// with the 64 KB floor applied).
+func (db *DB) WorkMem() int {
+	return int(exec.ResolveWorkMem(db.kernel.WorkMem()))
+}
+
+// AutotuneWorkMem retunes the per-query memory budget from observed spill
+// pressure (§4.4 applied to the work-mem knob): if any sort, aggregation, or
+// join-build spilled since the previous call, the budget doubles, capped at
+// maxBytes (0 = 256 MB). It returns the budget now in effect. Queries in
+// flight keep the budget they started with. Call it periodically, like
+// Staged.AutotuneExec; it is safe for concurrent use.
+func (db *DB) AutotuneWorkMem(maxBytes int) int {
+	st := db.kernel.SpillStats()
+	events := st.SortSpills + st.AggSpills + st.JoinSpills
+	db.tuneMu.Lock()
+	defer db.tuneMu.Unlock()
+	delta := events - db.prevSpillEvents
+	db.prevSpillEvents = events
+	cur := int64(db.WorkMem())
+	next := autotune.TuneWorkMem(delta, cur, int64(maxBytes))
+	if next != cur {
+		db.kernel.SetWorkMem(next)
+	}
+	return int(next)
+}
+
+// SpillStats snapshots the spill counters.
+func (db *DB) SpillStats() SpillStats {
+	st := db.kernel.SpillStats()
+	return SpillStats{
+		SortSpills:     st.SortSpills,
+		SortRuns:       st.SortRuns,
+		MergePasses:    st.MergePasses,
+		TopN:           st.TopN,
+		AggSpills:      st.AggSpills,
+		AggPartitions:  st.AggPartitions,
+		JoinSpills:     st.JoinSpills,
+		JoinPartitions: st.JoinPartitions,
+		SpilledRows:    st.SpilledRows,
+		SpilledBytes:   st.SpilledBytes,
+		FilesCreated:   st.FilesCreated,
+		FilesRemoved:   st.FilesRemoved,
+	}
 }
 
 // submit hands a request to the connection's front end.
