@@ -18,7 +18,7 @@
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
 set -e
-cd "$(dirname "$0")"
+cd "$(dirname "$0")" || exit 1
 
 to_json() {
 	awk '

@@ -13,7 +13,7 @@
 #     heap over a 50k-row input. Any accidental materialization or per-row
 #     key allocation shows up as an allocs/op explosion here.
 set -e
-cd "$(dirname "$0")"
+cd "$(dirname "$0")" || exit 1
 
 # gate BASELINE_FILE BASELINE_PATTERN BENCH_PKG BENCH_PATTERN
 gate() {

@@ -403,7 +403,9 @@ func BenchmarkClientStreamFirstRow(b *testing.B) {
 					if !rows.Next() {
 						b.Fatal("no rows")
 					}
-					rows.Close()
+					if err := rows.Close(); err != nil {
+						b.Fatal(err)
+					}
 				} else {
 					res, err := db.Query(q)
 					if err != nil {
@@ -453,7 +455,9 @@ func BenchmarkPreparedExec(b *testing.B) {
 						b.Fatal(err)
 					}
 					rows.Next()
-					rows.Close()
+					if err := rows.Close(); err != nil {
+						b.Fatal(err)
+					}
 				} else {
 					if _, err := db.Query("SELECT unique1 FROM ptab WHERE unique2 = ?", key); err != nil {
 						b.Fatal(err)

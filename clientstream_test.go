@@ -398,7 +398,9 @@ func TestPreparedNullBound(t *testing.T) {
 		if len(res.Rows) != 0 {
 			t.Fatalf("%s with NULL argument(s) returned %d rows, want 0", q, len(res.Rows))
 		}
-		stmt.Close()
+		if err := stmt.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -445,7 +447,9 @@ func TestExclusiveIndexBounds(t *testing.T) {
 		if len(res.Rows) != tc.want {
 			t.Fatalf("prepared %s(%d): %d rows, want %d", tc.q, tc.arg, len(res.Rows), tc.want)
 		}
-		stmt.Close()
+		if err := stmt.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -471,7 +475,9 @@ func TestScanAfterExhaustionErrors(t *testing.T) {
 	if err := rows.Scan(&id); err == nil {
 		t.Fatal("Scan after exhaustion must error")
 	}
-	rows.Close()
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if err := rows.Scan(&id); err == nil {
 		t.Fatal("Scan after Close must error")
 	}
@@ -589,7 +595,9 @@ func TestSpillingSortStreamLeakFree(t *testing.T) {
 			if !errors.Is(mid.Err(), context.Canceled) {
 				t.Fatalf("Err after cancel = %v, want context.Canceled", mid.Err())
 			}
-			mid.Close()
+			if err := mid.Close(); err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("Close after cancel = %v", err)
+			}
 			waitPoolBalanced(t, db)
 			if live := db.SpillStats().FilesLive(); live != 0 {
 				t.Fatalf("%d spill files live after cancellation", live)

@@ -1,0 +1,92 @@
+// Command stagedbvet is the engine's custom static-analysis driver: a
+// multichecker over the internal/analysis suite that machine-checks the
+// resource and staging invariants (page references, spill-file lifecycles,
+// context threading, no blocking under stage locks, hot-path allocations).
+//
+// Usage:
+//
+//	go run ./cmd/stagedbvet ./...            # run the full suite
+//	go run ./cmd/stagedbvet -list            # describe the analyzers
+//	go run ./cmd/stagedbvet -run pagerefs,ctxflow ./internal/exec
+//
+// Diagnostics print as file:line:col: [analyzer] message and make the
+// process exit non-zero, so CI runs it exactly like go vet. Deliberate
+// violations are suppressed in source with
+//
+//	//stagedbvet:ignore <analyzer> <justification>
+//
+// on the flagged line or the line above; a suppression without a
+// justification is itself a diagnostic (see internal/analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"stagedb/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stagedbvet [-list] [-run a,b] <package patterns>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*run, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stagedbvet:", err)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stagedbvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadPackages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stagedbvet:", err)
+		os.Exit(2)
+	}
+
+	var lines []string
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stagedbvet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			lines = append(lines, fmt.Sprintf("%s: [%s] %s", pos, d.Analyzer, d.Message))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if len(lines) > 0 {
+		os.Exit(1)
+	}
+}

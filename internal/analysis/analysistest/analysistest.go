@@ -1,0 +1,219 @@
+// Package analysistest runs golden-file suites for the stagedbvet analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which this offline
+// build cannot depend on). Test packages live under
+// internal/analysis/testdata/src/<path>; each source line that should be
+// flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment (multiple regexps allowed). Stub dependency packages — a
+// three-type "exec" package standing in for the real engine, say — sit next
+// to the test package under testdata/src and are type-checked from source;
+// standard-library imports resolve through compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stagedb/internal/analysis"
+)
+
+// Run loads testdata/src/<pkgPath> (relative to the test's working
+// directory), applies a, and compares the surviving diagnostics against the
+// package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := newLoader(t, filepath.Join("testdata", "src"))
+	pkg := ld.load(pkgPath)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// loader type-checks testdata packages from source, memoized across imports.
+type loader struct {
+	t      *testing.T
+	srcdir string
+	fset   *token.FileSet
+	files  map[string][]string // package path -> source files (parse phase)
+	local  map[string]*analysis.Package
+	std    types.Importer
+}
+
+func newLoader(t *testing.T, srcdir string) *loader {
+	return &loader{
+		t:      t,
+		srcdir: srcdir,
+		fset:   token.NewFileSet(),
+		files:  make(map[string][]string),
+		local:  make(map[string]*analysis.Package),
+	}
+}
+
+// Import implements types.Importer: testdata packages from source, the
+// standard library from export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if ld.isLocal(path) {
+		return ld.typecheck(path).Types, nil
+	}
+	if ld.std == nil {
+		return nil, fmt.Errorf("analysistest: no stdlib importer for %q", path)
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) isLocal(path string) bool {
+	fi, err := os.Stat(filepath.Join(ld.srcdir, path))
+	return err == nil && fi.IsDir()
+}
+
+// load runs both phases for one root package: gather the import graph and
+// every stdlib dependency, build the export-data importer once, then
+// type-check bottom-up.
+func (ld *loader) load(path string) *analysis.Package {
+	ld.t.Helper()
+	std := make(map[string]bool)
+	ld.parse(path, std)
+	if len(std) > 0 {
+		paths := make([]string, 0, len(std))
+		for p := range std {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		imp, err := analysis.StdExportImporter(ld.fset, ".", paths)
+		if err != nil {
+			ld.t.Fatalf("analysistest: %v", err)
+		}
+		ld.std = imp
+	}
+	return ld.typecheck(path)
+}
+
+// parse lists a package's files and walks its local imports, accumulating
+// stdlib import paths into std.
+func (ld *loader) parse(path string, std map[string]bool) {
+	ld.t.Helper()
+	if _, done := ld.files[path]; done {
+		return
+	}
+	dir := filepath.Join(ld.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	ld.files[path] = files
+	for _, f := range files {
+		af, err := parser.ParseFile(ld.fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			ld.t.Fatalf("analysistest: %v", err)
+		}
+		for _, imp := range af.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if ld.isLocal(p) {
+				ld.parse(p, std)
+			} else {
+				std[p] = true
+			}
+		}
+	}
+}
+
+// typecheck type-checks one parsed package, memoized.
+func (ld *loader) typecheck(path string) *analysis.Package {
+	ld.t.Helper()
+	if pkg, ok := ld.local[path]; ok {
+		return pkg
+	}
+	pkg, err := analysis.TypeCheck(ld.fset, path, ld.files[path], ld)
+	if err != nil {
+		ld.t.Fatalf("analysistest: %v", err)
+	}
+	ld.local[path] = pkg
+	return pkg
+}
+
+// wantRE extracts the expectation regexps from a source line: everything
+// quoted after "// want".
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one unmatched want at file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// checkWants compares diagnostics against the want comments of the
+// package's files.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				text := q[1 : len(q)-1]
+				if q[0] == '"' {
+					if u, err := strconv.Unquote(q); err == nil {
+						text = u
+					}
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want regexp %q: %v", name, i+1, text, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re, raw: text})
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for i, w := range wants {
+			if w != nil && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				wants[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("missing diagnostic at %s:%d: want match for %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"stagedb/internal/analysis"
+	"stagedb/internal/analysis/analysistest"
+)
+
+func TestPageRefs(t *testing.T) {
+	analysistest.Run(t, analysis.PageRefs, "pagerefs")
+}
+
+func TestSpillFiles(t *testing.T) {
+	analysistest.Run(t, analysis.SpillFiles, "spillfiles")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/engine")
+}
+
+// TestCtxFlowOutOfScope checks the analyzer stays silent outside the
+// context-threaded packages.
+func TestCtxFlowOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow/plain")
+}
+
+func TestStageBlock(t *testing.T) {
+	analysistest.Run(t, analysis.StageBlock, "stageblock/exec")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
+}
+
+// TestSuppress covers the escape hatch end to end: justified suppressions
+// silence a real pagerefs violation on the same or next line, while
+// malformed ones (no reason, unknown analyzer) are themselves diagnostics
+// and silence nothing.
+func TestSuppress(t *testing.T) {
+	analysistest.Run(t, analysis.PageRefs, "suppress")
+}

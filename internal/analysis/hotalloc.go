@@ -1,0 +1,235 @@
+package analysis
+
+// hotalloc guards the allocation discipline of the compiled-kernel and hash
+// hot paths. The vectorized-execution and memory-bounded-execution PRs spent
+// most of their benchmark wins removing per-row allocations (interface
+// boxing in fmt calls, unsized append growth, closure-captured scratch
+// buffers); this analyzer keeps those wins from regressing silently.
+//
+// Functions opt in with a //stagedb:hot line in their doc comment — the
+// marker both scopes the check (fmt.Sprintf in a CLI is fine; in a per-row
+// kernel it is a bug) and documents the hot path for readers. Inside an
+// annotated function (including its nested closures — compiled kernels ARE
+// closures), the analyzer flags:
+//
+//   - calls to fmt formatters (Sprintf, Errorf, Sprint, ...): each call
+//     boxes its operands and allocates its result,
+//   - explicit conversions to any/interface{} (boxing), and
+//   - append to a local slice declared with no capacity (var s []T,
+//     s := []T{}, make([]T, 0)) inside a loop: growth reallocates along the
+//     hot path; pre-size from the planner estimate or reuse a buffer.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotMarker is the doc-comment line that opts a function into hotalloc.
+const HotMarker = "//stagedb:hot"
+
+// HotAlloc reports allocation-prone constructs inside //stagedb:hot
+// functions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "check //stagedb:hot functions (compiled kernels, hash paths) for fmt calls, " +
+		"interface boxing, and unsized append growth in loops",
+	Run: runHotAlloc,
+}
+
+// fmtAllocFuncs are the fmt formatters that allocate per call.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Fprintf": true, "Appendf": true,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			h := &hotWalker{pass: pass, unsized: make(map[*types.Var]bool)}
+			h.scan(fd.Body, 0)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the function's doc comment carries the marker.
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, HotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotWalker scans one hot function; unsized tracks local slices declared
+// with no capacity hint.
+type hotWalker struct {
+	pass    *Pass
+	unsized map[*types.Var]bool
+}
+
+// scan walks the body; loopDepth > 0 means the node executes per iteration.
+func (h *hotWalker) scan(n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			h.scanLoopParts(n.Init, n.Cond, n.Post, loopDepth)
+			h.scan(n.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			h.scan(n.Body, loopDepth+1)
+			return false
+		case *ast.AssignStmt:
+			h.assign(n, loopDepth)
+		case *ast.DeclStmt:
+			h.declStmt(n)
+		case *ast.CallExpr:
+			h.callExpr(n, loopDepth)
+		}
+		return true
+	})
+}
+
+// scanLoopParts walks a for statement's header at the enclosing depth.
+func (h *hotWalker) scanLoopParts(init ast.Stmt, cond ast.Expr, post ast.Stmt, depth int) {
+	if init != nil {
+		h.scan(init, depth)
+	}
+	if cond != nil {
+		h.scan(cond, depth)
+	}
+	if post != nil {
+		h.scan(post, depth)
+	}
+}
+
+// unsizedSliceExpr reports whether e allocates a slice with no capacity:
+// []T{} or make([]T, 0).
+func (h *hotWalker) unsizedSliceExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		t := h.pass.TypesInfo.TypeOf(e)
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		t := h.pass.TypesInfo.TypeOf(e)
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			return false
+		}
+		tv, ok := h.pass.TypesInfo.Types[e.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// assign records unsized local slice declarations and checks appends.
+func (h *hotWalker) assign(n *ast.AssignStmt, loopDepth int) {
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := h.lhsVar(id)
+		if v == nil {
+			continue
+		}
+		if h.unsizedSliceExpr(n.Rhs[i]) {
+			h.unsized[v] = true
+		} else if h.isAppendTo(n.Rhs[i], v) {
+			// s = append(s, ...) keeps s's unsized status.
+		} else {
+			// Reassigned from a sized source (buf[:0], a sized make, a
+			// parameter): the growth concern no longer applies.
+			delete(h.unsized, v)
+		}
+	}
+}
+
+// isAppendTo reports whether e is append(v, ...).
+func (h *hotWalker) isAppendTo(e ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	argID, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && h.lhsVar(argID) == v
+}
+
+// declStmt records `var s []T` declarations (no initializer) as unsized.
+func (h *hotWalker) declStmt(n *ast.DeclStmt) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) > 0 {
+			continue
+		}
+		for _, name := range vs.Names {
+			if v, ok := h.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					h.unsized[v] = true
+				}
+			}
+		}
+	}
+}
+
+// callExpr flags fmt formatters, boxing conversions, and unsized appends.
+func (h *hotWalker) callExpr(n *ast.CallExpr, loopDepth int) {
+	info := h.pass.TypesInfo
+	for name := range fmtAllocFuncs {
+		if isPkgFuncCall(info, n, "fmt", name) {
+			h.pass.Reportf(n.Pos(), "fmt.%s allocates on the hot path; build errors and strings outside //stagedb:hot code", name)
+			return
+		}
+	}
+	// Explicit boxing conversion: any(x) / interface{}(x) of a concrete value.
+	if len(n.Args) == 1 {
+		if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+			if types.IsInterface(tv.Type) && !types.IsInterface(info.TypeOf(n.Args[0])) {
+				h.pass.Reportf(n.Pos(), "conversion boxes %s into %s on the hot path",
+					types.TypeString(info.TypeOf(n.Args[0]), nil), types.TypeString(tv.Type, nil))
+			}
+		}
+	}
+	if loopDepth > 0 {
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+			if argID, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+				if v := h.lhsVar(argID); v != nil && h.unsized[v] {
+					h.pass.Reportf(n.Pos(), "append grows unsized slice %q inside a hot loop; pre-size it or reuse a buffer", argID.Name)
+				}
+			}
+		}
+	}
+}
+
+// lhsVar resolves an identifier to its variable object (def or use).
+func (h *hotWalker) lhsVar(id *ast.Ident) *types.Var {
+	if v, ok := h.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := h.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}

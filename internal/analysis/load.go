@@ -1,0 +1,199 @@
+package analysis
+
+// load.go is the self-contained package loader behind cmd/stagedbvet and the
+// analysistest harness. The usual tool for this job is
+// golang.org/x/tools/go/packages; this environment builds offline with no
+// module dependencies, so the loader reimplements the narrow slice the suite
+// needs on the standard library:
+//
+//   - `go list -deps -export -json <patterns>` enumerates the target
+//     packages, their source files, and — the key part — the compiled export
+//     data of every dependency in the build cache.
+//   - Target packages are parsed with go/parser and type-checked with
+//     go/types, importing dependencies through the stock "gc" export-data
+//     importer pointed at the files go list reported.
+//
+// Test files are skipped on purpose: the invariants stagedbvet encodes are
+// production-code invariants (leak tests retain pages deliberately, tests
+// mint context.Background freely).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir over patterns.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the import-path -> export-data resolver the gc
+// importer consumes.
+func exportLookup(pkgs []*listPkg) func(string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// StdExportImporter returns a types.Importer for the named packages (and
+// everything they depend on), backed by compiled export data. dir is any
+// directory inside a module so the go command resolves std consistently. The
+// analysistest harness uses it to satisfy stdlib imports of golden-file
+// packages that are otherwise type-checked from source.
+func StdExportImporter(fset *token.FileSet, dir string, paths []string) (types.Importer, error) {
+	pkgs, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	return importer.ForCompiler(fset, "gc", exportLookup(pkgs)), nil
+}
+
+// newInfo allocates the types.Info maps analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypeCheck parses and type-checks one package's files with imp resolving
+// imports. Shared by the production loader and the analysistest harness.
+func TypeCheck(fset *token.FileSet, path string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: syntax, Types: tpkg, Info: info}, nil
+}
+
+// LoadPackages loads and type-checks the packages matching patterns, rooted
+// at dir (the module root for "./..."-style patterns). Only the matched
+// packages are returned; dependencies are imported from export data.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to pkg, returning the diagnostics that survive
+// the package's //stagedbvet:ignore suppressions (plus diagnostics for
+// malformed suppressions themselves — a suppression without a justification
+// is a violation in its own right).
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return applySuppressions(pkg, diags), nil
+}

@@ -1,0 +1,39 @@
+package analysis
+
+// spillfiles encodes the temp-file lifecycle from internal/exec/spill:
+// spill.Create puts a file on disk, and the file must reach Close (which
+// finishes and removes it) on every path — or transfer its ownership by
+// being stored in a run list, passed to another function, or returned.
+// These are exactly the leak shapes the memory-bounded-execution PR fixed by
+// hand in the sort merge-pass and agg/join partition-split error paths:
+// a Create followed by an early error return that strands the file on disk.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpillFiles reports spill files that are created but provably not closed,
+// forwarded, stored, or returned on some control-flow path.
+var SpillFiles = &Analyzer{
+	Name: "spillfiles",
+	Doc: "check that every spill.File from spill.Create reaches Close (or transfers " +
+		"ownership by store, forward, or return) on every path, including error returns",
+	Run: func(pass *Pass) error {
+		spec := &resSpec{
+			desc:        "spill file",
+			source:      "spill.Create",
+			releaseVerb: "closed",
+			isAcquire: func(info *types.Info, call *ast.CallExpr) bool {
+				return isPkgFuncCall(info, call, "spill", "Create")
+			},
+			isRelease: func(info *types.Info, call *ast.CallExpr) bool {
+				// Close removes the file from disk. Finish alone does not —
+				// a finished-but-unreferenced file is still a leak, so Finish
+				// deliberately does not discharge the obligation.
+				return isMethodCall(info, call, "spill", "File", "Close")
+			},
+		}
+		return runResFlow(pass, spec)
+	},
+}

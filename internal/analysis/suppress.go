@@ -1,0 +1,110 @@
+package analysis
+
+// suppress.go implements the suite's escape hatch. A violation that is
+// deliberate (the documented context-free Exec/Query entry points, a
+// fan-out page whose release obligation transfers through a channel the
+// flow analysis cannot see) is silenced with
+//
+//	//stagedbvet:ignore <analyzer>[,<analyzer>] <justification>
+//
+// placed on the flagged line or the line directly above it. The
+// justification is mandatory: a suppression without one, or one naming an
+// unknown analyzer, is itself reported — an undocumented escape hatch is
+// exactly the kind of silent invariant erosion the suite exists to stop.
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//stagedbvet:ignore"
+
+// SuppressAnalyzer names the pseudo-analyzer that reports malformed
+// suppression comments.
+const SuppressAnalyzer = "suppress"
+
+// suppression is one parsed //stagedbvet:ignore comment.
+type suppression struct {
+	pos       token.Pos
+	analyzers []string
+	reason    string
+}
+
+// parseSuppressions scans a package's comments for suppression directives.
+func parseSuppressions(pkg *Package) []suppression {
+	var sups []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				// Strip analysistest want-expectations so golden files can
+				// assert on malformed suppressions.
+				rest, _, _ = strings.Cut(rest, "// want")
+				names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				sups = append(sups, suppression{
+					pos:       c.Pos(),
+					analyzers: strings.Split(names, ","),
+					reason:    strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions drops diagnostics covered by a well-formed suppression
+// on the same or preceding line, and reports malformed suppressions.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	// covered[line][analyzer]: a suppression on line L covers lines L and L+1.
+	covered := make(map[int]map[string]bool)
+	var out []Diagnostic
+	for _, s := range parseSuppressions(pkg) {
+		bad := false
+		for _, name := range s.analyzers {
+			if !known[name] {
+				out = append(out, Diagnostic{
+					Pos:      s.pos,
+					Analyzer: SuppressAnalyzer,
+					Message:  "stagedbvet:ignore names unknown analyzer " + strings.TrimSpace(name),
+				})
+				bad = true
+			}
+		}
+		if s.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: SuppressAnalyzer,
+				Message:  "stagedbvet:ignore requires a justification after the analyzer name",
+			})
+			bad = true
+		}
+		if bad {
+			continue
+		}
+		line := pkg.Fset.Position(s.pos).Line
+		for _, l := range []int{line, line + 1} {
+			if covered[l] == nil {
+				covered[l] = make(map[string]bool)
+			}
+			for _, name := range s.analyzers {
+				covered[l][name] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		line := pkg.Fset.Position(d.Pos).Line
+		if covered[line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package plain is outside the ctxflow scope (its import path ends in
+// neither internal/exec, internal/engine, nor the stagedb root), so a fresh
+// Background here is legal and the analyzer must stay silent.
+package plain
+
+import "context"
+
+// NewRoot legitimately mints the process root context.
+func NewRoot() context.Context {
+	return context.Background()
+}

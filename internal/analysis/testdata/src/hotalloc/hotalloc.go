@@ -1,0 +1,90 @@
+// Golden file for the hotalloc analyzer: //stagedb:hot functions must not
+// call fmt formatters, box values into interfaces, or grow unsized slices
+// inside loops. Unannotated functions are out of scope.
+package hotalloc
+
+import "fmt"
+
+// hotSprintf formats per call.
+//
+//stagedb:hot
+func hotSprintf(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf allocates on the hot path`
+}
+
+// hotErrorfInClosure: compiled kernels are closures; the marker covers them.
+//
+//stagedb:hot
+func hotErrorfInClosure() func(int) error {
+	return func(x int) error {
+		if x < 0 {
+			return fmt.Errorf("negative %d", x) // want `fmt.Errorf allocates on the hot path`
+		}
+		return nil
+	}
+}
+
+// hotBoxing converts a concrete value into an interface per call.
+//
+//stagedb:hot
+func hotBoxing(x int) any {
+	return any(x) // want `conversion boxes int into`
+}
+
+// hotAppendVar grows a nil slice row by row.
+//
+//stagedb:hot
+func hotAppendVar(rows []int) []int {
+	var out []int
+	for _, r := range rows {
+		out = append(out, r) // want `append grows unsized slice "out" inside a hot loop`
+	}
+	return out
+}
+
+// hotAppendEmptyMake grows a zero-capacity make row by row.
+//
+//stagedb:hot
+func hotAppendEmptyMake(rows []int) []int {
+	out := make([]int, 0)
+	for _, r := range rows {
+		out = append(out, r) // want `append grows unsized slice "out" inside a hot loop`
+	}
+	return out
+}
+
+// hotAppendSized pre-sizes from the input estimate: legal.
+//
+//stagedb:hot
+func hotAppendSized(rows []int) []int {
+	out := make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+// hotAppendReusedBuffer resets a caller-owned buffer: legal.
+//
+//stagedb:hot
+func hotAppendReusedBuffer(buf, rows []int) []int {
+	out := buf[:0]
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+// hotAppendOutsideLoop appends once, not per row: legal.
+//
+//stagedb:hot
+func hotAppendOutsideLoop(r int) []int {
+	var out []int
+	out = append(out, r)
+	return out
+}
+
+// coldSprintf is not annotated, so formatting is fine here.
+func coldSprintf(x int) string {
+	return fmt.Sprintf("%d", x)
+}

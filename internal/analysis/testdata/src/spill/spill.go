@@ -1,0 +1,22 @@
+// Package spill is a stub of stagedb/internal/exec/spill for the analyzer
+// golden files: Create/Append/Finish/Close with the real lifecycle contract
+// (Close removes the file; Finish only flushes and drops the descriptor).
+package spill
+
+// File stands in for one temp-file-backed row sequence.
+type File struct{}
+
+// Create makes an empty spill file.
+func Create(dir string, tracker any) (*File, error) { return &File{}, nil }
+
+// Append adds one row.
+func (f *File) Append(row []int) error { return nil }
+
+// Finish flushes and closes the descriptor; the file stays on disk.
+func (f *File) Finish() error { return nil }
+
+// Close finishes the file and removes it from disk.
+func (f *File) Close() error { return nil }
+
+// Rows reports the appended row count.
+func (f *File) Rows() int64 { return 0 }

@@ -1,0 +1,86 @@
+// Golden file for the spillfiles analyzer: every spill.Create must reach
+// Close (which removes the file from disk), a forwarding call, a store, or a
+// return on every path. Finish alone does not discharge — a finished but
+// unreferenced file stays on disk.
+package spillfiles
+
+import "spill"
+
+// keep stands in for an operator taking ownership of a finished run.
+func keep(f *spill.File) {}
+
+// leakForgotten never closes the file.
+func leakForgotten(dir string) {
+	f, _ := spill.Create(dir, nil) // want `spill file "f" from spill.Create is never closed, forwarded, stored, or returned`
+	_ = f.Rows()
+}
+
+// leakOnAppendError closes on the main path but leaks when Append fails.
+func leakOnAppendError(dir string, row []int) error {
+	f, err := spill.Create(dir, nil)
+	if err != nil {
+		return err
+	}
+	if err := f.Append(row); err != nil {
+		return err // want `spill file "f" from spill.Create is not closed, forwarded, or stored on this return path`
+	}
+	return f.Close()
+}
+
+// leakFinishOnly finishes the file but never removes it from disk.
+func leakFinishOnly(dir string) error {
+	f, err := spill.Create(dir, nil)
+	if err != nil {
+		return err
+	}
+	return f.Finish() // want `spill file "f" from spill.Create is not closed, forwarded, or stored on this return path`
+}
+
+// okErrReturn: returning the acquisition error is not a leak — on that branch
+// no file was created.
+func okErrReturn(dir string, row []int) error {
+	f, err := spill.Create(dir, nil)
+	if err != nil {
+		return err
+	}
+	if err := f.Append(row); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// okDeferred closes on every path via defer.
+func okDeferred(dir string, row []int) error {
+	f, err := spill.Create(dir, nil)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Append(row)
+}
+
+// okStored parks the finished run in the operator's run list.
+func okStored(dir string, runs *[]*spill.File) error {
+	f, err := spill.Create(dir, nil)
+	if err != nil {
+		return err
+	}
+	*runs = append(*runs, f)
+	return nil
+}
+
+// okForwarded transfers ownership to another component.
+func okForwarded(dir string) error {
+	f, err := spill.Create(dir, nil)
+	if err != nil {
+		return err
+	}
+	keep(f)
+	return nil
+}
+
+// okReturned transfers ownership to the caller.
+func okReturned(dir string) (*spill.File, error) {
+	return spill.Create(dir, nil)
+}

@@ -1,0 +1,43 @@
+// Golden file for the suppression mechanism, run under the pagerefs
+// analyzer: a justified //stagedbvet:ignore silences the diagnostic on its
+// line or the next; a suppression with no justification or an unknown
+// analyzer name is itself a diagnostic and silences nothing.
+package suppress
+
+import "exec"
+
+// okTrailing: a justified suppression on the flagged line stays silent.
+func okTrailing(pool *exec.PagePool) {
+	pg := pool.Get(8) //stagedbvet:ignore pagerefs fixture: the leak sweeper reclaims this page after the test.
+	_ = pg.Len()
+}
+
+// okPreceding: the suppression also covers the line directly below it.
+func okPreceding(pool *exec.PagePool) {
+	//stagedbvet:ignore pagerefs fixture: the leak sweeper reclaims this page after the test.
+	pg := pool.Get(8)
+	_ = pg.Len()
+}
+
+// badNoReason: a suppression without a justification is itself reported and
+// silences nothing, so the underlying violation surfaces too.
+func badNoReason(pool *exec.PagePool) {
+	pg := pool.Get(8) //stagedbvet:ignore pagerefs // want `stagedbvet:ignore requires a justification` `page "pg" from PagePool.Get is never released`
+	_ = pg.Len()
+}
+
+// badUnknownName: naming an analyzer that does not exist is reported and
+// silences nothing.
+func badUnknownName(pool *exec.PagePool) {
+	pg := pool.Get(8) //stagedbvet:ignore pagerfs typo for pagerefs // want `stagedbvet:ignore names unknown analyzer pagerfs` `page "pg" from PagePool.Get is never released`
+	_ = pg.Len()
+}
+
+// okWrongDistance: a suppression two lines above the violation does not
+// reach it.
+func okWrongDistance(pool *exec.PagePool) {
+	//stagedbvet:ignore pagerefs fixture: this comment is too far away to cover the Get below.
+	_ = pool
+	pg := pool.Get(8) // want `page "pg" from PagePool.Get is never released`
+	_ = pg.Len()
+}

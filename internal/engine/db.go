@@ -306,6 +306,7 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
+	//stagedbvet:ignore ctxflow ExecStmt is the context-free entry point; RunStmt is the threaded form.
 	return s.RunStmt(context.Background(), stmt, nil)
 }
 

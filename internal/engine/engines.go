@@ -85,6 +85,7 @@ func (r *Request) ctxErr() error {
 // context returns the request's context for execution-time checks.
 func (r *Request) context() context.Context {
 	if r.Ctx == nil {
+		//stagedbvet:ignore ctxflow a nil-Ctx request has no caller context to thread; Background is its documented meaning.
 		return context.Background()
 	}
 	return r.Ctx

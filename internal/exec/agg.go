@@ -21,6 +21,8 @@ const aggMaxDepth = 6
 // partOf selects a grace partition for a key hash at a recursion depth, each
 // level consuming a fresh slice of the hash's bits (the in-memory group and
 // join tables use the low bits, so start above them).
+//
+//stagedb:hot
 func partOf(h uint64, depth int) int {
 	return int((h >> (7 + 3*depth)) & (aggFanOut - 1))
 }

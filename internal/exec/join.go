@@ -10,6 +10,8 @@ import (
 
 // keysNull reports whether any key column of the row is NULL (NULL never
 // joins).
+//
+//stagedb:hot
 func keysNull(row value.Row, keys []int) bool {
 	for _, k := range keys {
 		if row[k].IsNull() {
@@ -540,6 +542,7 @@ func (j *hashJoin) closeSpillFiles() {
 	j.work = nil
 }
 
+//stagedb:hot
 func keysEqual(l value.Row, lk []int, r value.Row, rk []int) bool {
 	for i := range lk {
 		if !value.Equal(l[lk[i]], r[rk[i]]) {

@@ -94,6 +94,8 @@ func (p *Page) slice(lo, hi int) {
 // kernel — a page flows through a Filter without a single row copy. The
 // in-place compaction is safe because the write position never passes the
 // read position.
+//
+//stagedb:hot
 func (p *Page) narrow(pred plan.CompiledPredicate) error {
 	sel := p.selBuf[:0]
 	if p.Sel == nil {

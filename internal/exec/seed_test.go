@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// testSeeds returns the seed list a randomized test runs with: the fixed
+// defaults, or the single value of STAGEDB_SEED when it is set — so a
+// failure seen once (in CI, under -race, anywhere) reproduces exactly with
+//
+//	STAGEDB_SEED=<seed> go test ./internal/exec -run <Test>
+func testSeeds(t *testing.T, defaults ...int64) []int64 {
+	t.Helper()
+	s := os.Getenv("STAGEDB_SEED")
+	if s == "" {
+		return defaults
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad STAGEDB_SEED %q: %v", s, err)
+	}
+	return []int64{v}
+}
+
+// seededRNG builds a test's rand.Rand from def (or STAGEDB_SEED when set)
+// and logs the chosen seed, so a failing run names the seed that reproduces
+// it.
+func seededRNG(t *testing.T, def int64) *rand.Rand {
+	t.Helper()
+	seed := testSeeds(t, def)[0]
+	t.Logf("rng seed %d (set STAGEDB_SEED to override)", seed)
+	return rand.New(rand.NewSource(seed))
+}

@@ -293,8 +293,8 @@ func randSortRows(rng *rand.Rand, n int) []value.Row {
 // spills (multiple run generations included) over randomized mixed-type data
 // and requires byte-for-byte agreement with the in-memory stable sort.
 func TestExternalSortMatchesOracle(t *testing.T) {
-	for _, seed := range []int64{1, 7, 42} {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testSeeds(t, 1, 7, 42) {
+		rng := seededRNG(t, seed)
 		rows := randSortRows(rng, 3000+rng.Intn(3000))
 		keysets := [][]plan.SortKey{colKeys(0), colKeys(-1), colKeys(1, -1), colKeys(-2, 1)}
 		keys := keysets[rng.Intn(len(keysets))]
@@ -319,7 +319,7 @@ func TestExternalSortMatchesOracle(t *testing.T) {
 // TestExternalSortCascades forces enough runs to require intermediate merge
 // passes (run count beyond the merge fan-in) and still matches the oracle.
 func TestExternalSortCascades(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
+	rng := seededRNG(t, 99)
 	rows := make([]value.Row, 0, 30000)
 	for i := 0; i < 30000; i++ {
 		rows = append(rows, value.Row{
@@ -352,7 +352,7 @@ func TestExternalSortCascades(t *testing.T) {
 // TestSortAbandonedMidMergeRemovesRuns closes a spilled sort after reading
 // only a prefix of its merged output; every run file must be removed.
 func TestSortAbandonedMidMergeRemovesRuns(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := seededRNG(t, 5)
 	rows := randSortRows(rng, 6000)
 	sm := &SpillMetrics{}
 	op := newSortOp(newReplay(rows), colKeys(0), 1, sm)
@@ -385,8 +385,8 @@ func TestSortAbandonedMidMergeRemovesRuns(t *testing.T) {
 // over randomized data. SUM/AVG arguments are integers so float accumulation
 // order cannot perturb the result.
 func TestSpillingAggMatchesOracle(t *testing.T) {
-	for _, seed := range []int64{3, 11} {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testSeeds(t, 3, 11) {
+		rng := seededRNG(t, seed)
 		n := 20000
 		rows := make([]value.Row, 0, n)
 		for i := 0; i < n; i++ {
@@ -444,7 +444,7 @@ func TestSpillingAggMatchesOracle(t *testing.T) {
 // partition's state file alone outweigh WorkMem, forcing exactly that
 // split point.
 func TestSpillingAggSplitDuringStateMerge(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := seededRNG(t, 17)
 	const groups, n = 2000, 12000
 	rows := make([]value.Row, 0, n)
 	for i := 0; i < n; i++ {
@@ -489,7 +489,7 @@ func TestSpillingAggSplitDuringStateMerge(t *testing.T) {
 // charge the retained payloads to the budget — tiny keys with ~5KB string
 // maxima cross a 64KB budget long before the group count would.
 func TestSpillingAggChargesTextExtremes(t *testing.T) {
-	rng := rand.New(rand.NewSource(29))
+	rng := seededRNG(t, 29)
 	rows := make([]value.Row, 0, 2000)
 	for i := 0; i < 2000; i++ {
 		rows = append(rows, value.Row{
@@ -534,8 +534,8 @@ func TestSpillingAggChargesTextExtremes(t *testing.T) {
 // budget) against the in-memory hash join over randomized duplicate-heavy
 // keys, NULL keys included.
 func TestSpillingJoinMatchesOracle(t *testing.T) {
-	for _, seed := range []int64{2, 13} {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testSeeds(t, 2, 13) {
+		rng := seededRNG(t, seed)
 		mkRows := func(n, keyRange int) []value.Row {
 			rows := make([]value.Row, 0, n)
 			for i := 0; i < n; i++ {
@@ -579,7 +579,7 @@ func TestSpillingJoinMatchesOracle(t *testing.T) {
 // TestSpillingJoinAbandonedRemovesFiles closes a grace join after one output
 // page; all partition files must be removed.
 func TestSpillingJoinAbandonedRemovesFiles(t *testing.T) {
-	rng := rand.New(rand.NewSource(21))
+	rng := seededRNG(t, 21)
 	mkRows := func(n int) []value.Row {
 		rows := make([]value.Row, 0, n)
 		for i := 0; i < n; i++ {

@@ -231,6 +231,8 @@ func (r *Reader) Close() error {
 // --- row codec ---
 
 // encodeRow appends the serialized row to dst.
+//
+//stagedb:hot
 func encodeRow(dst []byte, row value.Row) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(row)))
 	for _, v := range row {

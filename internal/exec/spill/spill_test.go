@@ -72,7 +72,9 @@ func TestRoundTrip(t *testing.T) {
 	if _, ok, err := r.Next(); ok || err != nil {
 		t.Fatalf("expected clean EOF, got ok=%v err=%v", ok, err)
 	}
-	r.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}

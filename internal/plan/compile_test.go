@@ -142,7 +142,7 @@ func (g *exprGen) row() value.Row {
 // interpreted e.Eval — same value or same error outcome — and
 // CompilePredicate must agree with EvalPredicate.
 func TestCompileMatchesEval(t *testing.T) {
-	g := &exprGen{rng: rand.New(rand.NewSource(7))}
+	g := &exprGen{rng: seededRNG(t, 7)}
 	for iter := 0; iter < 4000; iter++ {
 		var e Expr
 		if iter%3 == 0 {

@@ -1,0 +1,27 @@
+package plan
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// seededRNG builds a test's rand.Rand from def (or STAGEDB_SEED when set)
+// and logs the chosen seed, so a failing property-test run names the seed
+// that reproduces it:
+//
+//	STAGEDB_SEED=<seed> go test ./internal/plan -run <Test>
+func seededRNG(t *testing.T, def int64) *rand.Rand {
+	t.Helper()
+	seed := def
+	if s := os.Getenv("STAGEDB_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad STAGEDB_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("rng seed %d (set STAGEDB_SEED to override)", seed)
+	return rand.New(rand.NewSource(seed))
+}

@@ -282,6 +282,8 @@ func fnvString(h uint64, s string) uint64 {
 // hashing alike so numeric join keys match across types. The hash is an
 // allocation-free inline FNV-1a over the same byte encoding earlier versions
 // fed through hash/fnv, so stored hash-dependent orderings are unchanged.
+//
+//stagedb:hot
 func (v Value) Hash() uint64 {
 	h := uint64(fnvOffset64)
 	switch v.typ {
@@ -328,6 +330,8 @@ func NewLikeMatcher(pattern string) *LikeMatcher {
 }
 
 // Match reports whether s matches the matcher's pattern.
+//
+//stagedb:hot
 func (m *LikeMatcher) Match(s string) bool {
 	if cap(m.dp) < len(s)+1 {
 		m.dp = make([]bool, len(s)+1)
@@ -386,6 +390,8 @@ func (r Row) String() string {
 }
 
 // Hash combines the hashes of the given column indexes of the row.
+//
+//stagedb:hot
 func (r Row) Hash(cols []int) uint64 {
 	var h uint64 = 1469598103934665603
 	for _, c := range cols {
@@ -398,6 +404,8 @@ func (r Row) Hash(cols []int) uint64 {
 // the vectorized join and aggregation kernels: one call hashes a whole page
 // of keys with zero allocations when dst capacity suffices. It returns dst
 // resized to len(rows).
+//
+//stagedb:hot
 func HashRows(rows []Row, cols []int, dst []uint64) []uint64 {
 	if cap(dst) < len(rows) {
 		dst = make([]uint64, len(rows))

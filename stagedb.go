@@ -455,6 +455,7 @@ func (c *Conn) request(ctx context.Context, sqlText string, args []any, queryOnl
 // placeholders bind the trailing arguments. SELECT results are materialized
 // through the streaming path; use QueryContext to stream them instead.
 func (c *Conn) Exec(sqlText string, args ...any) (*Result, error) {
+	//stagedbvet:ignore ctxflow Exec is the documented context-free convenience wrapper over ExecContext.
 	return c.ExecContext(context.Background(), sqlText, args...)
 }
 
@@ -477,6 +478,7 @@ func (c *Conn) ExecContext(ctx context.Context, sqlText string, args ...any) (*R
 // Query runs a SELECT and materializes the result. Unlike Exec it rejects
 // non-SELECT statements instead of silently executing DML.
 func (c *Conn) Query(sqlText string, args ...any) (*Result, error) {
+	//stagedbvet:ignore ctxflow Query is the documented context-free convenience wrapper over QueryContext.
 	rows, err := c.QueryContext(context.Background(), sqlText, args...)
 	if err != nil {
 		return nil, err

@@ -93,6 +93,7 @@ func (s *Stmt) submitWait(req *engine.Request) error {
 
 // Query is QueryContext with a background context, materialized.
 func (s *Stmt) Query(args ...any) (*Result, error) {
+	//stagedbvet:ignore ctxflow Stmt.Query is the documented context-free convenience wrapper over QueryContext.
 	rows, err := s.QueryContext(context.Background(), args...)
 	if err != nil {
 		return nil, err
@@ -120,6 +121,7 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 
 // Exec is ExecContext with a background context.
 func (s *Stmt) Exec(args ...any) (*Result, error) {
+	//stagedbvet:ignore ctxflow Stmt.Exec is the documented context-free convenience wrapper over ExecContext.
 	return s.ExecContext(context.Background(), args...)
 }
 
