@@ -14,6 +14,12 @@
 #                     spilling external sort, Top-N vs full sort + limit,
 #                     and the grace-spilling aggregation/join vs their
 #                     in-memory forms.
+#   BENCH_wal.json  — durable commit path: group commit vs per-commit
+#                     fsync at 1/8/32 concurrent writers, at two layers:
+#                     DWALCommit is the log alone (append + commit + wait
+#                     durable), WALCommit is the same policy matrix through
+#                     the full SQL pipeline (ns/op is commit latency;
+#                     commits/fsync is the measured group size).
 #
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
@@ -58,3 +64,11 @@ sort_out=$(go test ./internal/exec -run '^$' -bench 'ExtSort|TopN|SpillAgg|Spill
 echo "$sort_out" | to_json > BENCH_sort.json
 echo "wrote BENCH_sort.json:"
 cat BENCH_sort.json
+
+wal_out=$(go test ./internal/txn -run '^$' -bench 'DWALCommit' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem
+go test . -run '^$' -bench 'WALCommit' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem)
+echo "$wal_out" | to_json > BENCH_wal.json
+echo "wrote BENCH_wal.json:"
+cat BENCH_wal.json

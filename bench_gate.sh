@@ -12,6 +12,13 @@
 #   - BenchmarkTopN vs BENCH_sort.json. Top-N must stay O(k): a fixed-size
 #     heap over a 50k-row input. Any accidental materialization or per-row
 #     key allocation shows up as an allocs/op explosion here.
+#   - BenchmarkDWALCommit group-32w vs sync-32w, run fresh (not vs baseline:
+#     both sides run back to back on the same disk, so the ratio is
+#     machine-independent). Group commit must deliver at least 3x the
+#     per-commit-fsync commit throughput at 32 concurrent writers — the
+#     whole point of parking committers on a shared flusher is amortizing
+#     the fsync. The gate runs at the log layer (internal/txn) where the
+#     mechanism is undiluted by SQL pipeline CPU.
 set -e
 cd "$(dirname "$0")" || exit 1
 
@@ -45,3 +52,25 @@ gate() {
 
 gate BENCH_scan.json 'staged-unshared' . 'SharedScan/staged-unshared'
 gate BENCH_sort.json 'BenchmarkTopN[-"]' ./internal/exec 'BenchmarkTopN$'
+
+# wal_gate: group commit must beat per-commit fsync by >= 3x ns/op at 32
+# concurrent writers. Both variants run back to back on the same machine.
+wal_gate() {
+	out=$(go test ./internal/txn -run '^$' -bench 'DWALCommit/(group|sync)-32w' -benchtime "${WAL_GATE_BENCHTIME:-1s}")
+	echo "$out"
+	group=$(echo "$out" | awk '/group-32w/ { for (i = 1; i <= NF; i++) if ($i == "ns/op") { print $(i-1); exit } }')
+	syncv=$(echo "$out" | awk '/sync-32w/ { for (i = 1; i <= NF; i++) if ($i == "ns/op") { print $(i-1); exit } }')
+	if [ -z "$group" ] || [ -z "$syncv" ]; then
+		echo "bench_gate: WALCommit produced no ns/op datapoints" >&2
+		exit 1
+	fi
+	awk -v g="$group" -v s="$syncv" 'BEGIN {
+		ratio = s / g
+		if (ratio < 3.0) {
+			printf("bench_gate: group commit only %.2fx per-commit fsync at 32 writers (need >= 3x): group %.0f ns/op, sync %.0f ns/op\n", ratio, g, s)
+			exit 1
+		}
+		printf("bench_gate: group commit %.2fx per-commit fsync at 32 writers (>= 3x): group %.0f ns/op, sync %.0f ns/op\n", ratio, g, s)
+	}'
+}
+wal_gate

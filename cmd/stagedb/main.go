@@ -1,16 +1,24 @@
 // Command stagedb is an interactive SQL shell over the staged engine.
 //
-//	$ go run ./cmd/stagedb
+//	$ go run ./cmd/stagedb [-data DIR] [-sync]
 //	stagedb> CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
 //	stagedb> INSERT INTO t VALUES (1, 'ann');
 //	stagedb> SELECT * FROM t;
 //
-// Meta commands: \stages (per-stage monitors), \explain <select>, \quit.
+// With -data (or STAGEDB_DATADIR) the database is durable: tables live in a
+// file-backed page store under the directory, commits are written ahead to a
+// group-committed log, and reopening the shell recovers them. -sync fsyncs
+// every commit individually instead of group-committing.
+//
+// Meta commands: \stages (per-stage monitors, including the wal
+// pseudo-stage on a durable database), \checkpoint, \explain <select>,
+// \quit.
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -22,12 +30,26 @@ import (
 )
 
 func main() {
-	db, err := stagedb.Open(stagedb.Options{})
+	dataDir := flag.String("data", "", "data directory for a durable database (default $STAGEDB_DATADIR, empty = in-memory)")
+	syncEvery := flag.Bool("sync", false, "fsync the log on every commit instead of group commit")
+	flag.Parse()
+	opts := stagedb.Options{DataDir: *dataDir}
+	if *syncEvery {
+		opts.Durability = stagedb.DurabilitySync
+	}
+	db, err := stagedb.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stagedb:", err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stagedb: close:", err)
+		}
+	}()
+	if db.Durable() {
+		fmt.Println("durable: data under", *dataDir+envDirNote(*dataDir))
+	}
 	conn := db.Conn()
 
 	in := bufio.NewScanner(os.Stdin)
@@ -103,6 +125,12 @@ func meta(db *stagedb.DB, cmd string) bool {
 			}
 			fmt.Printf("%s: %s\n", s.Name, strings.Join(parts, " "))
 		}
+	case cmd == "\\checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Println("ok")
 	case strings.HasPrefix(cmd, "\\explain "):
 		out, err := db.Explain(strings.TrimSuffix(strings.TrimPrefix(cmd, "\\explain "), ";"))
 		if err != nil {
@@ -111,7 +139,7 @@ func meta(db *stagedb.DB, cmd string) bool {
 		}
 		fmt.Print(out)
 	default:
-		fmt.Println("meta commands: \\stages \\explain <select> \\quit")
+		fmt.Println("meta commands: \\stages \\checkpoint \\explain <select> \\quit")
 	}
 	return true
 }
@@ -182,4 +210,13 @@ func printResult(res *stagedb.Result, elapsed time.Duration) {
 
 func isSelect(stmt string) bool {
 	return len(stmt) >= 6 && strings.EqualFold(strings.Fields(stmt)[0], "SELECT")
+}
+
+// envDirNote annotates the startup banner when the data dir came from the
+// environment rather than the -data flag.
+func envDirNote(flagDir string) string {
+	if flagDir == "" {
+		return os.Getenv("STAGEDB_DATADIR") + " (from STAGEDB_DATADIR)"
+	}
+	return ""
 }

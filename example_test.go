@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"stagedb"
 )
@@ -109,4 +110,48 @@ func ExampleConn_QueryContext_cancellation() {
 	// Output:
 	// query failed: context canceled
 	// outstanding pages: 0
+}
+
+// ExampleOpen_durable opens a durable database: pages live in a checksummed
+// data file under DataDir and every commit is written ahead to a
+// group-committed log, so reopening the directory recovers all committed
+// work — including after a crash (redo from the log) — while uncommitted
+// transactions are rolled back.
+func ExampleOpen_durable() {
+	dir, err := os.MkdirTemp("", "stagedb-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := stagedb.Open(stagedb.Options{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.ExecScript(`
+		CREATE TABLE events (id INT PRIMARY KEY, kind TEXT);
+		INSERT INTO events VALUES (1, 'signup'), (2, 'login');
+	`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // final checkpoint + release files
+		log.Fatal(err)
+	}
+
+	// Reopen: recovery replays the log and rebuilds tables and indexes.
+	db, err = stagedb.Open(stagedb.Options{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query("SELECT kind FROM events ORDER BY id")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0].Text())
+	}
+	// Output:
+	// signup
+	// login
 }

@@ -15,6 +15,20 @@ func TestSpillFiles(t *testing.T) {
 	analysistest.Run(t, analysis.SpillFiles, "spillfiles")
 }
 
+func TestFsFiles(t *testing.T) {
+	analysistest.Run(t, analysis.FsFiles, "fsfiles")
+}
+
+func TestSyncErr(t *testing.T) {
+	analysistest.Run(t, analysis.SyncErr, "syncerr/txn")
+}
+
+// TestSyncErrOutOfScope checks the analyzer stays silent outside the
+// stable-storage packages.
+func TestSyncErrOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.SyncErr, "syncerr/plain")
+}
+
 func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/engine")
 }

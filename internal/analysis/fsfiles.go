@@ -1,0 +1,40 @@
+package analysis
+
+// fsfiles extends the must-consume discipline to the durability layer's file
+// handles: a storage.File obtained from FS.OpenFile (the seam the data file,
+// the write-ahead log, and the fault injector all open through) must reach
+// Close, be stored in a struct, forwarded, or returned on every control-flow
+// path. The shape it guards against is the one recovery code is prone to:
+// open the log, fail validation of the header, and return the error with the
+// descriptor stranded.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsFiles reports storage.File handles that are opened but provably not
+// closed, forwarded, stored, or returned on some path.
+var FsFiles = &Analyzer{
+	Name: "fsfiles",
+	Doc: "check that every storage.File from FS.OpenFile reaches Close (or transfers " +
+		"ownership by store, forward, or return) on every path, including error returns",
+	Run: func(pass *Pass) error {
+		spec := &resSpec{
+			desc:        "file handle",
+			source:      "FS.OpenFile",
+			releaseVerb: "closed",
+			isAcquire: func(info *types.Info, call *ast.CallExpr) bool {
+				// OpenFile on the FS seam or its concrete implementations
+				// (OsFS, the faultfs wrapper).
+				return isMethodCall(info, call, "storage", "FS", "OpenFile") ||
+					isMethodCall(info, call, "storage", "OsFS", "OpenFile") ||
+					isMethodCall(info, call, "faultfs", "FS", "OpenFile")
+			},
+			isRelease: func(info *types.Info, call *ast.CallExpr) bool {
+				return isMethodCall(info, call, "storage", "File", "Close")
+			},
+		}
+		return runResFlow(pass, spec)
+	},
+}

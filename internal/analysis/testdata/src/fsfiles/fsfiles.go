@@ -1,0 +1,101 @@
+// Golden file for the fsfiles analyzer: every storage.File from FS.OpenFile
+// must reach Close, a forwarding call, a store, or a return on every path —
+// the open-validate-fail-return shape recovery code is prone to.
+package fsfiles
+
+import "storage"
+
+// wal stands in for a struct taking ownership of a handle.
+type wal struct {
+	f storage.File
+}
+
+func use(f storage.File) {}
+
+// leakForgotten never closes the handle.
+func leakForgotten(fs storage.FS) {
+	f, _ := fs.OpenFile("wal", 0, 0o644) // want `file handle "f" from FS.OpenFile is never closed, forwarded, stored, or returned`
+	use(nil)
+	_, _ = f.WriteAt(nil, 0)
+}
+
+// leakOnValidateError closes on the main path but strands the descriptor
+// when header validation fails.
+func leakOnValidateError(fs storage.FS, ok bool) error {
+	f, err := fs.OpenFile("wal", 0, 0o644)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errBadHeader // want `file handle "f" from FS.OpenFile is not closed, forwarded, or stored on this return path`
+	}
+	return f.Close()
+}
+
+// okErrReturn: returning the acquisition error is not a leak.
+func okErrReturn(fs storage.FS) error {
+	f, err := fs.OpenFile("data", 0, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// okCloseOnErrorPath closes explicitly before the early return.
+func okCloseOnErrorPath(fs storage.FS, ok bool) error {
+	f, err := fs.OpenFile("wal", 0, 0o644)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		f.Close()
+		return errBadHeader
+	}
+	return f.Close()
+}
+
+// okStored transfers ownership into a struct.
+func okStored(fs storage.FS) (*wal, error) {
+	f, err := fs.OpenFile("wal", 0, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f}, nil
+}
+
+// okForwarded hands the handle to a callee.
+func okForwarded(fs storage.FS) error {
+	f, err := fs.OpenFile("wal", 0, 0o644)
+	if err != nil {
+		return err
+	}
+	use(f)
+	return nil
+}
+
+// okConcrete tracks the concrete OsFS implementation too.
+func okConcrete() error {
+	f, err := storage.OsFS{}.OpenFile("data", 0, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// leakConcrete flags the concrete implementation too.
+func leakConcrete(ok bool) error {
+	f, err := storage.OsFS{}.OpenFile("data", 0, 0o644)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errBadHeader // want `file handle "f" from FS.OpenFile is not closed, forwarded, or stored on this return path`
+	}
+	return f.Close()
+}
+
+var errBadHeader = errorString("bad header")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,26 @@
+// Package storage is a stub of stagedb/internal/storage for the analyzer
+// golden files: the FS seam (OpenFile returning a File that must be closed)
+// and the Sync/Flush error-return surface.
+package storage
+
+// File stands in for one open file handle.
+type File interface {
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS stands in for the filesystem seam.
+type FS interface {
+	OpenFile(name string, flag int, perm uint32) (File, error)
+	SyncDir(name string) error
+}
+
+// OsFS is the concrete implementation.
+type OsFS struct{}
+
+// OpenFile opens name.
+func (OsFS) OpenFile(name string, flag int, perm uint32) (File, error) { return nil, nil }
+
+// SyncDir fsyncs a directory.
+func (OsFS) SyncDir(name string) error { return nil }

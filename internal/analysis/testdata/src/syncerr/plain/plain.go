@@ -1,0 +1,11 @@
+// Out-of-scope golden file for the syncerr analyzer: packages outside the
+// stable-storage layers (no txn/storage path suffix) may discard Sync errors
+// without diagnostics — flushing there is advisory, not a durability
+// promise.
+package plain
+
+import "storage"
+
+func discardOutOfScope(f storage.File) {
+	f.Sync() // no diagnostic: not a stable-storage package
+}

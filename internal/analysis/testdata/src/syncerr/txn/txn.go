@@ -1,0 +1,55 @@
+// Golden file for the syncerr analyzer, in scope via the txn path suffix:
+// Sync/SyncDir/Flush error returns must never be discarded here.
+package txn
+
+import "storage"
+
+type log struct {
+	f storage.File
+}
+
+// Flush returns the flush outcome.
+func (l *log) Flush() error { return l.f.Sync() }
+
+// flushNoError has no error result; calling it bare is fine.
+func (l *log) flushNoError() {}
+
+func discardedStatement(l *log) {
+	l.f.Sync() // want `Sync error discarded — a dropped sync/flush error is a durability hole; handle it or record it`
+}
+
+func discardedBlank(l *log) {
+	_ = l.f.Sync() // want `Sync error discarded — a dropped sync/flush error is a durability hole; handle it or record it`
+}
+
+func discardedDefer(l *log) {
+	defer l.f.Sync() // want `Sync error discarded — a dropped sync/flush error is a durability hole; handle it or record it`
+}
+
+func discardedGo(l *log) {
+	go l.f.Sync() // want `Sync error discarded — a dropped sync/flush error is a durability hole; handle it or record it`
+}
+
+func discardedFlush(l *log) {
+	l.Flush() // want `Flush error discarded — a dropped sync/flush error is a durability hole; handle it or record it`
+}
+
+func discardedSyncDir(fs storage.FS) {
+	fs.SyncDir("dir") // want `SyncDir error discarded — a dropped sync/flush error is a durability hole; handle it or record it`
+}
+
+func okHandled(l *log) error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	return l.Flush()
+}
+
+func okAssigned(l *log) {
+	err := l.f.Sync()
+	_ = err
+}
+
+func okNoErrorResult(l *log) {
+	l.flushNoError()
+}

@@ -1,0 +1,266 @@
+// Package crashtest is a subprocess fault-injection harness for the durable
+// engine: a child process runs a mixed insert/update workload against a data
+// directory, acknowledging each commit in a side file only after Exec
+// returns; the parent SIGKILLs it at a randomized point — including
+// mid-checkpoint and mid-group-commit — reopens the directory in-process,
+// and verifies that every acknowledged transaction is present and complete,
+// that no transaction is half-applied, and that recovery left no orphaned
+// spill files.
+package crashtest
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"stagedb"
+)
+
+// Transaction k inserts rows 3k and 3k+1 (v = id) and, for k > 1, updates
+// row 3(k-1) to v += 100. Row ids mod 3 are {0, 1}, update targets are
+// multiples of 3, so the scheme never collides and every row's expected
+// value is a pure function of which transactions committed.
+
+const ackFile = "acks.log"
+
+func TestCrashChild(t *testing.T) {
+	dir := os.Getenv("STAGEDB_CRASH_DIR")
+	if dir == "" {
+		t.Skip("crash-harness child; driven by TestCrashRecoveryProperty")
+	}
+	if err := childMain(dir); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+}
+
+func childMain(dir string) error {
+	db, err := stagedb.Open(stagedb.Options{
+		DataDir: dir,
+		// A small log budget makes background checkpoints (and their log
+		// rotations) frequent, so kills land mid-checkpoint too.
+		CheckpointBytes: 16 << 10,
+	})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE kv (id INT PRIMARY KEY, v INT)"); err != nil && !strings.Contains(err.Error(), "exists") {
+		return fmt.Errorf("create: %w", err)
+	}
+	start, err := maxVisibleTxn(db)
+	if err != nil {
+		return err
+	}
+	start++
+	acks, err := os.OpenFile(filepath.Join(dir, ackFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer acks.Close()
+	for k := start; ; k++ {
+		script := fmt.Sprintf("BEGIN; INSERT INTO kv VALUES (%d, %d), (%d, %d);", 3*k, 3*k, 3*k+1, 3*k+1)
+		if k > 1 {
+			script += fmt.Sprintf(" UPDATE kv SET v = v + 100 WHERE id = %d;", 3*(k-1))
+		}
+		script += " COMMIT;"
+		if err := db.ExecScript(script); err != nil {
+			return fmt.Errorf("txn %d: %w", k, err)
+		}
+		// The commit is acknowledged only after ExecScript returned: write
+		// and fsync the ack so the parent can trust it survived the kill.
+		if _, err := fmt.Fprintf(acks, "%d\n", k); err != nil {
+			return err
+		}
+		if err := acks.Sync(); err != nil {
+			return err
+		}
+		// Keep auxiliary machinery live at kill time: an ORDER BY query
+		// (spill path) and an explicit checkpoint (log rotation).
+		if k%7 == 0 {
+			if _, err := db.Query("SELECT id FROM kv ORDER BY v"); err != nil {
+				return fmt.Errorf("query at %d: %w", k, err)
+			}
+		}
+		if k%11 == 0 {
+			if err := db.Checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint at %d: %w", k, err)
+			}
+		}
+	}
+}
+
+// maxVisibleTxn lets a restarted child resume numbering after the rows that
+// already committed (acked or not).
+func maxVisibleTxn(db *stagedb.DB) (int, error) {
+	res, err := db.Query("SELECT id FROM kv ORDER BY id DESC LIMIT 1")
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	return int(res.Rows[0][0].Int()) / 3, nil
+}
+
+func TestCrashRecoveryProperty(t *testing.T) {
+	if os.Getenv("STAGEDB_CRASH_DIR") != "" {
+		t.Skip("running as child")
+	}
+	iters := 10
+	if s := os.Getenv("STAGEDB_CRASH_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("STAGEDB_CRASH_ITERS: %v", err)
+		}
+		iters = n
+	} else if testing.Short() {
+		iters = 4
+	}
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("STAGEDB_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("STAGEDB_SEED: %v", err)
+		}
+		seed = n
+	}
+	t.Logf("crash harness seed: %d (rerun with STAGEDB_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	dir := t.TempDir()
+	for i := 0; i < iters; i++ {
+		delay := time.Duration(10+rng.Intn(240)) * time.Millisecond
+		runChildAndKill(t, dir, delay)
+		verify(t, dir, i, delay)
+	}
+}
+
+func runChildAndKill(t *testing.T, dir string, delay time.Duration) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashChild")
+	cmd.Env = append(os.Environ(), "STAGEDB_CRASH_DIR="+dir)
+	out := &strings.Builder{}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	time.Sleep(delay)
+	cmd.Process.Signal(syscall.SIGKILL)
+	err := cmd.Wait()
+	// SIGKILL is the expected exit; a child that finished on its own hit a
+	// workload error worth failing on.
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ProcessState.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("child exited on its own (err=%v):\n%s", err, out.String())
+	}
+}
+
+func verify(t *testing.T, dir string, iter int, delay time.Duration) {
+	t.Helper()
+	acked := readAcks(t, dir)
+	db, err := stagedb.Open(stagedb.Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("iter %d (killed after %v): reopen: %v", iter, delay, err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", iter, err)
+		}
+	}()
+	res, err := db.Query("SELECT id, v FROM kv ORDER BY id")
+	if err != nil {
+		if acked == 0 && strings.Contains(err.Error(), "kv") {
+			return // killed before CREATE TABLE committed; nothing to check
+		}
+		t.Fatalf("iter %d: select: %v", iter, err)
+	}
+	rows := map[int]int{}
+	for _, r := range res.Rows {
+		rows[int(r[0].Int())] = int(r[1].Int())
+	}
+	visible := map[int]bool{}
+	maxK := 0
+	for id := range rows {
+		if id%3 == 0 {
+			k := id / 3
+			visible[k] = true
+			if k > maxK {
+				maxK = k
+			}
+		}
+	}
+	// Durability: every acknowledged transaction survived.
+	for k := 1; k <= acked; k++ {
+		if !visible[k] {
+			t.Fatalf("iter %d: acked txn %d lost after crash (killed after %v)", iter, k, delay)
+		}
+	}
+	// At most one commit can be in flight beyond the last ack.
+	if maxK > acked+1 {
+		t.Fatalf("iter %d: txn %d visible but only %d acked — unacked work leaked", iter, maxK, acked)
+	}
+	// Atomicity and value correctness for every visible transaction.
+	for k := 1; k <= maxK; k++ {
+		if !visible[k] {
+			t.Fatalf("iter %d: txn gap at %d (max visible %d)", iter, k, maxK)
+		}
+		if _, ok := rows[3*k+1]; !ok {
+			t.Fatalf("iter %d: txn %d half-applied: row %d missing", iter, k, 3*k+1)
+		}
+		if v := rows[3*k+1]; v != 3*k+1 {
+			t.Fatalf("iter %d: row %d has v=%d", iter, 3*k+1, v)
+		}
+		want := 3 * k
+		if visible[k+1] {
+			want += 100 // the next txn's update committed with it
+		}
+		if v := rows[3*k]; v != want {
+			t.Fatalf("iter %d: row %d has v=%d want %d (txn %d committed=%v)", iter, 3*k, v, want, k+1, visible[k+1])
+		}
+	}
+	// Stray rows would mean a loser insert survived undo.
+	for id := range rows {
+		if k := id / 3; id%3 > 1 || k < 1 || k > maxK {
+			t.Fatalf("iter %d: unexpected row id %d", iter, id)
+		}
+	}
+	// Recovery swept the spill dir and no spill file is live after reopen.
+	if live := db.SpillStats().FilesLive(); live != 0 {
+		t.Fatalf("iter %d: %d spill files live after recovery", iter, live)
+	}
+	spillDir := filepath.Join(dir, "spill")
+	entries, err := os.ReadDir(spillDir)
+	if err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "stagedb-spill-") {
+				t.Fatalf("iter %d: orphaned spill file %s after recovery", iter, e.Name())
+			}
+		}
+	}
+}
+
+// readAcks returns the highest fully-written ack; a torn last line (the kill
+// can land mid-ack) is ignored.
+func readAcks(t *testing.T, dir string) int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, ackFile))
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	max := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if n, err := strconv.Atoi(strings.TrimSpace(sc.Text())); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}

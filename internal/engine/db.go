@@ -39,10 +39,26 @@ type Config struct {
 	// 0 resolves through the STAGEDB_WORKMEM environment variable and then
 	// exec.DefaultWorkMem.
 	WorkMem int64
-	// TempDir hosts spill files ("" = os.TempDir()).
+	// TempDir hosts spill files ("" = os.TempDir(), or DataDir/spill when a
+	// DataDir is set).
 	TempDir string
 	// PlanOptions steer the optimizer.
 	PlanOptions plan.Options
+
+	// DataDir, when set, makes the database durable: page images live in
+	// DataDir/data.stagedb, the write-ahead log in DataDir/wal.stagedb, and
+	// OpenDB replays the log on startup. Empty means the seed's volatile
+	// in-memory store.
+	DataDir string
+	// SyncEveryCommit disables group commit: each commit fsyncs the log on
+	// its own (the benchmark baseline group commit is measured against).
+	SyncEveryCommit bool
+	// CheckpointBytes triggers a background checkpoint when the log grows
+	// past it (0 = 8 MiB).
+	CheckpointBytes int64
+	// FS overrides the filesystem under the data file and log (fault
+	// injection); nil means the real one.
+	FS storage.FS
 }
 
 // Result is the outcome of one statement.
@@ -57,11 +73,27 @@ type Result struct {
 
 // DB is the database kernel: shared, thread-safe state behind both engines.
 type DB struct {
-	cfg   Config
-	cat   *catalog.Catalog
-	store *storage.Store
-	pool  *storage.Pool
-	tm    *txn.Manager
+	cfg    Config
+	cat    *catalog.Catalog
+	store  storage.PageStore
+	fstore *storage.FileStore // non-nil in durable mode (== store)
+	fsys   storage.FS         // non-nil in durable mode
+	pool   *storage.Pool
+	tm     *txn.Manager
+
+	// ckptMu quiesces page mutations while a fuzzy checkpoint snapshots the
+	// engine: DML and rollback hold it shared for the duration of one
+	// operation (after their table locks are acquired — the hold is short),
+	// the checkpoint holds it exclusively.
+	ckptMu   sync.RWMutex
+	ckptBusy atomic.Bool
+
+	// Recovery outcome counters, surfaced through the wal pseudo-stage.
+	recovRedo   atomic.Uint64 // records redone
+	recovUndo   atomic.Uint64 // loser records undone
+	recovTorn   atomic.Uint64 // torn log bytes truncated at open
+	sweptSpill  atomic.Uint64 // orphaned spill files removed at open
+	recovLosers atomic.Uint64 // in-flight txns rolled back at open
 
 	// pages recycles executor exchange pages across all queries of this
 	// kernel (both the staged and the Volcano driver draw from it).
@@ -88,12 +120,16 @@ type DB struct {
 	indexes map[string]*storage.BTree
 }
 
-// NewDB returns an empty database.
+// NewDB returns an empty volatile database over the simulated in-memory
+// disk. Durable databases come from OpenDB with a Config.DataDir.
 func NewDB(cfg Config) *DB {
+	return newDBWith(cfg, storage.NewStore())
+}
+
+func newDBWith(cfg Config, store storage.PageStore) *DB {
 	if cfg.PoolFrames <= 0 {
 		cfg.PoolFrames = 1024
 	}
-	store := storage.NewStore()
 	db := &DB{
 		cfg:     cfg,
 		cat:     catalog.New(),
@@ -132,9 +168,9 @@ func (db *DB) installLiveRowCount() {
 // Catalog exposes the schema for planners and tools.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
-// Store exposes the simulated-disk page store (I/O counters for experiments
-// and benchmarks).
-func (db *DB) Store() *storage.Store { return db.store }
+// Store exposes the page store — the simulated in-memory disk, or the data
+// file in durable mode (I/O counters for experiments and benchmarks).
+func (db *DB) Store() storage.PageStore { return db.store }
 
 // PagePool exposes the executor's exchange-page allocator (hit/miss/leak
 // accounting for monitoring and the page-leak tests).
@@ -327,7 +363,7 @@ func (s *Session) RunStmt(ctx context.Context, stmt sql.Statement, node plan.Nod
 			return nil, fmt.Errorf("engine: no transaction open")
 		}
 		s.inTxn = false
-		return &Result{}, s.db.tm.Commit(s.current)
+		return &Result{}, s.db.commit(s.current)
 	case *sql.Rollback:
 		if !s.inTxn {
 			return nil, fmt.Errorf("engine: no transaction open")
@@ -346,7 +382,7 @@ func (s *Session) RunStmt(ctx context.Context, stmt sql.Statement, node plan.Nod
 	if auto {
 		if err != nil {
 			s.db.rollback(id)
-		} else if cerr := s.db.tm.Commit(id); cerr != nil {
+		} else if cerr := s.db.commit(id); cerr != nil {
 			return nil, cerr
 		}
 	} else if err == txn.ErrDeadlock {
@@ -384,7 +420,7 @@ func (s *Session) StreamStmt(ctx context.Context, sel *sql.Select, node plan.Nod
 			if qerr != nil {
 				return db.rollback(id)
 			}
-			return db.tm.Commit(id)
+			return db.commit(id)
 		}
 	}
 	return cur, nil
@@ -417,6 +453,8 @@ func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
 	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
 		return nil, err
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	cols := make([]catalog.Column, len(stmt.Columns))
 	for i, c := range stmt.Columns {
 		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey}
@@ -425,8 +463,10 @@ func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	h := storage.NewHeap(db.pool)
+	db.installHeapHooks(stmt.Name, h)
 	db.mu.Lock()
-	db.heaps[stmt.Name] = storage.NewHeap(db.pool)
+	db.heaps[stmt.Name] = h
 	db.mu.Unlock()
 	if pk := tbl.Schema.PrimaryKeyIndex(); pk >= 0 {
 		name := "pk_" + stmt.Name
@@ -437,6 +477,9 @@ func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
 		db.indexes[name] = storage.NewBTree()
 		db.mu.Unlock()
 	}
+	if err := db.logCreateTable(tbl); err != nil {
+		return nil, err
+	}
 	db.invalidatePlans()
 	return &Result{}, nil
 }
@@ -445,6 +488,8 @@ func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
 	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
 		return nil, err
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	ix, err := db.cat.AddIndex(stmt.Table, stmt.Name, stmt.Column, false)
 	if err != nil {
 		return nil, err
@@ -474,6 +519,9 @@ func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
 	db.mu.Lock()
 	db.indexes[stmt.Name] = bt
 	db.mu.Unlock()
+	if err := db.logCreateIndex(ix); err != nil {
+		return nil, err
+	}
 	db.invalidatePlans()
 	return &Result{}, nil
 }
@@ -485,7 +533,13 @@ func (db *DB) dropTable(id txn.ID, stmt *sql.DropTable) (*Result, error) {
 	if err := db.tm.Locks.Lock(id, "table:"+stmt.Name, txn.Exclusive); err != nil {
 		return nil, err
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	tbl, err := db.cat.Get(stmt.Name)
+	if err != nil {
+		return nil, err
+	}
+	h, err := db.HeapOf(tbl)
 	if err != nil {
 		return nil, err
 	}
@@ -500,6 +554,9 @@ func (db *DB) dropTable(id txn.ID, stmt *sql.DropTable) (*Result, error) {
 	db.mu.Lock()
 	delete(db.heaps, stmt.Name)
 	db.mu.Unlock()
+	if err := db.logDropTable(stmt.Name, h.PageIDs()); err != nil {
+		return nil, err
+	}
 	db.invalidatePlans()
 	return &Result{}, nil
 }
@@ -514,6 +571,8 @@ func (db *DB) insert(id txn.ID, stmt *sql.Insert) (*Result, error) {
 	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	h, err := db.HeapOf(tbl)
 	if err != nil {
 		return nil, err
@@ -567,7 +626,10 @@ func (db *DB) insert(id txn.ID, stmt *sql.Insert) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-// insertRow encodes, stores, indexes, and logs one row.
+// insertRow encodes, stores, indexes, and logs one row. The WAL record is
+// written while the heap page is still pinned (the heap reverts the page
+// change if logging fails), so a dirty page never reaches disk carrying a
+// row the log does not know about.
 func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row value.Row) error {
 	// Primary-key uniqueness.
 	if pk := tbl.Schema.PrimaryKeyIndex(); pk >= 0 {
@@ -582,7 +644,9 @@ func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row valu
 	if err != nil {
 		return err
 	}
-	rid, err := h.Insert(rec)
+	rid, err := h.InsertLogged(rec, func(rid storage.RID) (uint64, error) {
+		return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name, RID: rid, After: rec})
+	})
 	if err != nil {
 		return err
 	}
@@ -593,7 +657,7 @@ func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row valu
 		}
 		bt.Insert(row[ixMeta.ColIdx], rid)
 	}
-	return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name, RID: rid, After: rec})
+	return nil
 }
 
 func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
@@ -604,6 +668,8 @@ func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
 	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	h, err := db.HeapOf(tbl)
 	if err != nil {
 		return nil, err
@@ -682,9 +748,32 @@ func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		newRID, err := h.Update(tg.rid, newRec)
+		tg := tg
+		inPlace, err := h.UpdateLogged(tg.rid, newRec, func(rid storage.RID) (uint64, error) {
+			return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecUpdate, Table: tbl.Name,
+				RID: rid, Before: tg.rec, After: newRec})
+		})
 		if err != nil {
 			return nil, err
+		}
+		newRID := tg.rid
+		if !inPlace {
+			// The record moves: a logged delete(old) plus a logged
+			// insert(new), so each page touched carries its own record and
+			// both undo and recovery see stable locations.
+			if err := h.DeleteLogged(tg.rid, func(rid storage.RID) (uint64, error) {
+				return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
+					RID: rid, Before: tg.rec})
+			}); err != nil {
+				return nil, err
+			}
+			newRID, err = h.InsertLogged(newRec, func(rid storage.RID) (uint64, error) {
+				return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name,
+					RID: rid, After: newRec})
+			})
+			if err != nil {
+				return nil, err
+			}
 		}
 		for _, ixMeta := range tbl.Indexes {
 			bt, err := db.IndexOf(ixMeta)
@@ -693,22 +782,6 @@ func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
 			}
 			bt.Delete(tg.row[ixMeta.ColIdx], tg.rid)
 			bt.Insert(norm[ixMeta.ColIdx], newRID)
-		}
-		if newRID == tg.rid {
-			err = db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecUpdate, Table: tbl.Name,
-				RID: tg.rid, Before: tg.rec, After: newRec})
-		} else {
-			// The record moved: log logically as delete(old) + insert(new)
-			// so both undo and recovery replay see stable locations.
-			err = db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
-				RID: tg.rid, Before: tg.rec})
-			if err == nil {
-				err = db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name,
-					RID: newRID, After: newRec})
-			}
-		}
-		if err != nil {
-			return nil, err
 		}
 		affected++
 	}
@@ -723,6 +796,8 @@ func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
 	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	h, err := db.HeapOf(tbl)
 	if err != nil {
 		return nil, err
@@ -767,7 +842,11 @@ func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
 	}
 	var affected int64
 	for _, tg := range targets {
-		if err := h.Delete(tg.rid); err != nil {
+		tg := tg
+		if err := h.DeleteLogged(tg.rid, func(rid storage.RID) (uint64, error) {
+			return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
+				RID: rid, Before: tg.rec})
+		}); err != nil {
 			return nil, err
 		}
 		for _, ixMeta := range tbl.Indexes {
@@ -776,11 +855,6 @@ func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
 				return nil, err
 			}
 			bt.Delete(tg.row[ixMeta.ColIdx], tg.rid)
-		}
-		err := db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
-			RID: tg.rid, Before: tg.rec})
-		if err != nil {
-			return nil, err
 		}
 		affected++
 	}
@@ -916,18 +990,28 @@ func (db *DB) Plan(stmt *sql.Select) (plan.Node, error) {
 
 // --- rollback / recovery ---
 
-// rollback aborts a transaction and applies its undo records.
+// rollback aborts a transaction and applies its undo records, writing a
+// compensation log record (CLR) for every page operation the undo performs
+// — so a crash mid-rollback replays the completed part of the undo instead
+// of redoing the aborted work. The txn's locks stay held until the undo is
+// fully applied (FinishAbort releases them).
 func (db *DB) rollback(id txn.ID) error {
-	undo, err := db.tm.Abort(id)
+	// The exclusion must cover PrepareAbort through FinishAbort: a fuzzy
+	// checkpoint between them would snapshot the txn as neither active nor
+	// undone, and recovery would lose the remaining undo.
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
+	undo, err := db.tm.PrepareAbort(id)
 	if err != nil {
 		return err
 	}
 	for _, rec := range undo {
 		if err := db.undoOne(rec); err != nil {
+			db.tm.FinishAbort(id)
 			return err
 		}
 	}
-	return nil
+	return db.tm.FinishAbort(id)
 }
 
 func (db *DB) undoOne(rec txn.Record) error {
@@ -946,7 +1030,10 @@ func (db *DB) undoOne(rec txn.Record) error {
 		if err != nil {
 			return err
 		}
-		if err := h.Delete(rec.RID); err != nil {
+		if err := h.DeleteLogged(rec.RID, func(rid storage.RID) (uint64, error) {
+			return db.tm.AppendCLR(txn.Record{Txn: rec.Txn, Kind: txn.RecDelete, Table: rec.Table,
+				RID: rid, Before: rec.After, UndoOf: rec.LSN})
+		}); err != nil {
 			return err
 		}
 		for _, ixMeta := range tbl.Indexes {
@@ -961,7 +1048,10 @@ func (db *DB) undoOne(rec txn.Record) error {
 		if err != nil {
 			return err
 		}
-		rid, err := h.Insert(rec.Before)
+		rid, err := h.InsertLogged(rec.Before, func(rid storage.RID) (uint64, error) {
+			return db.tm.AppendCLR(txn.Record{Txn: rec.Txn, Kind: txn.RecInsert, Table: rec.Table,
+				RID: rid, After: rec.Before, UndoOf: rec.LSN})
+		})
 		if err != nil {
 			return err
 		}
@@ -981,9 +1071,29 @@ func (db *DB) undoOne(rec txn.Record) error {
 		if err != nil {
 			return err
 		}
-		rid, err := h.Update(rec.RID, rec.Before)
+		rid := rec.RID
+		inPlace, err := h.UpdateLogged(rec.RID, rec.Before, func(rid storage.RID) (uint64, error) {
+			return db.tm.AppendCLR(txn.Record{Txn: rec.Txn, Kind: txn.RecUpdate, Table: rec.Table,
+				RID: rid, Before: rec.After, After: rec.Before, UndoOf: rec.LSN})
+		})
 		if err != nil {
 			return err
+		}
+		if !inPlace {
+			// The before-image no longer fits in place: move it, logging each
+			// page op as its own CLR.
+			if err := h.DeleteLogged(rec.RID, func(rid storage.RID) (uint64, error) {
+				return db.tm.AppendCLR(txn.Record{Txn: rec.Txn, Kind: txn.RecDelete, Table: rec.Table,
+					RID: rid, Before: rec.After, UndoOf: rec.LSN})
+			}); err != nil {
+				return err
+			}
+			if rid, err = h.InsertLogged(rec.Before, func(rid storage.RID) (uint64, error) {
+				return db.tm.AppendCLR(txn.Record{Txn: rec.Txn, Kind: txn.RecInsert, Table: rec.Table,
+					RID: rid, After: rec.Before, UndoOf: rec.LSN})
+			}); err != nil {
+				return err
+			}
 		}
 		for _, ixMeta := range tbl.Indexes {
 			bt, err := db.IndexOf(ixMeta)

@@ -469,6 +469,9 @@ func (s *Staged) Snapshot() []metrics.StageSnapshot {
 	out = append(out, metrics.StageSnapshot{Name: "pagepool", Counters: s.db.pages.Counters()})
 	out = append(out, metrics.StageSnapshot{Name: "prepare", Counters: s.db.plans.Counters()})
 	out = append(out, metrics.StageSnapshot{Name: "spill", Counters: s.db.spill.Counters()})
+	if wal := s.db.WALCounters(); wal != nil {
+		out = append(out, metrics.StageSnapshot{Name: "wal", Counters: wal})
+	}
 	return out
 }
 

@@ -1,0 +1,185 @@
+// Package faultfs wraps a storage.FS with deterministic fault injection:
+// writes that fail outright (ENOSPC), writes that tear after a prefix (a
+// crash mid-write), and syncs that fail. Tests point the injector at the
+// Nth operation (optionally filtered by file-name substring) and assert
+// that recovery truncates the torn tail, that a failed fsync poisons the
+// log instead of acking a lost commit, and that out-of-space fails closed.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+
+	"stagedb/internal/storage"
+)
+
+// ErrInjected is the base error every injected fault wraps.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op selects which file operation a fault arms against.
+type Op int
+
+const (
+	// OpWrite targets File.WriteAt calls.
+	OpWrite Op = iota
+	// OpSync targets File.Sync calls.
+	OpSync
+)
+
+// FS wraps an inner storage.FS, counting write/sync operations across all
+// files it has opened and injecting at the armed operation index.
+type FS struct {
+	inner storage.FS
+
+	mu       sync.Mutex
+	writeN   uint64 // write ops seen so far (matching files only)
+	syncN    uint64
+	armed    bool
+	op       Op
+	at       uint64 // 1-based operation index to fault
+	tear     int    // >=0: write only this many bytes then fail; -1: fail with no bytes written
+	match    string // substring of file name; empty matches all
+	err      error
+	tripped  bool
+	sticky   bool // keep failing after the first trip (disk stays full)
+	onlyOnce bool
+}
+
+// New wraps inner with an initially-disarmed injector.
+func New(inner storage.FS) *FS { return &FS{inner: inner, tear: -1} }
+
+// FailWrite arms the injector: the n-th (1-based) WriteAt on a file whose
+// name contains match fails with err before writing anything.
+func (f *FS) FailWrite(n uint64, match string, err error) {
+	f.arm(OpWrite, n, -1, match, err, false)
+}
+
+// TearWrite arms the injector: the n-th WriteAt on a matching file writes
+// only prefix bytes of the buffer, then fails — a torn write.
+func (f *FS) TearWrite(n uint64, prefix int, match string, err error) {
+	f.arm(OpWrite, n, prefix, match, err, false)
+}
+
+// FailSync arms the injector: the n-th Sync on a matching file fails.
+func (f *FS) FailSync(n uint64, match string, err error) {
+	f.arm(OpSync, n, -1, match, err, false)
+}
+
+// FailWritesFrom arms a sticky fault: every WriteAt on a matching file from
+// the n-th onward fails — a disk that filled up and stays full.
+func (f *FS) FailWritesFrom(n uint64, match string, err error) {
+	f.arm(OpWrite, n, -1, match, err, true)
+}
+
+func (f *FS) arm(op Op, n uint64, tear int, match string, err error, sticky bool) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed, f.op, f.at, f.tear, f.match, f.err = true, op, n, tear, match, err
+	f.sticky, f.tripped = sticky, false
+	f.writeN, f.syncN = 0, 0
+}
+
+// Disarm stops injecting (already-tripped sticky faults stop too).
+func (f *FS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = false
+}
+
+// Tripped reports whether the armed fault has fired at least once.
+func (f *FS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// check consumes one operation of kind op on file name. It returns
+// (tearBytes, err): err non-nil means inject, with tearBytes >= 0 asking the
+// caller to write that many bytes first.
+func (f *FS) check(op Op, name string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.armed || f.op != op {
+		return -1, nil
+	}
+	if f.match != "" && !strings.Contains(name, f.match) {
+		return -1, nil
+	}
+	var n uint64
+	switch op {
+	case OpWrite:
+		f.writeN++
+		n = f.writeN
+	case OpSync:
+		f.syncN++
+		n = f.syncN
+	}
+	if n == f.at || (f.sticky && n > f.at) {
+		f.tripped = true
+		if !f.sticky && n == f.at {
+			f.armed = f.armed && f.sticky
+		}
+		return f.tear, f.err
+	}
+	return -1, nil
+}
+
+// OpenFile opens name on the inner FS, wrapping the handle for injection.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (storage.File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: inner, fs: f}, nil
+}
+
+// Remove passes through to the inner FS.
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+// Rename passes through to the inner FS.
+func (f *FS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+
+// MkdirAll passes through to the inner FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+// ReadDir passes through to the inner FS.
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+
+// SyncDir passes through to the inner FS.
+func (f *FS) SyncDir(name string) error { return f.inner.SyncDir(name) }
+
+type file struct {
+	storage.File
+	fs *FS
+}
+
+func (w *file) WriteAt(p []byte, off int64) (int, error) {
+	tear, err := w.fs.check(OpWrite, w.Name())
+	if err != nil {
+		if tear > 0 {
+			if tear > len(p) {
+				tear = len(p)
+			}
+			n, werr := w.File.WriteAt(p[:tear], off)
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return w.File.WriteAt(p, off)
+}
+
+func (w *file) Sync() error {
+	if _, err := w.fs.check(OpSync, w.Name()); err != nil {
+		return err
+	}
+	return w.File.Sync()
+}

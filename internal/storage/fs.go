@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle the durable storage layer does I/O through. The
+// interface is the subset of *os.File the data file and WAL need —
+// positioned reads/writes (no shared cursor, safe for concurrent pread),
+// truncation for torn-tail repair, and Sync for the durability points.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate cuts the file to size bytes (torn-tail repair).
+	Truncate(size int64) error
+	// Sync forces written data to stable storage.
+	Sync() error
+	Close() error
+	// Size reports the current file length in bytes.
+	Size() (int64, error)
+	// Name reports the path the file was opened with.
+	Name() string
+}
+
+// FS abstracts the filesystem under FileStore and the durable WAL. The
+// production implementation is OsFS; internal/storage/faultfs wraps any FS
+// with fault injection (short writes, failed syncs, ENOSPC) so recovery code
+// is tested against the failures it exists for.
+type FS interface {
+	// OpenFile opens name with os.OpenFile flag semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Remove(name string) error
+	// Rename atomically replaces newpath with oldpath (the
+	// write-temp-then-rename pattern behind log rotation).
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making a preceding Rename or
+	// create durable against crash.
+	SyncDir(name string) error
+}
+
+// OsFS is the real filesystem.
+type OsFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OpenFile opens a real file.
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove deletes a file.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename atomically replaces newpath with oldpath.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// MkdirAll creates a directory tree.
+func (OsFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir lists a directory.
+func (OsFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// SyncDir fsyncs a directory so renames and creates inside it survive crash.
+func (OsFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -13,6 +13,11 @@ type Heap struct {
 	pool  *Pool
 	pages []PageID
 	live  atomic.Int64 // live records, maintained O(1) by Insert/Delete
+
+	// onAlloc, when set, runs under the heap mutex whenever the heap grows
+	// by a page. The durable engine logs an AllocPage record here so
+	// recovery can rebuild the page list and the store's free map.
+	onAlloc func(id PageID) error
 }
 
 // NewHeap returns an empty heap file backed by pool.
@@ -20,8 +25,27 @@ func NewHeap(pool *Pool) *Heap {
 	return &Heap{pool: pool}
 }
 
+// SetAllocHook registers fn, invoked whenever the heap appends a new page.
+// A non-nil error abandons the allocation and fails the triggering insert.
+func (h *Heap) SetAllocHook(fn func(id PageID) error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.onAlloc = fn
+}
+
+// LogFunc appends a WAL record for a page mutation the heap has staged (or
+// is about to apply) and returns the record's LSN, which the heap stamps
+// onto the page before unpinning — the pageLSN discipline recovery's redo
+// compares against. A zero LSN leaves the stamp unchanged.
+type LogFunc func(rid RID) (uint64, error)
+
 // Insert stores rec and returns its RID.
-func (h *Heap) Insert(rec []byte) (RID, error) {
+func (h *Heap) Insert(rec []byte) (RID, error) { return h.InsertLogged(rec, nil) }
+
+// InsertLogged stores rec, invoking logf with the chosen RID while the page
+// is still pinned. If logging fails the page change is reverted, so storage
+// never holds a row the log does not know about.
+func (h *Heap) InsertLogged(rec []byte, logf LogFunc) (RID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	// Try the last page first; the common case for bulk loads.
@@ -32,13 +56,7 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 			return RID{}, err
 		}
 		if pg.FreeSpace() >= len(rec) {
-			slot, err := pg.Insert(rec)
-			h.pool.Unpin(id, err == nil)
-			if err != nil {
-				return RID{}, err
-			}
-			h.live.Add(1)
-			return RID{Page: id, Slot: slot}, nil
+			return h.insertPinned(pg, id, rec, logf)
 		}
 		h.pool.Unpin(id, false)
 	}
@@ -46,14 +64,39 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
-	slot, err := pg.Insert(rec)
-	h.pool.Unpin(id, err == nil)
-	if err != nil {
-		return RID{}, err
+	if h.onAlloc != nil {
+		if err := h.onAlloc(id); err != nil {
+			h.pool.Unpin(id, false)
+			return RID{}, err
+		}
 	}
 	h.pages = append(h.pages, id)
+	return h.insertPinned(pg, id, rec, logf)
+}
+
+// insertPinned applies and logs one insert into the already-pinned page,
+// unpinning it on every path.
+func (h *Heap) insertPinned(pg *Page, id PageID, rec []byte, logf LogFunc) (RID, error) {
+	slot, err := pg.Insert(rec)
+	if err != nil {
+		h.pool.Unpin(id, false)
+		return RID{}, err
+	}
+	rid := RID{Page: id, Slot: slot}
+	if logf != nil {
+		lsn, err := logf(rid)
+		if err != nil {
+			pg.revertInsert(slot)
+			h.pool.Unpin(id, false)
+			return RID{}, err
+		}
+		if lsn != 0 {
+			pg.SetLSN(lsn)
+		}
+	}
+	h.pool.Unpin(id, true)
 	h.live.Add(1)
-	return RID{Page: id, Slot: slot}, nil
+	return rid, nil
 }
 
 // Get copies the record at rid.
@@ -73,10 +116,29 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 }
 
 // Delete tombstones the record at rid.
-func (h *Heap) Delete(rid RID) error {
+func (h *Heap) Delete(rid RID) error { return h.DeleteLogged(rid, nil) }
+
+// DeleteLogged tombstones the record at rid, logging via logf first (the RID
+// is known upfront, so log-before-apply closes the unlogged-dirty-page
+// window; the apply itself cannot fail once the slot is verified live).
+func (h *Heap) DeleteLogged(rid RID, logf LogFunc) error {
 	pg, err := h.pool.Pin(rid.Page)
 	if err != nil {
 		return err
+	}
+	if !pg.Live(rid.Slot) {
+		h.pool.Unpin(rid.Page, false)
+		return fmt.Errorf("storage: delete of dead slot %v", rid)
+	}
+	if logf != nil {
+		lsn, err := logf(rid)
+		if err != nil {
+			h.pool.Unpin(rid.Page, false)
+			return err
+		}
+		if lsn != 0 {
+			pg.SetLSN(lsn)
+		}
 	}
 	err = pg.Delete(rid.Slot)
 	h.pool.Unpin(rid.Page, err == nil)
@@ -109,6 +171,42 @@ func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
 	h.pool.Unpin(rid.Page, true)
 	h.live.Add(-1) // the re-insert below adds it back
 	return h.Insert(rec)
+}
+
+// UpdateLogged replaces the record at rid in place when the new image fits,
+// logging via logf before applying. It reports ok=false (without logging)
+// when the record must move, in which case the caller performs the move as a
+// logged delete + logged insert so each page touched gets its own record.
+func (h *Heap) UpdateLogged(rid RID, rec []byte, logf LogFunc) (bool, error) {
+	pg, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return false, err
+	}
+	old, err := pg.Get(rid.Slot)
+	if err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return false, err
+	}
+	if len(rec) > len(old) {
+		h.pool.Unpin(rid.Page, false)
+		return false, nil
+	}
+	if logf != nil {
+		lsn, err := logf(rid)
+		if err != nil {
+			h.pool.Unpin(rid.Page, false)
+			return false, err
+		}
+		if lsn != 0 {
+			pg.SetLSN(lsn)
+		}
+	}
+	if _, err := pg.Update(rid.Slot, rec); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return false, err
+	}
+	h.pool.Unpin(rid.Page, true)
+	return true, nil
 }
 
 // Scan visits every live record in RID order. The rec slice is only valid
@@ -271,6 +369,38 @@ func (h *Heap) Count() (int64, error) {
 		h.pool.Unpin(id, false)
 	}
 	return n, nil
+}
+
+// RestorePages installs the page list recovered from a checkpoint image,
+// replacing whatever the heap currently tracks.
+func (h *Heap) RestorePages(pages []PageID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pages = append([]PageID(nil), pages...)
+}
+
+// AppendPage adds id to the heap's page list if absent — the redo of an
+// AllocPage record during recovery.
+func (h *Heap) AppendPage(id PageID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.pages {
+		if p == id {
+			return
+		}
+	}
+	h.pages = append(h.pages, id)
+}
+
+// RecomputeLive rebuilds the O(1) live counter from the pages themselves —
+// recovery calls it once redo/undo settle the final page images.
+func (h *Heap) RecomputeLive() error {
+	n, err := h.Count()
+	if err != nil {
+		return err
+	}
+	h.live.Store(n)
+	return nil
 }
 
 // Truncate drops all pages from the heap (DROP TABLE support). Page storage

@@ -36,17 +36,21 @@ func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 //	10..17 page LSN (for WAL)
 //
 // The slot array grows upward from the header; record data grows downward
-// from the end of the page. Each slot is offset(2) + length(2); a slot with
-// offset 0 is a tombstone.
+// from the end of the page. Each slot is offset(2) + length(2). A deleted
+// slot keeps its offset and capacity but sets the deadFlag bit in the length
+// word, so recovery's PutAt can restore a record in place at the same slot —
+// the idempotent un-delete physiological undo depends on. A slot with offset
+// 0 was materialized by PutAt extending the slot array and never held data.
 const (
-	headerSize    = 18
-	slotSize      = 4
-	offPageID     = 0
-	offSlotCount  = 4
-	offFreeLow    = 6
-	offFreeHigh   = 8
-	offLSN        = 10
-	tombstoneMark = 0
+	headerSize   = 18
+	slotSize     = 4
+	offPageID    = 0
+	offSlotCount = 4
+	offFreeLow   = 6
+	offFreeHigh  = 8
+	offLSN       = 10
+	deadFlag     = 0x8000 // high bit of the slot length word
+	lenMask      = 0x7fff
 )
 
 // Page is one slotted page. Methods do not lock; callers synchronize via the
@@ -125,30 +129,38 @@ func (p *Page) Insert(rec []byte) (uint16, error) {
 	return n, nil
 }
 
+// liveAt reports whether the slot (assumed in range) holds a record.
+func (p *Page) liveAt(slot uint16) bool {
+	off, length := p.slotAt(slot)
+	return off != 0 && length&deadFlag == 0
+}
+
 // Get returns the record bytes at slot (a view into the page; callers must
 // copy before unpinning). Tombstoned and out-of-range slots return an error.
 func (p *Page) Get(slot uint16) ([]byte, error) {
 	if slot >= p.SlotCount() {
 		return nil, fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
 	}
-	off, length := p.slotAt(slot)
-	if off == tombstoneMark {
+	if !p.liveAt(slot) {
 		return nil, fmt.Errorf("storage: slot %d on page %d is deleted", slot, p.ID())
 	}
+	off, length := p.slotAt(slot)
 	return p.buf[off : off+length], nil
 }
 
-// Delete tombstones the slot. Space is reclaimed only by page rebuilds
-// (compaction), as in most slotted-page implementations.
+// Delete tombstones the slot. The record bytes and the slot's offset are
+// kept (only the dead flag is set), so an undo can restore the record in
+// place; space is reclaimed only by page rebuilds (compaction), as in most
+// slotted-page implementations.
 func (p *Page) Delete(slot uint16) error {
 	if slot >= p.SlotCount() {
 		return fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
 	}
-	off, _ := p.slotAt(slot)
-	if off == tombstoneMark {
+	if !p.liveAt(slot) {
 		return fmt.Errorf("storage: slot %d on page %d already deleted", slot, p.ID())
 	}
-	p.setSlot(slot, tombstoneMark, 0)
+	off, length := p.slotAt(slot)
+	p.setSlot(slot, off, length|deadFlag)
 	return nil
 }
 
@@ -159,16 +171,78 @@ func (p *Page) Update(slot uint16, rec []byte) (bool, error) {
 	if slot >= p.SlotCount() {
 		return false, fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
 	}
-	off, length := p.slotAt(slot)
-	if off == tombstoneMark {
+	if !p.liveAt(slot) {
 		return false, fmt.Errorf("storage: slot %d on page %d is deleted", slot, p.ID())
 	}
+	off, length := p.slotAt(slot)
 	if len(rec) > int(length) {
 		return false, nil
 	}
 	copy(p.buf[off:], rec)
 	p.setSlot(slot, off, uint16(len(rec)))
 	return true, nil
+}
+
+// PutAt places rec at the given slot regardless of the slot's current state:
+// a live slot is overwritten, a dead slot is revived (in place when the old
+// capacity fits, otherwise from fresh free space), and a slot beyond the
+// current count materializes the slot array up to it. This is the
+// physiological redo/undo primitive — replaying an insert or un-deleting a
+// record lands at the exact RID the log names, and replaying it twice is a
+// no-op-shaped overwrite.
+func (p *Page) PutAt(slot uint16, rec []byte) error {
+	if len(rec) == 0 || len(rec) > PageSize-headerSize-slotSize {
+		return fmt.Errorf("storage: record size %d out of range", len(rec))
+	}
+	if n := p.SlotCount(); slot >= n {
+		newLow := headerSize + uint16(int(slot+1)*slotSize)
+		if int(newLow) > int(p.freeHigh()) {
+			return fmt.Errorf("storage: page %d has no room for slot %d", p.ID(), slot)
+		}
+		for i := n; i <= slot; i++ {
+			p.setSlot(i, 0, 0) // never-used: off 0, dead until filled
+		}
+		binary.LittleEndian.PutUint16(p.buf[offSlotCount:], slot+1)
+		binary.LittleEndian.PutUint16(p.buf[offFreeLow:], newLow)
+	}
+	off, length := p.slotAt(slot)
+	if capHere := int(length & lenMask); off != 0 && capHere >= len(rec) {
+		copy(p.buf[off:], rec)
+		p.setSlot(slot, off, uint16(len(rec)))
+		return nil
+	}
+	if int(p.freeHigh())-len(rec) < int(p.freeLow()) {
+		return fmt.Errorf("storage: page %d full restoring slot %d", p.ID(), slot)
+	}
+	newHigh := p.freeHigh() - uint16(len(rec))
+	copy(p.buf[newHigh:], rec)
+	p.setSlot(slot, newHigh, uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.buf[offFreeHigh:], newHigh)
+	return nil
+}
+
+// ClearAt tombstones the slot if it is live and is a no-op when it is
+// already dead — the idempotent delete behind physiological redo/undo.
+func (p *Page) ClearAt(slot uint16) error {
+	if slot >= p.SlotCount() {
+		return fmt.Errorf("storage: slot %d out of range on page %d", slot, p.ID())
+	}
+	if p.liveAt(slot) {
+		off, length := p.slotAt(slot)
+		p.setSlot(slot, off, length|deadFlag)
+	}
+	return nil
+}
+
+// revertInsert undoes an Insert that was just made into slot (which must be
+// the newest slot, with its record at the free-space high mark). The heap
+// uses it when WAL logging of an applied insert fails: the page change is
+// backed out so storage never holds an unlogged row.
+func (p *Page) revertInsert(slot uint16) {
+	off, length := p.slotAt(slot)
+	binary.LittleEndian.PutUint16(p.buf[offSlotCount:], slot)
+	binary.LittleEndian.PutUint16(p.buf[offFreeLow:], headerSize+uint16(int(slot)*slotSize))
+	binary.LittleEndian.PutUint16(p.buf[offFreeHigh:], off+length)
 }
 
 // LiveSlots counts the slots holding records (excluding tombstones) by
@@ -178,7 +252,7 @@ func (p *Page) LiveSlots() int {
 	n := int(p.SlotCount())
 	live := 0
 	for i := 0; i < n; i++ {
-		if off, _ := p.slotAt(uint16(i)); off != tombstoneMark {
+		if p.liveAt(uint16(i)) {
 			live++
 		}
 	}
@@ -187,11 +261,7 @@ func (p *Page) LiveSlots() int {
 
 // Live reports whether the slot holds a record.
 func (p *Page) Live(slot uint16) bool {
-	if slot >= p.SlotCount() {
-		return false
-	}
-	off, _ := p.slotAt(slot)
-	return off != tombstoneMark
+	return slot < p.SlotCount() && p.liveAt(slot)
 }
 
 // Bytes exposes the raw page for the store and WAL.

@@ -75,6 +75,18 @@ func (s *Store) PageCount() int {
 	return len(s.pages)
 }
 
+// PageStore is what the buffer pool runs over: the in-memory Store (the
+// seed's simulated disk) or the durable FileStore. Allocate is infallible by
+// contract — implementations defer I/O to the first write-back.
+type PageStore interface {
+	Allocate() PageID
+	ReadPage(id PageID, dst []byte) error
+	WritePage(id PageID, src []byte) error
+	Reads() uint64
+	Writes() uint64
+	PageCount() int
+}
+
 type frame struct {
 	id    PageID
 	page  Page
@@ -83,22 +95,28 @@ type frame struct {
 	lru   *list.Element // nil while pinned (not evictable)
 }
 
-// Pool is a pinning LRU buffer pool over a Store. Pin returns the in-memory
-// page, reading it from the store on a miss and evicting an unpinned page
-// (flushing it if dirty) when the pool is full. Unpin releases the page and
-// records whether it was modified.
+// Pool is a pinning LRU buffer pool over a PageStore. Pin returns the
+// in-memory page, reading it from the store on a miss and evicting an
+// unpinned page (flushing it if dirty) when the pool is full. Unpin releases
+// the page and records whether it was modified.
 type Pool struct {
 	mu       sync.Mutex
-	store    *Store
+	store    PageStore
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // of PageID; front = most recent
 	hits     uint64
 	misses   uint64
+
+	// barrier, when set, runs before any dirty page image is written back to
+	// the store, receiving the page's LSN. The durable engine installs the
+	// WAL rule here: the log must be flushed through the page's LSN before
+	// the page itself may hit disk.
+	barrier func(pageLSN uint64) error
 }
 
 // NewPool returns a pool of the given frame capacity over store.
-func NewPool(store *Store, capacity int) *Pool {
+func NewPool(store PageStore, capacity int) *Pool {
 	if capacity <= 0 {
 		capacity = 64
 	}
@@ -169,6 +187,25 @@ func (p *Pool) Unpin(id PageID, dirty bool) {
 	}
 }
 
+// SetWriteBarrier installs fn, called with the page's LSN before any dirty
+// page is written back (eviction or FlushAll). A non-nil error aborts the
+// write-back, keeping an insufficiently-logged page out of the store.
+func (p *Pool) SetWriteBarrier(fn func(pageLSN uint64) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.barrier = fn
+}
+
+// writeBackLocked flushes one dirty frame through the write barrier.
+func (p *Pool) writeBackLocked(f *frame) error {
+	if p.barrier != nil {
+		if err := p.barrier(f.page.LSN()); err != nil {
+			return err
+		}
+	}
+	return p.store.WritePage(f.id, f.page.Bytes())
+}
+
 // evictLocked removes the least-recently-used unpinned frame.
 func (p *Pool) evictLocked() error {
 	e := p.lru.Back()
@@ -178,7 +215,7 @@ func (p *Pool) evictLocked() error {
 	id := e.Value.(PageID)
 	f := p.frames[id]
 	if f.dirty {
-		if err := p.store.WritePage(id, f.page.Bytes()); err != nil {
+		if err := p.writeBackLocked(f); err != nil {
 			return err
 		}
 	}
@@ -191,9 +228,9 @@ func (p *Pool) evictLocked() error {
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for id, f := range p.frames {
+	for _, f := range p.frames {
 		if f.dirty {
-			if err := p.store.WritePage(id, f.page.Bytes()); err != nil {
+			if err := p.writeBackLocked(f); err != nil {
 				return err
 			}
 			f.dirty = false

@@ -1,0 +1,74 @@
+package txn
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"stagedb/internal/storage"
+)
+
+// BenchmarkDWALCommit measures the log itself — append one data record plus
+// a commit record and wait for durability — isolating the group-commit
+// mechanism from the SQL pipeline above it. The 32-writer pair is the
+// bench_gate.sh headline: with per-commit fsync every committer pays a full
+// fsync (serialized on the log's I/O mutex), while group commit parks
+// committers on the shared flusher and amortizes one fsync over all of
+// them.
+func BenchmarkDWALCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{
+		{"group", false},
+		{"sync", true},
+	} {
+		for _, writers := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("%s-%dw", mode.name, writers), func(b *testing.B) {
+				w, _, err := OpenDurableWAL(storage.OsFS{}, filepath.Join(b.TempDir(), "wal.stagedb"), mode.sync)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				payload := make([]byte, 64)
+				var next atomic.Int64
+				var failed atomic.Value
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < writers; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							id := ID(i)
+							if _, err := w.Append(Record{Txn: id, Kind: RecInsert, Table: "t",
+								RID: storage.RID{Page: 1, Slot: uint16(i)}, After: payload}); err != nil {
+								failed.Store(err)
+								return
+							}
+							if err := w.Commit(Record{Txn: id, Kind: RecCommit}); err != nil {
+								failed.Store(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if err := failed.Load(); err != nil {
+					b.Fatal(err)
+				}
+				st := w.Stats()
+				if st.Groups > 0 {
+					b.ReportMetric(float64(st.GroupSum)/float64(st.Groups), "commits/fsync")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"stagedb/internal/storage"
+	"stagedb/internal/storage/faultfs"
+)
+
+func openWAL(t *testing.T, dir string, sync bool) (*DurableWAL, *ScanResult) {
+	t.Helper()
+	w, scan, err := OpenDurableWAL(storage.OsFS{}, filepath.Join(dir, "wal.stagedb"), sync)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	return w, scan
+}
+
+func TestDurableWALAppendScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, scan := openWAL(t, dir, false)
+	if len(scan.Records) != 0 {
+		t.Fatalf("fresh wal has records: %v", scan.Records)
+	}
+	recs := []Record{
+		{Txn: 1, Kind: RecInsert, Table: "kv", RID: storage.RID{Page: 3, Slot: 0}, After: []byte("a")},
+		{Txn: 1, Kind: RecUpdate, Table: "kv", RID: storage.RID{Page: 3, Slot: 0}, Before: []byte("a"), After: []byte("b")},
+		{Txn: 1, Kind: RecDelete, Table: "kv", RID: storage.RID{Page: 3, Slot: 0}, Before: []byte("b")},
+		{Txn: 1, Kind: RecCommit},
+		{Txn: 2, Kind: RecInsert, Table: "kv", RID: storage.RID{Page: 4, Slot: 7}, After: []byte("c"), CLR: true, UndoOf: 99},
+	}
+	var lsns []uint64
+	for _, rec := range recs {
+		lsn, err := w.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, scan2 := openWAL(t, dir, false)
+	defer w2.Close()
+	if len(scan2.Records) != len(recs) {
+		t.Fatalf("reopen found %d records, want %d", len(scan2.Records), len(recs))
+	}
+	for i, got := range scan2.Records {
+		want := recs[i]
+		if got.LSN != lsns[i] {
+			t.Fatalf("rec %d: LSN %d want %d", i, got.LSN, lsns[i])
+		}
+		if got.Txn != want.Txn || got.Kind != want.Kind || got.Table != want.Table ||
+			got.RID != want.RID || string(got.Before) != string(want.Before) ||
+			string(got.After) != string(want.After) || got.CLR != want.CLR || got.UndoOf != want.UndoOf {
+			t.Fatalf("rec %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if scan2.TornBytes != 0 {
+		t.Fatalf("clean log reports torn bytes: %d", scan2.TornBytes)
+	}
+}
+
+// appendSample writes n committed single-op txns and returns each record's
+// file offset range so tests can mutilate the log at exact boundaries.
+func appendSample(t *testing.T, dir string, n int) (path string, size int64, recs int) {
+	t.Helper()
+	w, _ := openWAL(t, dir, false)
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(Record{Txn: ID(i + 1), Kind: RecInsert, Table: "kv",
+			RID: storage.RID{Page: 1, Slot: uint16(i)}, After: []byte(fmt.Sprintf("row-%03d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(Record{Txn: ID(i + 1), Kind: RecCommit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(dir, "wal.stagedb")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, fi.Size(), 2 * n
+}
+
+func TestTornTailTruncationAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path, size, total := appendSample(t, dir, 4)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating anywhere must recover the longest intact prefix and fix the
+	// file so a subsequent append continues from there.
+	for cut := int64(walHeaderSize); cut <= size; cut++ {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, scan, err := OpenDurableWAL(storage.OsFS{}, path, false)
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		if len(scan.Records) > total {
+			t.Fatalf("cut=%d: %d records from a %d-record log", cut, len(scan.Records), total)
+		}
+		// Every surviving record must be fully intact, in order.
+		for i, rec := range scan.Records {
+			if rec.Kind != RecInsert && rec.Kind != RecCommit {
+				t.Fatalf("cut=%d rec %d: bad kind %v", cut, i, rec.Kind)
+			}
+		}
+		if len(scan.Records) == total && cut != size {
+			t.Fatalf("cut=%d: full record set from truncated log", cut)
+		}
+		// After reopen the tail is truncated: appending must work and a
+		// second reopen must see the extra record.
+		if _, err := w.Append(Record{Txn: 999, Kind: RecInsert, Table: "kv", After: []byte("tail")}); err != nil {
+			t.Fatalf("cut=%d: append after truncate: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		w2, scan2, err := OpenDurableWAL(storage.OsFS{}, path, false)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if got := len(scan2.Records); got != len(scan.Records)+1 {
+			t.Fatalf("cut=%d: reopen found %d records, want %d", cut, got, len(scan.Records)+1)
+		}
+		if scan2.TornBytes != 0 {
+			t.Fatalf("cut=%d: reopen still torn: %d bytes", cut, scan2.TornBytes)
+		}
+		w2.Close()
+	}
+}
+
+func TestCorruptCRCStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	path, size, _ := appendSample(t, dir, 4)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte at every offset in the body; the scan must never return
+	// a record whose payload was corrupted — it stops at the bad frame.
+	for off := int64(walHeaderSize); off < size; off++ {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0xff
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, scan, err := OpenDurableWAL(storage.OsFS{}, path, false)
+		if err != nil {
+			t.Fatalf("off=%d: open: %v", off, err)
+		}
+		for i, rec := range scan.Records {
+			if rec.Kind == RecInsert && len(rec.After) != 7 {
+				t.Fatalf("off=%d rec %d: corrupted payload surfaced: %+v", off, i, rec)
+			}
+		}
+		w.Close()
+	}
+}
+
+func TestGroupCommitManyWriters(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, false)
+	defer w.Close()
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := ID(g*per + i + 1)
+				if _, err := w.Append(Record{Txn: id, Kind: RecInsert, Table: "kv", After: []byte("x")}); err != nil {
+					errs <- err
+					return
+				}
+				if err := w.Commit(Record{Txn: id, Kind: RecCommit}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Commits != writers*per {
+		t.Fatalf("commits: %d", st.Commits)
+	}
+	if st.Syncs == 0 || st.Syncs >= st.Commits {
+		t.Fatalf("group commit should batch fsyncs: %d syncs for %d commits", st.Syncs, st.Commits)
+	}
+	// Reopen and verify every committed txn survived.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, scan := openWAL(t, dir, false)
+	committed := map[ID]bool{}
+	for _, rec := range scan.Records {
+		if rec.Kind == RecCommit {
+			committed[rec.Txn] = true
+		}
+	}
+	if len(committed) != writers*per {
+		t.Fatalf("committed after reopen: %d want %d", len(committed), writers*per)
+	}
+}
+
+func TestFsyncErrorPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(storage.OsFS{})
+	w, _, err := OpenDurableWAL(ffs, filepath.Join(dir, "wal.stagedb"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(Record{Txn: 1, Kind: RecInsert, Table: "kv", After: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Record{Txn: 1, Kind: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSync(1, "wal.stagedb", nil)
+	if _, err := w.Append(Record{Txn: 2, Kind: RecInsert, Table: "kv", After: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Record{Txn: 2, Kind: RecCommit}); err == nil {
+		t.Fatal("commit over failed fsync must not be acknowledged")
+	}
+	// The log is poisoned: every later commit fails fast, no silent acks.
+	if err := w.Commit(Record{Txn: 3, Kind: RecCommit}); err == nil {
+		t.Fatal("poisoned log accepted a commit")
+	}
+	if w.Poisoned() == nil {
+		t.Fatal("Poisoned() should report the sticky error")
+	}
+	// Reopen after "restart": txn 1 must be committed. Txn 2's outcome is
+	// ambiguous — its bytes may sit in the OS cache despite the failed fsync
+	// (the client saw an error, so either outcome is honest). Txn 3 hit a
+	// poisoned log and must never flush.
+	w.Close()
+	_, scan := openWAL(t, dir, false)
+	committed := map[ID]bool{}
+	for _, rec := range scan.Records {
+		if rec.Kind == RecCommit {
+			committed[rec.Txn] = true
+		}
+	}
+	if !committed[1] || committed[3] {
+		t.Fatalf("committed set after fsync failure: %v", committed)
+	}
+}
+
+func TestWriteErrorFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(storage.OsFS{})
+	w, _, err := OpenDurableWAL(ffs, filepath.Join(dir, "wal.stagedb"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Commit(Record{Txn: 1, Kind: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailWritesFrom(1, "wal.stagedb", nil) // ENOSPC from here on
+	if err := w.Commit(Record{Txn: 2, Kind: RecCommit}); err == nil {
+		t.Fatal("commit over full disk must fail")
+	}
+	if !errors.Is(w.Poisoned(), faultfs.ErrInjected) {
+		t.Fatalf("poison should carry the injected error, got %v", w.Poisoned())
+	}
+}
+
+func TestTornWriteMidCommitRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(storage.OsFS{})
+	w, _, err := OpenDurableWAL(ffs, filepath.Join(dir, "wal.stagedb"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Record{Txn: 1, Kind: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	// The next write tears after 3 bytes — a partial frame hits the disk.
+	ffs.TearWrite(1, 3, "wal.stagedb", nil)
+	if err := w.Commit(Record{Txn: 2, Kind: RecCommit}); err == nil {
+		t.Fatal("torn commit must not be acknowledged")
+	}
+	w.Close()
+	// Reopen on the real FS: the torn tail must be truncated away and txn 1
+	// still committed.
+	w2, scan := openWAL(t, dir, false)
+	defer w2.Close()
+	if scan.TornBytes == 0 {
+		t.Fatal("expected torn bytes after partial frame write")
+	}
+	committed := map[ID]bool{}
+	for _, rec := range scan.Records {
+		if rec.Kind == RecCommit {
+			committed[rec.Txn] = true
+		}
+	}
+	if !committed[1] || committed[2] {
+		t.Fatalf("committed set after torn write: %v", committed)
+	}
+	// And the truncated log accepts new appends.
+	if err := w2.Commit(Record{Txn: 3, Kind: RecCommit}); err != nil {
+		t.Fatalf("append after torn-tail truncation: %v", err)
+	}
+}
+
+func TestSyncPerCommitMode(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, true)
+	defer w.Close()
+	for i := 1; i <= 5; i++ {
+		if err := w.Commit(Record{Txn: ID(i), Kind: RecCommit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Syncs < 5 {
+		t.Fatalf("sync-per-commit must fsync each commit: %d syncs for 5 commits", st.Syncs)
+	}
+}
+
+func TestRotationPreservesLSNContinuity(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, false)
+	var last uint64
+	for i := 1; i <= 3; i++ {
+		lsn, err := w.Append(Record{Txn: ID(i), Kind: RecInsert, Table: "kv", After: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(Record{Kind: RecCheckpoint, After: []byte("ckpt")}); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append(Record{Txn: 4, Kind: RecInsert, Table: "kv", After: []byte("y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn <= last {
+		t.Fatalf("LSN went backwards across rotation: %d after %d", lsn, last)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, scan := openWAL(t, dir, false)
+	defer w2.Close()
+	// Rotated log holds the checkpoint plus the post-rotation append only.
+	if len(scan.Records) != 2 || scan.Records[0].Kind != RecCheckpoint {
+		t.Fatalf("rotated log contents: %+v", scan.Records)
+	}
+	if scan.Records[1].LSN != lsn {
+		t.Fatalf("post-rotation record LSN drifted: %d want %d", scan.Records[1].LSN, lsn)
+	}
+}

@@ -192,7 +192,7 @@ func TestWALTruncate(t *testing.T) {
 func TestManagerLifecycle(t *testing.T) {
 	m := NewManager()
 	id := m.Begin()
-	if err := m.LogOp(Record{Txn: id, Kind: RecInsert, Table: "t", After: []byte("x")}); err != nil {
+	if _, err := m.LogOp(Record{Txn: id, Kind: RecInsert, Table: "t", After: []byte("x")}); err != nil {
 		t.Fatal(err)
 	}
 	if m.ActiveCount() != 1 {
@@ -207,7 +207,7 @@ func TestManagerLifecycle(t *testing.T) {
 	if err := m.Commit(id); err == nil {
 		t.Fatal("double commit should fail")
 	}
-	if err := m.LogOp(Record{Txn: id, Kind: RecInsert}); err == nil {
+	if _, err := m.LogOp(Record{Txn: id, Kind: RecInsert}); err == nil {
 		t.Fatal("logging on finished txn should fail")
 	}
 }

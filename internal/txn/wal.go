@@ -22,6 +22,21 @@ const (
 	RecDelete
 	RecUpdate
 	RecCheckpoint
+	// RecAllocPage logs a heap growing by one page (Table names the heap,
+	// RID.Page the new page) so recovery can rebuild page lists and the data
+	// file's allocation state.
+	RecAllocPage
+	// RecFreePage logs a page returned to the data file's free list (DROP
+	// TABLE).
+	RecFreePage
+	// RecCreateTable carries a gob CheckpointTable in After: DDL is logged so
+	// the catalog is recoverable without a separate metadata file.
+	RecCreateTable
+	// RecCreateIndex carries a gob CheckpointIndex in After; Table names the
+	// indexed table.
+	RecCreateIndex
+	// RecDropTable drops the table named in Table.
+	RecDropTable
 )
 
 func (k RecordKind) String() string {
@@ -40,12 +55,24 @@ func (k RecordKind) String() string {
 		return "UPDATE"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecAllocPage:
+		return "ALLOCPAGE"
+	case RecFreePage:
+		return "FREEPAGE"
+	case RecCreateTable:
+		return "CREATETABLE"
+	case RecCreateIndex:
+		return "CREATEINDEX"
+	case RecDropTable:
+		return "DROPTABLE"
 	}
 	return fmt.Sprintf("RecordKind(%d)", int(k))
 }
 
 // Record is one logical WAL entry. Insert carries the after-image, Delete
-// the before-image, Update both.
+// the before-image, Update both. A compensation log record (CLR) describes
+// the page operation that undid the record at UndoOf; recovery redoes CLRs
+// like ordinary records but never undoes them.
 type Record struct {
 	LSN    uint64
 	Txn    ID
@@ -54,6 +81,8 @@ type Record struct {
 	RID    storage.RID
 	Before []byte
 	After  []byte
+	CLR    bool
+	UndoOf uint64 // LSN of the record this CLR compensates
 }
 
 // WAL is an append-only in-memory log. WriteTo/ReadLog serialize it with a
@@ -167,6 +196,16 @@ func (w *WAL) WriteTo(out io.Writer) (int64, error) {
 		if err := writeBytes(rec.After); err != nil {
 			return total, err
 		}
+		var flags uint64
+		if rec.CLR {
+			flags |= 1
+		}
+		if err := writeU64(flags); err != nil {
+			return total, err
+		}
+		if err := writeU64(rec.UndoOf); err != nil {
+			return total, err
+		}
 	}
 	return total, bw.Flush()
 }
@@ -236,6 +275,14 @@ func ReadLog(in io.Reader) ([]Record, error) {
 		if rec.After, err = readBytes(); err != nil {
 			return nil, err
 		}
+		flags, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		rec.CLR = flags&1 != 0
+		if rec.UndoOf, err = readU64(); err != nil {
+			return nil, err
+		}
 		out = append(out, rec)
 	}
 }
@@ -283,9 +330,14 @@ func Analyze(records []Record) RedoPlan {
 }
 
 // Manager hands out transaction IDs and couples the lock manager with the
-// log. The engine calls Begin, logs operations through Log, and finishes
-// with Commit or Abort; Abort returns the transaction's undo records in
-// reverse order for the engine to apply.
+// log. The engine calls Begin, logs operations through LogOp, and finishes
+// with Commit or PrepareAbort/FinishAbort.
+//
+// With no durable log attached the manager runs exactly as the seed did:
+// records land in the in-memory WAL and commit is a counter bump. With
+// SetDurable, data records flow to the on-disk log (earning real LSNs) and
+// Commit blocks until the commit record's group-commit flush reaches stable
+// storage.
 type Manager struct {
 	mu     sync.Mutex
 	next   ID
@@ -293,6 +345,8 @@ type Manager struct {
 
 	Locks *LockManager
 	Log   *WAL
+
+	durable *DurableWAL
 }
 
 // NewManager returns a manager with a fresh lock manager and log.
@@ -305,32 +359,94 @@ func NewManager() *Manager {
 	}
 }
 
+// SetDurable attaches the on-disk log. From here on records are durable and
+// the in-memory WAL is bypassed (it would otherwise grow without bound).
+func (m *Manager) SetDurable(d *DurableWAL) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = d
+}
+
+// Durable returns the attached on-disk log, or nil in volatile mode.
+func (m *Manager) Durable() *DurableWAL {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durable
+}
+
+// SetNext raises the next transaction id — recovery restores the counter so
+// restarted databases never reuse an id already in the log.
+func (m *Manager) SetNext(id ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.next {
+		m.next = id
+	}
+}
+
 // Begin starts a transaction.
 func (m *Manager) Begin() ID {
 	m.mu.Lock()
 	id := m.next
 	m.next++
 	m.active[id] = nil
+	durable := m.durable != nil
 	m.mu.Unlock()
-	m.Log.Append(Record{Txn: id, Kind: RecBegin})
+	if !durable {
+		// The durable log infers begins from a txn's first data record;
+		// logging them would cost a frame per txn for nothing.
+		m.Log.Append(Record{Txn: id, Kind: RecBegin})
+	}
 	return id
 }
 
-// LogOp records one data operation for txn.
-func (m *Manager) LogOp(rec Record) error {
+// LogOp records one data operation for txn, returning its LSN (0 in
+// volatile mode, where LSNs are synthetic).
+func (m *Manager) LogOp(rec Record) (uint64, error) {
 	m.mu.Lock()
-	_, ok := m.active[rec.Txn]
-	if !ok {
+	if _, ok := m.active[rec.Txn]; !ok {
 		m.mu.Unlock()
-		return fmt.Errorf("txn: %d is not active", rec.Txn)
+		return 0, fmt.Errorf("txn: %d is not active", rec.Txn)
+	}
+	d := m.durable
+	m.mu.Unlock()
+	var lsn uint64
+	if d != nil {
+		var err error
+		if lsn, err = d.Append(rec); err != nil {
+			return 0, err
+		}
+		rec.LSN = lsn
+	} else {
+		m.Log.Append(rec)
+	}
+	m.mu.Lock()
+	if _, ok := m.active[rec.Txn]; !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("txn: %d ended while logging", rec.Txn)
 	}
 	m.active[rec.Txn] = append(m.active[rec.Txn], rec)
 	m.mu.Unlock()
-	m.Log.Append(rec)
-	return nil
+	return lsn, nil
 }
 
-// Commit logs the commit and releases the transaction's locks.
+// AppendCLR writes a compensation record during rollback. CLRs belong to no
+// active list (they are never undone) and return LSN 0 in volatile mode.
+func (m *Manager) AppendCLR(rec Record) (uint64, error) {
+	m.mu.Lock()
+	d := m.durable
+	m.mu.Unlock()
+	if d == nil {
+		return 0, nil
+	}
+	rec.CLR = true
+	return d.Append(rec)
+}
+
+// Commit logs the commit, waits for it to reach stable storage (durable
+// mode), and releases the transaction's locks. On a flush error the locks
+// are still released and the transaction is NOT acknowledged: its records
+// carry no commit, so recovery rolls it back.
 func (m *Manager) Commit(id ID) error {
 	m.mu.Lock()
 	if _, ok := m.active[id]; !ok {
@@ -338,15 +454,22 @@ func (m *Manager) Commit(id ID) error {
 		return fmt.Errorf("txn: %d is not active", id)
 	}
 	delete(m.active, id)
+	d := m.durable
 	m.mu.Unlock()
-	m.Log.Append(Record{Txn: id, Kind: RecCommit})
+	var err error
+	if d != nil {
+		err = d.Commit(Record{Txn: id, Kind: RecCommit})
+	} else {
+		m.Log.Append(Record{Txn: id, Kind: RecCommit})
+	}
 	m.Locks.ReleaseAll(id)
-	return nil
+	return err
 }
 
-// Abort logs the abort, releases locks, and returns the transaction's data
-// records in reverse order so the engine can undo them.
-func (m *Manager) Abort(id ID) ([]Record, error) {
+// PrepareAbort removes the transaction from the active table and returns
+// its data records newest-first for the engine to undo. Locks stay held
+// until FinishAbort so no one observes half-undone state.
+func (m *Manager) PrepareAbort(id ID) ([]Record, error) {
 	m.mu.Lock()
 	ops, ok := m.active[id]
 	if !ok {
@@ -359,9 +482,43 @@ func (m *Manager) Abort(id ID) ([]Record, error) {
 	for i := len(ops) - 1; i >= 0; i-- {
 		undo = append(undo, ops[i])
 	}
-	m.Log.Append(Record{Txn: id, Kind: RecAbort})
-	m.Locks.ReleaseAll(id)
 	return undo, nil
+}
+
+// FinishAbort logs the abort record (after the engine applied the undo, so
+// an abort record in the log means the undo's CLRs precede it) and releases
+// the transaction's locks.
+func (m *Manager) FinishAbort(id ID) error {
+	m.mu.Lock()
+	d := m.durable
+	m.mu.Unlock()
+	var err error
+	if d != nil {
+		_, err = d.Append(Record{Txn: id, Kind: RecAbort})
+	} else {
+		m.Log.Append(Record{Txn: id, Kind: RecAbort})
+	}
+	m.Locks.ReleaseAll(id)
+	return err
+}
+
+// Abort ends the transaction and returns its data records in reverse order
+// for the engine to undo. Callers that need the undo applied under the
+// transaction's locks use PrepareAbort/FinishAbort instead.
+func (m *Manager) Abort(id ID) ([]Record, error) {
+	undo, err := m.PrepareAbort(id)
+	if err != nil {
+		return nil, err
+	}
+	return undo, m.FinishAbort(id)
+}
+
+// NextID peeks at the next transaction id without consuming it — the
+// checkpoint snapshots it so restarts never reuse an id already in the log.
+func (m *Manager) NextID() ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
 }
 
 // ActiveCount reports transactions in flight.
@@ -369,4 +526,17 @@ func (m *Manager) ActiveCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.active)
+}
+
+// ActiveSnapshot copies the active-transaction table — the undo chains a
+// fuzzy checkpoint carries so recovery can roll back txns whose early
+// records predate the checkpoint.
+func (m *Manager) ActiveSnapshot() map[ID][]Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[ID][]Record, len(m.active))
+	for id, ops := range m.active {
+		out[id] = append([]Record(nil), ops...)
+	}
+	return out
 }

@@ -31,6 +31,8 @@ package stagedb
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -97,7 +99,41 @@ type Options struct {
 	// fanned out to every query; late arrivals attach mid-scan and wrap).
 	// The Threaded (Volcano) baseline never shares scans.
 	DisableSharedScans bool
+	// DataDir, when set, makes the database durable: page images live in a
+	// checksummed data file under the directory and every transaction is
+	// written ahead to an LSN-stamped redo/undo log. Open replays the log
+	// (redoing committed history, undoing losers, truncating any torn tail)
+	// and sweeps orphaned spill files. "" resolves through the
+	// STAGEDB_DATADIR environment variable; if that is also empty the
+	// database is in-memory as before.
+	DataDir string
+	// Durability selects the commit-flush policy when DataDir is set. The
+	// zero value (DurabilityAuto) means group commit when a data directory
+	// is configured and off otherwise. DurabilityGroup and DurabilitySync
+	// require a data directory and fail Open without one.
+	Durability Durability
+	// CheckpointBytes triggers a background fuzzy checkpoint once the
+	// write-ahead log outgrows it (0 = 8 MB). Durable mode only.
+	CheckpointBytes int64
 }
+
+// Durability is the commit-flush policy of a durable database.
+type Durability int
+
+const (
+	// DurabilityAuto derives the policy from DataDir: group commit when a
+	// data directory is configured, off otherwise.
+	DurabilityAuto Durability = iota
+	// DurabilityOff keeps the database in-memory even if DataDir is set.
+	DurabilityOff
+	// DurabilityGroup batches concurrent commits into shared fsyncs: a
+	// commit parks until the log is flushed through its LSN, and one
+	// flusher goroutine amortizes the fsync over everyone waiting.
+	DurabilityGroup
+	// DurabilitySync fsyncs the log on every commit (the conventional
+	// baseline; slower under concurrency, identical guarantees).
+	DurabilitySync
+)
 
 // Row is one result row.
 type Row = value.Row
@@ -157,22 +193,73 @@ func (o Options) validate() error {
 			return fmt.Errorf("stagedb: Options.%s must not be negative (got %d)", f.name, f.v)
 		}
 	}
+	if o.CheckpointBytes < 0 {
+		return fmt.Errorf("stagedb: Options.CheckpointBytes must not be negative (got %d)", o.CheckpointBytes)
+	}
+	switch o.Durability {
+	case DurabilityAuto, DurabilityOff, DurabilityGroup, DurabilitySync:
+	default:
+		return fmt.Errorf("stagedb: unknown Durability %d", o.Durability)
+	}
 	return nil
 }
 
-// Open creates an empty in-memory database with the selected architecture.
-// It fails on invalid Options.
+// resolveDataDir applies the STAGEDB_DATADIR fallback and checks the
+// directory is usable before any engine state is built.
+func (o Options) resolveDataDir() (string, error) {
+	dir := o.DataDir
+	if dir == "" {
+		dir = os.Getenv("STAGEDB_DATADIR")
+	}
+	if o.Durability == DurabilityOff {
+		return "", nil
+	}
+	if dir == "" {
+		if o.Durability == DurabilityGroup || o.Durability == DurabilitySync {
+			return "", fmt.Errorf("stagedb: Durability %d requires Options.DataDir (or STAGEDB_DATADIR)", o.Durability)
+		}
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("stagedb: data dir %s: %w", dir, err)
+	}
+	// Probe writability now so a read-only mount fails Open with a clear
+	// error instead of surfacing later as a poisoned log.
+	probe := filepath.Join(dir, ".stagedb-probe")
+	f, err := os.Create(probe)
+	if err != nil {
+		return "", fmt.Errorf("stagedb: data dir %s not writable: %w", dir, err)
+	}
+	f.Close()
+	os.Remove(probe)
+	return dir, nil
+}
+
+// Open creates a database with the selected architecture: in-memory by
+// default, durable (file-backed pages plus a write-ahead log, recovered on
+// open) when DataDir or STAGEDB_DATADIR names a directory. It fails on
+// invalid Options, an unusable data directory, or a recovery error.
 func Open(opts Options) (*DB, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	kernel := engine.NewDB(engine.Config{
-		PoolFrames:  opts.PoolFrames,
-		PageRows:    opts.PageRows,
-		BufferPages: opts.BufferPages,
-		WorkMem:     int64(opts.WorkMem),
-		TempDir:     opts.TempDir,
+	dataDir, err := opts.resolveDataDir()
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := engine.OpenDB(engine.Config{
+		PoolFrames:      opts.PoolFrames,
+		PageRows:        opts.PageRows,
+		BufferPages:     opts.BufferPages,
+		WorkMem:         int64(opts.WorkMem),
+		TempDir:         opts.TempDir,
+		DataDir:         dataDir,
+		SyncEveryCommit: opts.Durability == DurabilitySync,
+		CheckpointBytes: opts.CheckpointBytes,
 	})
+	if err != nil {
+		return nil, err
+	}
 	db := &DB{opts: opts, kernel: kernel}
 	switch opts.Mode {
 	case Threaded:
@@ -199,15 +286,33 @@ func (db *DB) Conn() *Conn {
 	return &Conn{db: db, sess: db.kernel.NewSession()}
 }
 
-// Close shuts the engine down.
-func (db *DB) Close() {
+// Close shuts the engine down. On a durable database it takes a final
+// checkpoint and releases the data file and log; the returned error reports
+// a failed flush (an in-memory database always returns nil).
+func (db *DB) Close() error {
 	if db.staged != nil {
 		db.staged.Close()
 	}
 	if db.pool != nil {
 		db.pool.Close()
 	}
+	return db.kernel.Close()
 }
+
+// Checkpoint flushes the log and all dirty pages to the data file and, when
+// no transactions are in flight, rotates the log down to a single checkpoint
+// record. No-op on an in-memory database.
+func (db *DB) Checkpoint() error { return db.kernel.Checkpoint() }
+
+// Durable reports whether the database is backed by a data directory.
+func (db *DB) Durable() bool { return db.kernel.Durable() }
+
+// WALStats snapshots the write-ahead log and recovery counters (nil map on
+// an in-memory database). The same counters appear as the "wal"
+// pseudo-stage in Stages and the CLI \stages view: log appends, flushes and
+// fsyncs, commit group sizes, rotations, and the last recovery's redo/undo
+// record counts, truncated torn-tail bytes, and swept spill files.
+func (db *DB) WALStats() map[string]int64 { return db.kernel.WALCounters() }
 
 // Exec runs a statement on the default connection.
 func (db *DB) Exec(sqlText string, args ...any) (*Result, error) {
