@@ -20,6 +20,11 @@
 #                     durable), WALCommit is the same policy matrix through
 #                     the full SQL pipeline (ns/op is commit latency;
 #                     commits/fsync is the measured group size).
+#   BENCH_server.json — wire protocol: point-select qps and p99 at 1/32/256
+#                     concurrent clients, and the overload matrix (a single
+#                     execute worker at 8x closed-loop load) with admission
+#                     control on and off — the shed-mode p99 is the number
+#                     bench_gate.sh holds within 3x of the uncontended p99.
 #
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
@@ -72,3 +77,9 @@ go test . -run '^$' -bench 'WALCommit' \
 echo "$wal_out" | to_json > BENCH_wal.json
 echo "wrote BENCH_wal.json:"
 cat BENCH_wal.json
+
+server_out=$(go test ./internal/server -run '^$' -bench 'ServerQPS|ServerOverload' \
+	-benchtime "${BENCHTIME:-2s}")
+echo "$server_out" | to_json > BENCH_server.json
+echo "wrote BENCH_server.json:"
+cat BENCH_server.json

@@ -19,6 +19,13 @@
 #     whole point of parking committers on a shared flusher is amortizing
 #     the fsync. The gate runs at the log layer (internal/txn) where the
 #     mechanism is undiluted by SQL pipeline CPU.
+#   - BenchmarkServerOverload shed vs uncontended, run fresh like the WAL
+#     gate (both variants back to back on the same machine, so the ratio is
+#     machine-independent). With admission control on, the p99 of admitted
+#     queries at 8x overload must stay within 3x of the uncontended p99 —
+#     load shedding trades availability for flat tail latency, and this is
+#     the flat-tail half of that bargain. The unshed variant is printed for
+#     contrast: its queue grows with the client count.
 set -e
 cd "$(dirname "$0")" || exit 1
 
@@ -74,3 +81,26 @@ wal_gate() {
 	}'
 }
 wal_gate
+
+# server_gate: with shedding on, overload p99 of admitted queries must stay
+# within 3x of the uncontended p99. All three variants run back to back.
+server_gate() {
+	out=$(go test ./internal/server -run '^$' -bench 'ServerOverload' -benchtime "${SERVER_GATE_BENCHTIME:-2s}")
+	echo "$out"
+	uncont=$(echo "$out" | awk '/uncontended/ { for (i = 1; i <= NF; i++) if ($i == "p99-ms") { print $(i-1); exit } }')
+	shed=$(echo "$out" | awk '/\/shed/ { for (i = 1; i <= NF; i++) if ($i == "p99-ms") { print $(i-1); exit } }')
+	noshed=$(echo "$out" | awk '/noshed/ { for (i = 1; i <= NF; i++) if ($i == "p99-ms") { print $(i-1); exit } }')
+	if [ -z "$uncont" ] || [ -z "$shed" ]; then
+		echo "bench_gate: ServerOverload produced no p99-ms datapoints" >&2
+		exit 1
+	fi
+	awk -v u="$uncont" -v sh="$shed" -v ns="$noshed" 'BEGIN {
+		ratio = sh / u
+		if (ratio > 3.0) {
+			printf("bench_gate: shed-mode overload p99 %.2fx uncontended (need <= 3x): shed %.2f ms, uncontended %.2f ms, unshed %.2f ms\n", ratio, sh, u, ns)
+			exit 1
+		}
+		printf("bench_gate: shed-mode overload p99 %.2fx uncontended (<= 3x): shed %.2f ms, uncontended %.2f ms, unshed %.2f ms\n", ratio, sh, u, ns)
+	}'
+}
+server_gate

@@ -8,11 +8,17 @@
 // With -data (or STAGEDB_DATADIR) the database is durable: tables live in a
 // file-backed page store under the directory, commits are written ahead to a
 // group-committed log, and reopening the shell recovers them. -sync fsyncs
-// every commit individually instead of group-committing.
+// every commit individually instead of group-committing. SIGINT/SIGTERM
+// checkpoint and close the database before exiting, so an interrupted
+// durable shell reopens without log replay.
+//
+// With -connect the shell is a network client to a running stagedbd server
+// instead of opening an embedded database; -tenant names the admission
+// bucket the connection counts against.
 //
 // Meta commands: \stages (per-stage monitors, including the wal
 // pseudo-stage on a durable database), \checkpoint, \explain <select>,
-// \quit.
+// \quit (embedded mode; remote mode supports \quit).
 package main
 
 import (
@@ -21,18 +27,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"stagedb"
+	"stagedb/client"
 	"stagedb/internal/metrics"
 )
 
 func main() {
 	dataDir := flag.String("data", "", "data directory for a durable database (default $STAGEDB_DATADIR, empty = in-memory)")
 	syncEvery := flag.Bool("sync", false, "fsync the log on every commit instead of group commit")
+	connect := flag.String("connect", "", "address of a stagedbd server to connect to instead of opening an embedded database")
+	tenant := flag.String("tenant", "", "tenant name for server admission quotas (with -connect)")
 	flag.Parse()
+	if *connect != "" {
+		remoteShell(*connect, *tenant)
+		return
+	}
 	opts := stagedb.Options{DataDir: *dataDir}
 	if *syncEvery {
 		opts.Durability = stagedb.DurabilitySync
@@ -42,10 +58,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stagedb:", err)
 		os.Exit(1)
 	}
-	defer func() {
-		if err := db.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "stagedb: close:", err)
-		}
+	// One close path shared by the normal exit and the signal handler: a
+	// durable database must checkpoint and release its WAL exactly once,
+	// not die mid-fsync and pay a recovery on the next open.
+	var closeOnce sync.Once
+	closeDB := func() {
+		closeOnce.Do(func() {
+			if err := db.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "stagedb: close:", err)
+			}
+		})
+	}
+	defer closeDB()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Stop(sigc) // a second signal kills the process the default way
+		fmt.Fprintln(os.Stderr, "\nstagedb: signal received; checkpointing and closing")
+		closeDB()
+		os.Exit(0)
 	}()
 	if db.Durable() {
 		fmt.Println("durable: data under", *dataDir+envDirNote(*dataDir))
@@ -83,6 +115,101 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// remoteShell is the -connect REPL: same loop, statements travel to a
+// stagedbd server, SELECTs stream back one page frame at a time.
+func remoteShell(addr, tenant string) {
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr, client.Options{Tenant: tenant})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stagedb:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		c.Close() // orderly Quit so the server frees the session at once
+		os.Exit(0)
+	}()
+	fmt.Printf("stagedb — connected to %s. \\quit to exit.\n", addr)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("stagedb> ")
+		} else {
+			fmt.Print("    ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if trimmed == "\\quit" || trimmed == "\\q" {
+				return
+			}
+			fmt.Println("remote mode supports \\quit; other meta commands need an embedded shell")
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			runRemoteStatement(ctx, c, stmt)
+		}
+		prompt()
+	}
+}
+
+func runRemoteStatement(ctx context.Context, c *client.Conn, stmt string) {
+	stmt = strings.TrimSpace(stmt)
+	if stmt == "" || stmt == ";" {
+		return
+	}
+	start := time.Now()
+	if isSelect(stmt) {
+		rows, err := c.QueryContext(ctx, strings.TrimSuffix(stmt, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		defer rows.Close()
+		var cells [][]string
+		for rows.Next() {
+			r := rows.Row()
+			line := make([]string, len(r))
+			for j, v := range r {
+				line[j] = v.String()
+			}
+			cells = append(cells, line)
+		}
+		if err := rows.Err(); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(metrics.Table(rows.Columns(), cells))
+		fmt.Printf("(%d rows, %v)\n", len(cells), time.Since(start))
+		return
+	}
+	res, err := c.ExecContext(ctx, stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	elapsed := time.Since(start)
+	if res.Columns != nil {
+		printResult(res, elapsed)
+		return
+	}
+	fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, elapsed)
 }
 
 func meta(db *stagedb.DB, cmd string) bool {

@@ -1,0 +1,230 @@
+package stagedb
+
+// Deadline-expiry sweep: a fake context whose Err() flips to
+// DeadlineExceeded on its N-th call makes the deadline land, in turn, on
+// every context check in the pipeline — the connect/parse/optimize/execute
+// stage boundaries, the cursor's per-page checks, and everything between.
+// For every landing point, on both engines, the error must normalize to the
+// public taxonomy and the run must leak nothing.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context.Context whose Err() starts returning
+// context.DeadlineExceeded on its failAt-th call (1-based). Done() is a real
+// channel, closed at expiry, so select-based waiters fire too.
+type countdownCtx struct {
+	mu      sync.Mutex
+	calls   int
+	failAt  int
+	done    chan struct{}
+	expired bool
+}
+
+func newCountdownCtx(failAt int) *countdownCtx {
+	return &countdownCtx{failAt: failAt, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Done() <-chan struct{}       { return c.done }
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if !c.expired && c.calls >= c.failAt {
+		c.expired = true
+		close(c.done)
+	}
+	if c.expired {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (c *countdownCtx) sawCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func deadlineEngines(t *testing.T) map[string]Options {
+	t.Helper()
+	return map[string]Options{
+		"staged":   {},
+		"threaded": {Mode: Threaded},
+	}
+}
+
+func assertDeadlineTaxonomy(t *testing.T, where string, err error) {
+	t.Helper()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("%s: err = %v, want ErrTimeout", where, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("%s: err = %v, cause context.DeadlineExceeded unreachable", where, err)
+	}
+	if Retryable(err) {
+		t.Fatalf("%s: a deadline expiry must not be retryable: %v", where, err)
+	}
+}
+
+func assertNoEngineLeaks(t *testing.T, db *DB, where string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if db.PagePoolStats().Outstanding == 0 && db.SpillStats().FilesLive() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s: leaked — outstanding pages %d, spill files %d",
+		where, db.PagePoolStats().Outstanding, db.SpillStats().FilesLive())
+}
+
+// TestDeadlineAtEveryBoundaryExec walks the deadline across every context
+// check an Exec-path query passes: whichever boundary it lands on, the
+// caller sees the taxonomy error and the engine leaks nothing.
+func TestDeadlineAtEveryBoundaryExec(t *testing.T) {
+	for name, opts := range deadlineEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			db, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec("CREATE TABLE t (a INT, b INT)"); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", i, i%7); err != nil {
+					t.Fatal(err)
+				}
+			}
+			conn := db.Conn()
+			// ORDER BY forces a full pipeline (scan, sort, spill-eligible).
+			const q = "SELECT t1.a FROM t t1, t t2 WHERE t1.b = t2.b ORDER BY t1.a"
+			boundaries := 0
+			for failAt := 1; ; failAt++ {
+				if failAt > 10_000 {
+					t.Fatal("query never completed even with a distant deadline")
+				}
+				ctx := newCountdownCtx(failAt)
+				_, err := conn.ExecContext(ctx, q)
+				if err == nil {
+					// The deadline landed past the last check: the sweep has
+					// covered every boundary this query crosses.
+					if boundaries == 0 {
+						t.Fatal("sweep found no context checks at all")
+					}
+					t.Logf("swept %d context checks (%d Err calls on the clean run)", boundaries, ctx.sawCalls())
+					return
+				}
+				assertDeadlineTaxonomy(t, name, err)
+				assertNoEngineLeaks(t, db, name)
+				// The engine must stay healthy after every expiry.
+				if failAt%7 == 0 {
+					if _, err := db.Exec("SELECT COUNT(*) FROM t"); err != nil {
+						t.Fatalf("engine unhealthy after expiry at check %d: %v", failAt, err)
+					}
+				}
+				boundaries++
+			}
+		})
+	}
+}
+
+// TestDeadlineAtEveryBoundaryStream does the same walk down the streaming
+// path: expiries before the first page fail QueryContext, expiries after it
+// surface through Rows.Next/Err, and every abandoned pipeline must recycle
+// its pages.
+func TestDeadlineAtEveryBoundaryStream(t *testing.T) {
+	for name, opts := range deadlineEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			db, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec("CREATE TABLE t (a INT, b INT)"); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", i, i%7); err != nil {
+					t.Fatal(err)
+				}
+			}
+			conn := db.Conn()
+			const q = "SELECT t1.a, t2.a FROM t t1, t t2 WHERE t1.b = t2.b ORDER BY t1.a"
+			for failAt := 1; ; failAt++ {
+				if failAt > 10_000 {
+					t.Fatal("stream never completed even with a distant deadline")
+				}
+				ctx := newCountdownCtx(failAt)
+				rows, err := conn.QueryContext(ctx, q)
+				if err != nil {
+					assertDeadlineTaxonomy(t, name+" open", err)
+					assertNoEngineLeaks(t, db, name)
+					continue
+				}
+				for rows.Next() {
+				}
+				rerr := rows.Err()
+				if cerr := rows.Close(); rerr == nil {
+					rerr = cerr
+				}
+				if rerr == nil {
+					assertNoEngineLeaks(t, db, name)
+					return // clean full read: sweep complete
+				}
+				assertDeadlineTaxonomy(t, name+" mid-stream", rerr)
+				assertNoEngineLeaks(t, db, name)
+			}
+		})
+	}
+}
+
+// TestDeadlineMidTransaction expires a deadline inside an explicit
+// transaction and proves the session recovers: the transaction can be rolled
+// back and the connection reused.
+func TestDeadlineMidTransaction(t *testing.T) {
+	for name, opts := range deadlineEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			db, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec("CREATE TABLE t (a INT PRIMARY KEY)"); err != nil {
+				t.Fatal(err)
+			}
+			conn := db.Conn()
+			if _, err := conn.Exec("BEGIN"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Exec("INSERT INTO t VALUES (1)"); err != nil {
+				t.Fatal(err)
+			}
+			ctx := newCountdownCtx(1) // expired before the first check
+			_, err = conn.ExecContext(ctx, "INSERT INTO t VALUES (2)")
+			assertDeadlineTaxonomy(t, name, err)
+			if _, err := conn.Exec("ROLLBACK"); err != nil {
+				t.Fatalf("rollback after expiry: %v", err)
+			}
+			res, err := conn.Exec("SELECT COUNT(*) FROM t")
+			if err != nil || res.Rows[0][0].Int() != 0 {
+				t.Fatalf("post-rollback state: res=%v err=%v", res, err)
+			}
+			assertNoEngineLeaks(t, db, name)
+		})
+	}
+}

@@ -2,11 +2,14 @@ package stagedb_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
 
 	"stagedb"
+	"stagedb/client"
+	"stagedb/internal/server"
 )
 
 // ExampleDB_QueryContext streams a SELECT through a Rows cursor: pages
@@ -104,11 +107,13 @@ func ExampleConn_QueryContext_cancellation() {
 	cancel() // cancel before the packet enters the pipeline
 	conn := db.Conn()
 	if _, err := conn.QueryContext(ctx, "SELECT id FROM t"); err != nil {
-		fmt.Println("query failed:", err)
+		// The taxonomy sentinel matches, and the raw cause stays reachable.
+		fmt.Println("canceled:", errors.Is(err, stagedb.ErrCanceled),
+			"cause reachable:", errors.Is(err, context.Canceled))
 	}
 	fmt.Println("outstanding pages:", db.PagePoolStats().Outstanding)
 	// Output:
-	// query failed: context canceled
+	// canceled: true cause reachable: true
 	// outstanding pages: 0
 }
 
@@ -154,4 +159,58 @@ func ExampleOpen_durable() {
 	// Output:
 	// signup
 	// login
+}
+
+// ExampleOpen_server serves a database over TCP — the itinerary the
+// stagedbd daemon runs — and talks to it through the client package. The
+// server is an admission-control stage in front of the engine's pipeline:
+// per-tenant connection and in-flight quotas, queue-depth load shedding,
+// per-query deadlines, and graceful drain all happen before parse ever
+// sees a statement. Rejections carry the Retryable taxonomy so clients
+// know to back off and retry rather than fail.
+func ExampleOpen_server() {
+	db, err := stagedb.Open(stagedb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Addr ":0" picks a free port; see server.Options for the admission
+	// knobs (quotas, shed depth, query deadline, write timeout).
+	srv, err := server.New(context.Background(), db, server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+
+	c, err := client.Dial(context.Background(), srv.Addr(), client.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.ExecContext(ctx, "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ExecContext(ctx, "INSERT INTO t VALUES (?, ?)", 1, "ann"); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := c.QueryContext(ctx, "SELECT name FROM t WHERE id = ?", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		fmt.Println(rows.Row()[0].Text())
+	}
+	if err := rows.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drain: stop accepting, reject new queries as ErrDraining, wait for
+	// in-flight work, then close every session.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// ann
 }

@@ -33,6 +33,12 @@ func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/engine")
 }
 
+// TestCtxFlowServer checks the server package is in scope: a session that
+// mints its own context escapes drain and deadline plumbing.
+func TestCtxFlowServer(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/server")
+}
+
 // TestCtxFlowOutOfScope checks the analyzer stays silent outside the
 // context-threaded packages.
 func TestCtxFlowOutOfScope(t *testing.T) {

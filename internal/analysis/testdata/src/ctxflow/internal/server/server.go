@@ -1,0 +1,44 @@
+// Golden file for the ctxflow analyzer in a package whose import path ends
+// in internal/server (in scope as of the network front end): a session that
+// mints its own context detaches from the server's hard-stop and deadline
+// plumbing, so drain and per-query timeouts silently stop applying to it.
+package server
+
+import "context"
+
+// Conn mirrors the client-facing Exec / ExecContext method pair.
+type Conn struct{}
+
+// Exec is the context-free convenience variant.
+func (c *Conn) Exec(q string) error { return nil }
+
+// ExecContext is the cancellable variant.
+func (c *Conn) ExecContext(ctx context.Context, q string) error { return nil }
+
+// session carries a per-connection context like the real server.
+type session struct {
+	ctx context.Context
+}
+
+// detachedQuery mints a fresh context instead of deriving from the session's.
+func detachedQuery() context.Context {
+	return context.Background() // want `context.Background breaks the cancellation chain`
+}
+
+// lazyTODO is the same break with different spelling.
+func lazyTODO() context.Context {
+	return context.TODO() // want `context.TODO breaks the cancellation chain`
+}
+
+// dropsQueryCtx received the query's ctx but runs the context-free variant,
+// so the deadline the client sent never reaches the engine.
+func dropsQueryCtx(ctx context.Context, c *Conn) error {
+	return c.Exec("ROLLBACK") // want `call to Exec drops the ctx this function received; use ExecContext`
+}
+
+// okDerived threads the session context through the *Context twin.
+func okDerived(ctx context.Context, c *Conn) error {
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return c.ExecContext(qctx, "SELECT 1")
+}

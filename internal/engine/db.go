@@ -328,6 +328,20 @@ func (s *Session) SetStreamRunner(fn StreamFunc) { s.streamFn = fn }
 // ID returns the session's identifier.
 func (s *Session) ID() int { return s.id }
 
+// Abort rolls back the session's open transaction (if any) directly, without
+// routing through the engine's stage queues. It exists for teardown paths: a
+// disconnected client's locks must be released even when every execute
+// worker is blocked waiting on those very locks — submitting the ROLLBACK as
+// a request would queue it behind its own waiters and deadlock the stage.
+// The caller must guarantee no request is in flight on the session.
+func (s *Session) Abort() error {
+	if !s.inTxn {
+		return nil
+	}
+	s.inTxn = false
+	return s.db.rollback(s.current)
+}
+
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.inTxn }
 

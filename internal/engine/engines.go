@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"stagedb/internal/autotune"
 	"stagedb/internal/core"
@@ -167,10 +168,11 @@ var ErrClosed = errors.New("engine: front end closed")
 // Threaded is the conventional worker-pool front end of §3.1: a fixed pool
 // of workers, each carrying one query through all phases.
 type Threaded struct {
-	db    *DB
-	queue chan *Request
-	wg    sync.WaitGroup
-	once  sync.Once
+	db       *DB
+	queue    chan *Request
+	wg       sync.WaitGroup
+	once     sync.Once
+	inflight atomic.Int64
 
 	mu     sync.RWMutex
 	closed bool
@@ -189,6 +191,7 @@ func NewThreaded(db *DB, workers int) *Threaded {
 			for req := range t.queue {
 				req.run()
 				close(req.Done)
+				t.inflight.Add(-1)
 			}
 		}()
 	}
@@ -206,9 +209,18 @@ func (t *Threaded) Submit(req *Request) {
 		close(req.Done)
 		return
 	}
+	t.inflight.Add(1)
 	t.queue <- req
 	t.mu.RUnlock()
 }
+
+// InFlight counts requests submitted but not yet completed (queued or
+// running) — the admission controller's load signal on this front end.
+func (t *Threaded) InFlight() int64 { return t.inflight.Load() }
+
+// ExecuteQueueLen reports the depth of the work queue (the threaded baseline
+// has one queue, not per-stage queues).
+func (t *Threaded) ExecuteQueueLen() int { return len(t.queue) }
 
 // Exec is a convenience: submit and wait.
 func (t *Threaded) Exec(s *Session, sqlText string) (*Result, error) {
@@ -246,8 +258,9 @@ func (t *Threaded) Close() {
 // -> disconnect stages connected by queues, with the execution engine's
 // operators owned by fscan/iscan/sort/join/aggr stages (§4.3).
 type Staged struct {
-	db  *DB
-	srv *core.Server
+	db       *DB
+	srv      *core.Server
+	inflight atomic.Int64
 
 	// execPool schedules operator tasks on bounded per-stage worker pools;
 	// nil selects the goroutine-per-task baseline runner.
@@ -347,6 +360,7 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 				req.Err = pkt.Err
 			}
 			close(req.Done)
+			s.inflight.Add(-1)
 		}
 	})
 	s.srv.Start()
@@ -380,7 +394,29 @@ func (s *Staged) Submit(req *Request) error {
 		Route:    route,
 		Backpack: req,
 	}
-	return s.srv.Submit(pkt)
+	s.inflight.Add(1)
+	if err := s.srv.Submit(pkt); err != nil {
+		s.inflight.Add(-1)
+		return err
+	}
+	return nil
+}
+
+// InFlight counts requests submitted but not yet completed — packets
+// anywhere in the pipeline, including streaming SELECTs whose cursor has
+// been handed out but whose disconnect stage has not run. It is the
+// admission controller's primary load signal.
+func (s *Staged) InFlight() int64 { return s.inflight.Load() }
+
+// ExecuteQueueLen reports the execute stage's current queue depth, the
+// paper's §5.2 bottleneck indicator: parse and optimize are cheap, so a
+// deep execute queue is the first symptom of overload and the admission
+// controller's shedding trigger.
+func (s *Staged) ExecuteQueueLen() int {
+	if st := s.srv.Stage("execute"); st != nil {
+		return st.QueueLen()
+	}
+	return 0
 }
 
 // Prepare parses and plans sqlText on the parse and optimize stages, caching
@@ -606,6 +642,7 @@ func (s *Staged) disconnect(pkt *core.Packet) (core.Verdict, error) {
 		req.Err = pkt.Err
 	}
 	close(req.Done)
+	s.inflight.Add(-1)
 	return core.Done, nil
 }
 

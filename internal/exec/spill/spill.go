@@ -85,7 +85,7 @@ func (s *File) Append(row value.Row) error {
 	if s.f == nil {
 		return fmt.Errorf("spill: append to finished file %s", s.path)
 	}
-	s.page = encodeRow(s.page, row)
+	s.page = AppendRow(s.page, row)
 	s.pageN++
 	s.rows++
 	s.vals += int64(len(row))
@@ -208,7 +208,7 @@ func (r *Reader) Next() (row value.Row, ok bool, err error) {
 		}
 		r.left = int(nrows)
 	}
-	row, rest, err := decodeRow(r.page)
+	row, rest, err := DecodeRow(r.page)
 	if err != nil {
 		return nil, false, err
 	}
@@ -230,10 +230,14 @@ func (r *Reader) Close() error {
 
 // --- row codec ---
 
-// encodeRow appends the serialized row to dst.
+// AppendRow appends the serialized row to dst and returns the extended
+// slice. The format is a self-delimiting varint-tagged encoding (column
+// count, then one tag byte plus payload per value); it is shared by the
+// spill files and the network server's result-page frames, so a wire Page
+// frame is exactly the rows of one pooled exchange page in spill encoding.
 //
 //stagedb:hot
-func encodeRow(dst []byte, row value.Row) []byte {
+func AppendRow(dst []byte, row value.Row) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(row)))
 	for _, v := range row {
 		switch v.Type() {
@@ -261,8 +265,9 @@ func encodeRow(dst []byte, row value.Row) []byte {
 	return dst
 }
 
-// decodeRow reads one row off the front of buf, returning the remainder.
-func decodeRow(buf []byte) (value.Row, []byte, error) {
+// DecodeRow reads one AppendRow-encoded row off the front of buf, returning
+// the remainder.
+func DecodeRow(buf []byte) (value.Row, []byte, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
 		return nil, nil, fmt.Errorf("spill: corrupt row header")

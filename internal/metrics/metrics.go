@@ -39,6 +39,49 @@ func (c *Counter) Value() int64 {
 	return c.n
 }
 
+// CounterSet is a named collection of counters, safe for concurrent use. It
+// backs pseudo-stages whose counter vocabulary grows at runtime (the network
+// server's admission stage records accepts, sheds, and per-reason rejects as
+// they first occur).
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Inc adds one to the named counter, creating it at zero first.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Add adds delta to the named counter, creating it at zero first.
+func (c *CounterSet) Add(name string, delta int64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Value returns the named counter's current count (0 if never touched).
+func (c *CounterSet) Value(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot copies the current counters; nil when none were ever touched.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
 // Mean accumulates a running mean and variance (Welford's algorithm).
 type Mean struct {
 	mu    sync.Mutex

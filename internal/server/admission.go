@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"stagedb"
+	"stagedb/internal/metrics"
+)
+
+// admission is the server's outermost stage: every connection and every
+// query passes through it before any engine work happens. It enforces
+// per-tenant connection and in-flight-query quotas and sheds load when the
+// engine's execute-stage queue is past the configured depth — rejecting
+// with typed retryable errors (stagedb.ErrAdmissionDenied /
+// stagedb.ErrDraining) instead of letting queues grow without bound.
+//
+// Its counters surface as the "admission" pseudo-stage:
+//
+//	conns_admitted / conns_rejected    Hello-time connection quota
+//	queries_admitted                   queries passed into the engine
+//	shed_tenant_quota                  per-tenant in-flight quota hits
+//	shed_overload                      global in-flight cap hits
+//	shed_queue_depth                   execute-queue depth sheds
+//	rejected_draining                  queries refused during drain
+//	panics                             queries answered by panic isolation
+//	disconnects                        sessions ended by client disconnect
+//	slow_client_aborts                 sessions killed by a write timeout
+type admission struct {
+	opts     Options
+	counters metrics.CounterSet
+
+	mu       sync.Mutex
+	conns    map[string]int // per-tenant open connections
+	inflight map[string]int // per-tenant executing queries
+	total    int            // executing queries, all tenants
+}
+
+func newAdmission(opts Options) *admission {
+	return &admission{
+		opts:     opts,
+		conns:    make(map[string]int),
+		inflight: make(map[string]int),
+	}
+}
+
+// admitConn runs at Hello: one slot per connection, keyed by tenant.
+func (a *admission) admitConn(tenant string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conns[tenant] >= a.opts.MaxConnsPerTenant {
+		a.counters.Inc("conns_rejected")
+		return stagedb.Tag(stagedb.ErrAdmissionDenied,
+			fmt.Errorf("tenant %q at connection quota %d", tenant, a.opts.MaxConnsPerTenant))
+	}
+	a.conns[tenant]++
+	a.counters.Inc("conns_admitted")
+	return nil
+}
+
+func (a *admission) releaseConn(tenant string) {
+	a.mu.Lock()
+	if a.conns[tenant] > 0 {
+		a.conns[tenant]--
+		if a.conns[tenant] == 0 {
+			delete(a.conns, tenant)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// admitQuery runs before each query enters the engine. draining wins over
+// every other verdict (the rejection the client should interpret as "go
+// elsewhere", not "back off"); then the per-tenant and global in-flight
+// quotas; then the engine's own execute-queue depth. On success the query
+// holds one in-flight slot until releaseQuery.
+func (a *admission) admitQuery(tenant string, draining bool, executeQueue int) error {
+	if draining {
+		a.counters.Inc("rejected_draining")
+		return stagedb.ErrDraining
+	}
+	a.mu.Lock()
+	switch {
+	case a.inflight[tenant] >= a.opts.MaxInflightPerTenant:
+		a.mu.Unlock()
+		a.counters.Inc("shed_tenant_quota")
+		return stagedb.Tag(stagedb.ErrAdmissionDenied,
+			fmt.Errorf("tenant %q at in-flight quota %d", tenant, a.opts.MaxInflightPerTenant))
+	case a.total >= a.opts.MaxInflight:
+		a.mu.Unlock()
+		a.counters.Inc("shed_overload")
+		return stagedb.Tag(stagedb.ErrAdmissionDenied,
+			fmt.Errorf("server at in-flight cap %d", a.opts.MaxInflight))
+	}
+	a.inflight[tenant]++
+	a.total++
+	a.mu.Unlock()
+
+	// The engine's own load signal: a deep execute queue means admitted
+	// work is already waiting, so adding more only grows latency. The slot
+	// just taken is returned before rejecting.
+	if a.opts.ShedQueueDepth >= 0 && executeQueue > a.opts.ShedQueueDepth {
+		a.releaseQuery(tenant)
+		a.counters.Inc("shed_queue_depth")
+		return stagedb.Tag(stagedb.ErrAdmissionDenied,
+			fmt.Errorf("execute queue depth %d past shed threshold %d", executeQueue, a.opts.ShedQueueDepth))
+	}
+	a.counters.Inc("queries_admitted")
+	return nil
+}
+
+func (a *admission) releaseQuery(tenant string) {
+	a.mu.Lock()
+	if a.inflight[tenant] > 0 {
+		a.inflight[tenant]--
+		if a.inflight[tenant] == 0 {
+			delete(a.inflight, tenant)
+		}
+	}
+	if a.total > 0 {
+		a.total--
+	}
+	a.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stagedb/internal/value"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello payload")
+	if err := WriteFrame(&buf, MsgQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgCancel, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgQuery || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: typ=%#x payload=%q err=%v", typ, got, err)
+	}
+	typ, got, err = ReadFrame(&buf)
+	if err != nil || typ != MsgCancel || got != nil {
+		t.Fatalf("frame 2: typ=%#x payload=%q err=%v", typ, got, err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if err := WriteFrame(io.Discard, MsgPage, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrame+1)
+	hdr[4] = MsgPage
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversize length prefix accepted")
+	}
+	binary.BigEndian.PutUint32(hdr[:4], 0) // length must cover the type byte
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("zero length prefix accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Proto: Proto, Tenant: "acme"}
+	got, err := ParseHello(h.Append(nil))
+	if err != nil || got != h {
+		t.Fatalf("got %+v err=%v, want %+v", got, err, h)
+	}
+	if _, err := ParseHello([]byte{1, 2}); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := Query{
+		Flags:      FlagQueryOnly,
+		DeadlineMs: 1500,
+		SQL:        "SELECT id FROM t WHERE id > ? AND name = ?",
+		Args:       value.Row{value.NewInt(42), value.NewText("ann")},
+	}
+	got, err := ParseQuery(q.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != q.Flags || got.DeadlineMs != q.DeadlineMs || got.SQL != q.SQL {
+		t.Fatalf("got %+v, want %+v", got, q)
+	}
+	if len(got.Args) != 2 || got.Args[0].Int() != 42 || got.Args[1].Text() != "ann" {
+		t.Fatalf("args: got %v", got.Args)
+	}
+
+	// No args: wire carries an empty row, decodes to nil.
+	got, err = ParseQuery(Query{SQL: "SELECT 1"}.Append(nil))
+	if err != nil || got.Args != nil {
+		t.Fatalf("no-arg query: %+v err=%v", got, err)
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	names := []string{"id", "name", "created_at"}
+	got, err := ParseColumns(AppendColumns(nil, names))
+	if err != nil || !reflect.DeepEqual(got, names) {
+		t.Fatalf("got %v err=%v", got, err)
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	rows := []value.Row{
+		{value.NewInt(1), value.NewText("ann"), value.NewFloat(1.5), value.NewBool(true)},
+		{value.NewInt(2), value.NewNull(), value.NewFloat(-2.25), value.NewBool(false)},
+	}
+	got, err := ParsePage(AppendPage(nil, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("got %v, want %v", got, rows)
+	}
+	// Empty page is legal (a filter can drain a page to zero rows).
+	got, err = ParsePage(AppendPage(nil, nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty page: %v err=%v", got, err)
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	for _, d := range []Done{
+		{Affected: 7, Code: ErrCodeOK},
+		{Code: ErrCodeTimeout, Msg: "stagedb: query timeout"},
+		{Code: ErrCodeAdmission, Msg: strings.Repeat("x", 300)},
+	} {
+		got, err := ParseDone(d.Append(nil))
+		if err != nil || got != d {
+			t.Fatalf("got %+v err=%v, want %+v", got, err, d)
+		}
+	}
+}
+
+func TestParseRejectsCorruptPayloads(t *testing.T) {
+	if _, err := ParsePage([]byte{0xff}); err == nil {
+		t.Fatal("corrupt page varint accepted")
+	}
+	if _, err := ParseColumns([]byte{2, 5, 'a'}); err == nil {
+		t.Fatal("truncated column name accepted")
+	}
+	if _, err := ParseDone(nil); err == nil {
+		t.Fatal("empty done accepted")
+	}
+	if _, err := ParseQuery(nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}

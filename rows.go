@@ -64,7 +64,7 @@ func (r *Rows) Next() bool {
 		}
 		pg, err := r.cur.NextPage()
 		if err != nil {
-			r.err = err
+			r.err = normalizeErr(err)
 			r.row = nil // a Scan past the failure must not see stale values
 			return false
 		}
@@ -99,8 +99,50 @@ func (r *Rows) Scan(dest ...any) error {
 
 // Err returns the first error encountered while streaming (a query failure
 // or context cancellation). A nil Err after Next returns false means the
-// result set ended normally.
+// result set ended normally. Deadline expiry and cancellation surface as the
+// stable taxonomy sentinels: errors.Is(err, ErrTimeout) and
+// errors.Is(err, ErrCanceled).
 func (r *Rows) Err() error { return r.err }
+
+// NextBatch advances to the next result page and returns its live rows —
+// the batch granularity of the engine's exchange dataflow, which is also the
+// network server's frame unit (one wire frame per pooled exchange page). The
+// returned slice is valid until the next NextBatch or Close call; the Row
+// values themselves remain valid afterwards. A nil batch with nil error is
+// the end of the result set; check Err (or the returned error) otherwise.
+// Do not interleave NextBatch with Next: a partially Next-consumed page is
+// discarded by the next NextBatch call.
+func (r *Rows) NextBatch() ([]Row, error) {
+	if r.closed || r.done || r.err != nil {
+		return nil, r.err
+	}
+	r.row = nil
+	if r.pg != nil {
+		// The previous batch's page: its row headers stay valid after
+		// release, only the slice handed out becomes dead.
+		r.pg.Release()
+		r.pg = nil
+	}
+	pg, err := r.cur.NextPage()
+	if err != nil {
+		r.err = normalizeErr(err)
+		return nil, r.err
+	}
+	if pg == nil {
+		r.done = true
+		return nil, nil
+	}
+	r.pg = pg
+	r.i = pg.Len() // interop: a following Next moves to the next page
+	if pg.Sel == nil {
+		return pg.Rows, nil
+	}
+	batch := make([]Row, pg.Len())
+	for i := range batch {
+		batch[i] = pg.Row(i)
+	}
+	return batch, nil
+}
 
 // Close ends the query. A partially read result abandons the producing
 // pipeline (operators terminate early, shared-scan consumers detach) and
@@ -118,7 +160,7 @@ func (r *Rows) Close() error {
 		r.pg = nil
 	}
 	if err := r.cur.Close(); err != nil && r.err == nil {
-		r.err = err
+		r.err = normalizeErr(err)
 	}
 	return r.err
 }

@@ -370,6 +370,23 @@ func (db *DB) Stages() []metrics.StageSnapshot {
 	return db.staged.Snapshot()
 }
 
+// EngineLoad reports the engine's instantaneous load: requests submitted but
+// not yet completed, and the depth of the execute-stage queue (the threaded
+// baseline reports its single work queue). Both are O(1) reads — cheap
+// enough to sample on every admission decision — and they are the signals
+// the network server's admission stage sheds on: in-flight bounds total
+// concurrent work, execute-queue depth is the paper's §5.2 first symptom of
+// a bottleneck.
+func (db *DB) EngineLoad() (inflight int64, executeQueue int) {
+	switch {
+	case db.staged != nil:
+		return db.staged.InFlight(), db.staged.ExecuteQueueLen()
+	case db.pool != nil:
+		return db.pool.InFlight(), db.pool.ExecuteQueueLen()
+	}
+	return 0, 0
+}
+
 // ScanShareStats reports the staged engine's fscan work-sharing activity.
 type ScanShareStats struct {
 	// Starts counts shared scans started (a first consumer = share miss).
@@ -541,7 +558,7 @@ func (c *Conn) request(ctx context.Context, sqlText string, args []any, queryOnl
 		Done:      make(chan struct{}),
 	}
 	if err := c.submit(req); err != nil {
-		return nil, err
+		return nil, normalizeErr(err)
 	}
 	if _, err := req.Wait(); err != nil {
 		// A cursor created before the request failed (e.g. shutdown racing
@@ -550,7 +567,7 @@ func (c *Conn) request(ctx context.Context, sqlText string, args []any, queryOnl
 		if req.Cursor != nil {
 			req.Cursor.Close()
 		}
-		return nil, err
+		return nil, normalizeErr(err)
 	}
 	return req, nil
 }
@@ -663,7 +680,7 @@ func (c *Conn) ExecTxn(stmts []string) (*Result, error) {
 		return nil, fmt.Errorf("stagedb: no front end for %v", req)
 	}
 	if err != nil {
-		return nil, err
+		return nil, normalizeErr(err)
 	}
 	return &Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
 }
@@ -681,6 +698,14 @@ func (c *Conn) ExecScript(script string) error {
 
 // InTxn reports whether this connection has an open transaction.
 func (c *Conn) InTxn() bool { return c.sess.InTxn() }
+
+// Abort rolls back the connection's open transaction (if any) directly,
+// without routing a ROLLBACK through the engine's stage queues. Teardown
+// paths need this form: an abandoned transaction's locks may be exactly what
+// every execute worker is blocked waiting on, so a queued ROLLBACK would sit
+// behind its own waiters forever. Abort must not race an in-flight request
+// on this connection.
+func (c *Conn) Abort() error { return normalizeErr(c.sess.Abort()) }
 
 // splitScript splits on semicolons outside string literals and SQL line
 // comments. Inside a string, a doubled quote (”) is an escaped quote, not a

@@ -80,13 +80,13 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 // outlive the error).
 func (s *Stmt) submitWait(req *engine.Request) error {
 	if err := s.conn.submit(req); err != nil {
-		return err
+		return normalizeErr(err)
 	}
 	if _, err := req.Wait(); err != nil {
 		if req.Cursor != nil {
 			req.Cursor.Close()
 		}
-		return err
+		return normalizeErr(err)
 	}
 	return nil
 }
