@@ -25,6 +25,13 @@
 #                     execute worker at 8x closed-loop load) with admission
 #                     control on and off — the shed-mode p99 is the number
 #                     bench_gate.sh holds within 3x of the uncontended p99.
+#   BENCH_mixed.json — MVCC mixed OLTP + analytics: writer commit latency
+#                     with 0/1/4 concurrent full-table scans running
+#                     (conflicts/op confirms snapshot readers never force
+#                     writer retries), and a snapshot reader's time-to-
+#                     first-row on an idle engine vs under closed-loop
+#                     update load. bench_gate.sh holds writer throughput
+#                     under one scan at >= 0.5x uncontended.
 #
 #   ./bench.sh              # default -benchtime (stable numbers, slower)
 #   BENCHTIME=5x ./bench.sh # quick smoke datapoint
@@ -83,3 +90,9 @@ server_out=$(go test ./internal/server -run '^$' -bench 'ServerQPS|ServerOverloa
 echo "$server_out" | to_json > BENCH_server.json
 echo "wrote BENCH_server.json:"
 cat BENCH_server.json
+
+mixed_out=$(go test . -run '^$' -bench 'MixedWriter|MixedFirstRow' \
+	-benchtime "${BENCHTIME:-2s}" -benchmem)
+echo "$mixed_out" | to_json > BENCH_mixed.json
+echo "wrote BENCH_mixed.json:"
+cat BENCH_mixed.json

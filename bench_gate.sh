@@ -26,6 +26,11 @@
 #     load shedding trades availability for flat tail latency, and this is
 #     the flat-tail half of that bargain. The unshed variant is printed for
 #     contrast: its queue grows with the client count.
+#   - BenchmarkMixedWriter scans=1 vs scans=0, run fresh like the WAL gate.
+#     Writer commit throughput with one concurrent full-table snapshot scan
+#     must stay at >= 0.5x the uncontended rate — the MVCC bargain is that
+#     readers cost writers CPU share at most, never lock waits, so a single
+#     analytics scan may not halve OLTP throughput.
 set -e
 cd "$(dirname "$0")" || exit 1
 
@@ -104,3 +109,25 @@ server_gate() {
 	}'
 }
 server_gate
+
+# mixed_gate: writer commit throughput with one concurrent snapshot scan
+# must be >= 0.5x the uncontended rate. Both variants run back to back.
+mixed_gate() {
+	out=$(go test . -run '^$' -bench 'MixedWriter/scans=(0|1)$' -benchtime "${MIXED_GATE_BENCHTIME:-1s}")
+	echo "$out"
+	ns0=$(echo "$out" | awk '/scans=0/ { for (i = 1; i <= NF; i++) if ($i == "ns/op") { print $(i-1); exit } }')
+	ns1=$(echo "$out" | awk '/scans=1/ { for (i = 1; i <= NF; i++) if ($i == "ns/op") { print $(i-1); exit } }')
+	if [ -z "$ns0" ] || [ -z "$ns1" ]; then
+		echo "bench_gate: MixedWriter produced no ns/op datapoints" >&2
+		exit 1
+	fi
+	awk -v u="$ns0" -v s="$ns1" 'BEGIN {
+		ratio = u / s
+		if (ratio < 0.5) {
+			printf("bench_gate: writer under one scan at %.2fx uncontended throughput (need >= 0.5x): uncontended %.0f ns/op, one scan %.0f ns/op\n", ratio, u, s)
+			exit 1
+		}
+		printf("bench_gate: writer under one scan at %.2fx uncontended throughput (>= 0.5x): uncontended %.0f ns/op, one scan %.0f ns/op\n", ratio, u, s)
+	}'
+}
+mixed_gate

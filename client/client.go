@@ -379,10 +379,11 @@ func errFor(d wire.Done) error {
 		return nil
 	}
 	sentinel := map[wire.ErrCode]error{
-		wire.ErrCodeTimeout:   stagedb.ErrTimeout,
-		wire.ErrCodeCanceled:  stagedb.ErrCanceled,
-		wire.ErrCodeAdmission: stagedb.ErrAdmissionDenied,
-		wire.ErrCodeDraining:  stagedb.ErrDraining,
+		wire.ErrCodeTimeout:       stagedb.ErrTimeout,
+		wire.ErrCodeCanceled:      stagedb.ErrCanceled,
+		wire.ErrCodeAdmission:     stagedb.ErrAdmissionDenied,
+		wire.ErrCodeDraining:      stagedb.ErrDraining,
+		wire.ErrCodeSerialization: stagedb.ErrSerializationFailure,
 	}[d.Code]
 	if sentinel == nil {
 		return errors.New(d.Msg) // generic, panic, proto: message is the surface

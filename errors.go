@@ -12,6 +12,9 @@ package stagedb
 //     retrying after a backoff is expected to succeed.
 //   - ErrDraining:         the server is shutting down gracefully; retry
 //     against another instance (or after the restart).
+//   - ErrSerializationFailure: a first-committer-wins write-write conflict
+//     rolled the transaction back; retrying against a fresh snapshot is
+//     expected to succeed.
 //
 // The underlying cause stays reachable through errors.Unwrap, so
 // errors.Is(err, context.DeadlineExceeded) keeps working alongside
@@ -20,6 +23,8 @@ package stagedb
 import (
 	"context"
 	"errors"
+
+	"stagedb/internal/mvcc"
 )
 
 // Sentinel errors of the public API. Test them with errors.Is; the message
@@ -42,13 +47,21 @@ var (
 	// for shutdown: in-flight queries finish, new ones are refused. The
 	// request was not executed; retry elsewhere.
 	ErrDraining = errors.New("stagedb: server draining")
+	// ErrSerializationFailure reports a snapshot-isolation write-write
+	// conflict: a concurrent transaction modified a row this one intended
+	// to write and committed first, so this transaction was rolled back
+	// whole (first-committer-wins). Re-running the transaction against a
+	// fresh snapshot is safe and expected to succeed.
+	ErrSerializationFailure = errors.New("stagedb: serialization failure (concurrent write committed first)")
 )
 
 // Retryable reports whether err is a load-management rejection (admission
-// denied or draining): the statement was never executed, so resubmitting it
-// — after a backoff, or to another instance — is safe even for DML.
+// denied or draining) or a serialization failure: in the first two cases
+// the statement was never executed, in the last it was rolled back whole —
+// either way resubmitting it is safe even for DML.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrAdmissionDenied) || errors.Is(err, ErrDraining)
+	return errors.Is(err, ErrAdmissionDenied) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrSerializationFailure)
 }
 
 // taggedErr classifies a cause under one taxonomy sentinel while keeping the
@@ -85,12 +98,15 @@ func normalizeErr(err error) error {
 	}
 	switch {
 	case errors.Is(err, ErrTimeout), errors.Is(err, ErrCanceled),
-		errors.Is(err, ErrAdmissionDenied), errors.Is(err, ErrDraining):
+		errors.Is(err, ErrAdmissionDenied), errors.Is(err, ErrDraining),
+		errors.Is(err, ErrSerializationFailure):
 		return err
 	case errors.Is(err, context.DeadlineExceeded):
 		return &taggedErr{tag: ErrTimeout, cause: err}
 	case errors.Is(err, context.Canceled):
 		return &taggedErr{tag: ErrCanceled, cause: err}
+	case errors.Is(err, mvcc.ErrSerializationFailure):
+		return &taggedErr{tag: ErrSerializationFailure, cause: err}
 	}
 	return err
 }

@@ -39,6 +39,12 @@ func TestCtxFlowServer(t *testing.T) {
 	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/server")
 }
 
+// TestCtxFlowTxn checks the lock-manager package is in scope: a lock wait
+// issued under a fresh Background squats in the queue after its query dies.
+func TestCtxFlowTxn(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/txn")
+}
+
 // TestCtxFlowOutOfScope checks the analyzer stays silent outside the
 // context-threaded packages.
 func TestCtxFlowOutOfScope(t *testing.T) {

@@ -12,10 +12,12 @@ package analysis
 //     (Query instead of QueryContext) from a function that received a ctx.
 //
 // The check is scoped to the context-threaded packages — internal/exec,
-// internal/engine, internal/server, and the stagedb root — because that is
-// where a dropped context turns into an uncancellable query (in the server's
-// case: a session that ignores hard-stop and deadline plumbing, so drain
-// and per-query timeouts silently stop working). The documented context-free
+// internal/engine, internal/server, internal/txn, and the stagedb root —
+// because that is where a dropped context turns into an uncancellable query
+// (in the server's case: a session that ignores hard-stop and deadline
+// plumbing, so drain and per-query timeouts silently stop working; in txn's
+// case: a lock wait that outlives its canceled query, squatting in the
+// queue and wedging the FIFO behind it). The documented context-free
 // convenience entry points (Exec, Query, Stmt.Exec) legitimately mint
 // Background; they carry //stagedbvet:ignore suppressions with their
 // justification, which keeps the escape hatch visible and auditable.
@@ -28,7 +30,7 @@ import (
 // ctxflowSuffixes are the import-path suffixes the analyzer applies to;
 // the client-facing root package is matched exactly so cmd/stagedb (a main
 // package, where a top-level Background is idiomatic) stays out of scope.
-var ctxflowSuffixes = []string{"internal/exec", "internal/engine", "internal/server"}
+var ctxflowSuffixes = []string{"internal/exec", "internal/engine", "internal/server", "internal/txn"}
 
 // CtxFlow reports context.Background()/TODO() in context-threaded packages
 // and ctx-receiving functions that call a context-free variant of an API
@@ -36,8 +38,9 @@ var ctxflowSuffixes = []string{"internal/exec", "internal/engine", "internal/ser
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "check context threading in internal/exec, internal/engine, internal/server, " +
-		"and stagedb: no context.Background/TODO outside tests, and functions receiving " +
-		"a ctx must not call the context-free twin of a *Context API",
+		"internal/txn, and stagedb: no context.Background/TODO outside tests (in txn: " +
+		"no context-free lock waits), and functions receiving a ctx must not call the " +
+		"context-free twin of a *Context API",
 	Run: runCtxFlow,
 }
 

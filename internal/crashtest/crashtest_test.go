@@ -10,6 +10,7 @@ package crashtest
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -183,7 +184,13 @@ func verify(t *testing.T, dir string, iter int, delay time.Duration) {
 	}
 	rows := map[int]int{}
 	for _, r := range res.Rows {
-		rows[int(r[0].Int())] = int(r[1].Int())
+		id := int(r[0].Int())
+		if old, dup := rows[id]; dup {
+			// Two visible versions of one primary key: a recovered engine
+			// reused a txn id from the log and aliased an old version stamp.
+			t.Fatalf("iter %d: duplicate visible id %d (v=%d and v=%d)", iter, id, old, int(r[1].Int()))
+		}
+		rows[id] = int(r[1].Int())
 	}
 	visible := map[int]bool{}
 	maxK := 0
@@ -230,6 +237,21 @@ func verify(t *testing.T, dir string, iter int, delay time.Duration) {
 		if k := id / 3; id%3 > 1 || k < 1 || k > maxK {
 			t.Fatalf("iter %d: unexpected row id %d", iter, id)
 		}
+	}
+	// GC after recovery: with no snapshot open, Vacuum must reclaim every
+	// dead version the update chain left behind, and none may be orphaned.
+	if _, err := db.Vacuum(context.Background()); err != nil {
+		t.Fatalf("iter %d: vacuum after recovery: %v", iter, err)
+	}
+	live, dead, err := db.TableVersions("kv")
+	if err != nil {
+		t.Fatalf("iter %d: table versions: %v", iter, err)
+	}
+	if dead != 0 {
+		t.Fatalf("iter %d: %d orphan dead versions after GC + recovery", iter, dead)
+	}
+	if int(live) != len(rows) {
+		t.Fatalf("iter %d: %d live versions but %d visible rows", iter, live, len(rows))
 	}
 	// Recovery swept the spill dir and no spill file is live after reopen.
 	if live := db.SpillStats().FilesLive(); live != 0 {

@@ -11,6 +11,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,11 +19,13 @@ import (
 
 	"stagedb/internal/catalog"
 	"stagedb/internal/exec"
+	"stagedb/internal/mvcc"
 	"stagedb/internal/plan"
 	"stagedb/internal/sql"
 	"stagedb/internal/storage"
 	"stagedb/internal/txn"
 	"stagedb/internal/value"
+	"stagedb/internal/vclock"
 )
 
 // Config sizes the database kernel.
@@ -81,6 +84,10 @@ type DB struct {
 	pool   *storage.Pool
 	tm     *txn.Manager
 
+	// mv is the MVCC manager: transaction-status table, open snapshots, and
+	// the visibility rule. Readers consult it instead of taking table locks.
+	mv *mvcc.Manager
+
 	// ckptMu quiesces page mutations while a fuzzy checkpoint snapshots the
 	// engine: DML and rollback hold it shared for the duration of one
 	// operation (after their table locks are acquired — the hold is short),
@@ -94,6 +101,7 @@ type DB struct {
 	recovTorn   atomic.Uint64 // torn log bytes truncated at open
 	sweptSpill  atomic.Uint64 // orphaned spill files removed at open
 	recovLosers atomic.Uint64 // in-flight txns rolled back at open
+	sweptVers   atomic.Uint64 // dead versions swept while rebuilding indexes
 
 	// pages recycles executor exchange pages across all queries of this
 	// kernel (both the staged and the Volcano driver draw from it).
@@ -136,15 +144,50 @@ func newDBWith(cfg Config, store storage.PageStore) *DB {
 		store:   store,
 		pool:    storage.NewPool(store, cfg.PoolFrames),
 		tm:      txn.NewManager(),
+		mv:      mvcc.NewManager(vclock.NewOracle(0)),
 		pages:   exec.NewPagePool(),
 		spill:   &exec.SpillMetrics{},
 		plans:   newPlanCache(),
 		heaps:   make(map[string]*storage.Heap),
 		indexes: make(map[string]*storage.BTree),
 	}
+	// Commit timestamps are stamped after the commit record is durable and
+	// before the transaction's locks release, so any snapshot taken later
+	// sees all of the transaction's versions or none.
+	db.tm.OnCommit = func(id txn.ID) { db.mv.Commit(uint64(id)) }
 	db.workMem.Store(cfg.WorkMem)
 	db.installLiveRowCount()
 	return db
+}
+
+// begin starts a transaction and opens its MVCC snapshot. Every transaction
+// of the engine — explicit, auto-commit, and system (vacuum) — goes through
+// here so its reads are snapshot-consistent.
+func (db *DB) begin() txn.ID {
+	id := db.tm.Begin()
+	db.mv.Begin(uint64(id))
+	return id
+}
+
+// visibleFunc builds the executor's row-visibility predicate from the
+// transaction's snapshot. A transaction without a snapshot (internal
+// callers) reads the latest state: live versions only.
+func (db *DB) visibleFunc(id txn.ID) exec.VisibleFunc {
+	snap := db.mv.SnapshotOf(uint64(id))
+	if snap == nil {
+		return func(xmin, xmax uint64) bool { return xmax == 0 }
+	}
+	return func(xmin, xmax uint64) bool { return db.mv.Visible(snap, xmin, xmax) }
+}
+
+// decodeVersioned strips a heap record's version header and decodes the row
+// payload.
+func decodeVersioned(schema catalog.Schema, rec []byte) (value.Row, error) {
+	payload, err := storage.PayloadOf(rec)
+	if err != nil {
+		return nil, err
+	}
+	return storage.DecodeRow(schema, payload)
 }
 
 // installLiveRowCount gives the planner a cardinality fallback for tables
@@ -248,6 +291,13 @@ func (db *DB) SetPlanOptions(opt plan.Options) {
 // WAL exposes the write-ahead log (crash-recovery tests, checkpointing).
 func (db *DB) WAL() *txn.WAL { return db.tm.Log }
 
+// MVCC exposes the version manager (tests and tools).
+func (db *DB) MVCC() *mvcc.Manager { return db.mv }
+
+// MVCCStats snapshots the MVCC counters: snapshots taken, commits, aborts,
+// serialization conflicts, versions vacuumed, and the GC horizon.
+func (db *DB) MVCCStats() mvcc.Stats { return db.mv.Stats() }
+
 // HeapOf implements exec.Tables.
 func (db *DB) HeapOf(t *catalog.Table) (*storage.Heap, error) {
 	db.mu.RLock()
@@ -270,12 +320,15 @@ func (db *DB) IndexOf(ix *catalog.Index) (*storage.BTree, error) {
 	return bt, nil
 }
 
-// RunnerFunc drives a SELECT plan to a materialized result set.
-type RunnerFunc func(ctx context.Context, node plan.Node) ([]value.Row, error)
+// RunnerFunc drives a SELECT plan to a materialized result set. vis is the
+// calling transaction's snapshot-visibility predicate; the driver must
+// install it on the scans it builds.
+type RunnerFunc func(ctx context.Context, node plan.Node, vis exec.VisibleFunc) ([]value.Row, error)
 
 // StreamFunc drives a SELECT plan as a page cursor (the streaming client
-// API); the cursor's Close tears the execution down.
-type StreamFunc func(ctx context.Context, node plan.Node) (exec.Cursor, error)
+// API); the cursor's Close tears the execution down. vis is the calling
+// transaction's snapshot-visibility predicate.
+type StreamFunc func(ctx context.Context, node plan.Node, vis exec.VisibleFunc) (exec.Cursor, error)
 
 // Session is one client connection. Sessions are not safe for concurrent
 // use; each client drives its own.
@@ -300,15 +353,19 @@ func (db *DB) NewSession() *Session {
 	id := sessionIDs.n
 	sessionIDs.mu.Unlock()
 	s := &Session{db: db, id: id}
-	s.runnerFn = func(ctx context.Context, node plan.Node) ([]value.Row, error) {
-		op, err := exec.BuildWith(node, db, db.buildConfig())
+	s.runnerFn = func(ctx context.Context, node plan.Node, vis exec.VisibleFunc) ([]value.Row, error) {
+		cfg := db.buildConfig()
+		cfg.Visible = vis
+		op, err := exec.BuildWith(node, db, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return exec.RunCtx(ctx, op)
 	}
-	s.streamFn = func(ctx context.Context, node plan.Node) (exec.Cursor, error) {
-		op, err := exec.BuildWith(node, db, db.buildConfig())
+	s.streamFn = func(ctx context.Context, node plan.Node, vis exec.VisibleFunc) (exec.Cursor, error) {
+		cfg := db.buildConfig()
+		cfg.Visible = vis
+		op, err := exec.BuildWith(node, db, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -369,7 +426,7 @@ func (s *Session) RunStmt(ctx context.Context, stmt sql.Statement, node plan.Nod
 		if s.inTxn {
 			return nil, fmt.Errorf("engine: transaction already open")
 		}
-		s.current = s.db.tm.Begin()
+		s.current = s.db.begin()
 		s.inTxn = true
 		return &Result{}, nil
 	case *sql.Commit:
@@ -390,7 +447,7 @@ func (s *Session) RunStmt(ctx context.Context, stmt sql.Statement, node plan.Nod
 	id := s.current
 	auto := !s.inTxn
 	if auto {
-		id = s.db.tm.Begin()
+		id = s.db.begin()
 	}
 	res, err := s.db.execInTxn(ctx, id, stmt, node, s.runnerFn)
 	if auto {
@@ -399,8 +456,10 @@ func (s *Session) RunStmt(ctx context.Context, stmt sql.Statement, node plan.Nod
 		} else if cerr := s.db.commit(id); cerr != nil {
 			return nil, cerr
 		}
-	} else if err == txn.ErrDeadlock {
-		// Deadlock victims are rolled back whole.
+	} else if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, mvcc.ErrSerializationFailure) {
+		// Deadlock victims and first-committer-wins losers are rolled back
+		// whole: their snapshot is stale, so retrying inside the same
+		// transaction could never succeed.
 		s.db.rollback(id)
 		s.inTxn = false
 	}
@@ -416,13 +475,13 @@ func (s *Session) StreamStmt(ctx context.Context, sel *sql.Select, node plan.Nod
 	id := s.current
 	auto := !s.inTxn
 	if auto {
-		id = s.db.tm.Begin()
+		id = s.db.begin()
 	}
 	cur, err := s.db.queryCursor(ctx, id, sel, node, s.streamFn)
 	if err != nil {
 		if auto {
 			s.db.rollback(id)
-		} else if err == txn.ErrDeadlock {
+		} else if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, mvcc.ErrSerializationFailure) {
 			s.db.rollback(id)
 			s.inTxn = false
 		}
@@ -444,17 +503,17 @@ func (s *Session) StreamStmt(ctx context.Context, sel *sql.Select, node plan.Nod
 func (db *DB) execInTxn(ctx context.Context, id txn.ID, stmt sql.Statement, node plan.Node, runner RunnerFunc) (*Result, error) {
 	switch x := stmt.(type) {
 	case *sql.CreateTable:
-		return db.createTable(id, x)
+		return db.createTable(ctx, id, x)
 	case *sql.CreateIndex:
-		return db.createIndex(id, x)
+		return db.createIndex(ctx, id, x)
 	case *sql.DropTable:
-		return db.dropTable(id, x)
+		return db.dropTable(ctx, id, x)
 	case *sql.Insert:
-		return db.insert(id, x)
+		return db.insert(ctx, id, x)
 	case *sql.Update:
-		return db.update(id, x)
+		return db.update(ctx, id, x)
 	case *sql.Delete:
-		return db.delete(id, x)
+		return db.delete(ctx, id, x)
 	case *sql.Select:
 		return db.query(ctx, id, x, node, runner)
 	}
@@ -463,8 +522,8 @@ func (db *DB) execInTxn(ctx context.Context, id txn.ID, stmt sql.Statement, node
 
 // --- DDL ---
 
-func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
-	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
+func (db *DB) createTable(ctx context.Context, id txn.ID, stmt *sql.CreateTable) (*Result, error) {
+	if err := db.tm.Locks.Lock(ctx, id, "catalog", txn.Exclusive); err != nil {
 		return nil, err
 	}
 	db.ckptMu.RLock()
@@ -498,8 +557,14 @@ func (db *DB) createTable(id txn.ID, stmt *sql.CreateTable) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
-	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
+func (db *DB) createIndex(ctx context.Context, id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
+	if err := db.tm.Locks.Lock(ctx, id, "catalog", txn.Exclusive); err != nil {
+		return nil, err
+	}
+	// Block writers for the duration of the build: the index must cover
+	// every version that exists when it is published. Readers are unaffected
+	// (they hold only ddl: locks) and keep scanning the heap directly.
+	if err := db.tm.Locks.Lock(ctx, id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
 	db.ckptMu.RLock()
@@ -519,7 +584,10 @@ func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
 	bt := storage.NewBTree()
 	var scanErr error
 	h.Scan(func(rid storage.RID, rec []byte) bool {
-		row, err := storage.DecodeRow(tbl.Schema, rec)
+		// Index every version, dead ones included: a reader at an old
+		// snapshot must find superseded versions through the index. Vacuum
+		// removes the entries together with the versions.
+		row, err := decodeVersioned(tbl.Schema, rec)
 		if err != nil {
 			scanErr = err
 			return false
@@ -540,11 +608,16 @@ func (db *DB) createIndex(id txn.ID, stmt *sql.CreateIndex) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) dropTable(id txn.ID, stmt *sql.DropTable) (*Result, error) {
-	if err := db.tm.Locks.Lock(id, "catalog", txn.Exclusive); err != nil {
+func (db *DB) dropTable(ctx context.Context, id txn.ID, stmt *sql.DropTable) (*Result, error) {
+	if err := db.tm.Locks.Lock(ctx, id, "catalog", txn.Exclusive); err != nil {
 		return nil, err
 	}
-	if err := db.tm.Locks.Lock(id, "table:"+stmt.Name, txn.Exclusive); err != nil {
+	if err := db.tm.Locks.Lock(ctx, id, "table:"+stmt.Name, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	// Readers take no table locks under MVCC; the ddl: lock is the one
+	// point where a drop waits for in-flight scans to finish.
+	if err := db.tm.Locks.Lock(ctx, id, "ddl:"+stmt.Name, txn.Exclusive); err != nil {
 		return nil, err
 	}
 	db.ckptMu.RLock()
@@ -577,12 +650,12 @@ func (db *DB) dropTable(id txn.ID, stmt *sql.DropTable) (*Result, error) {
 
 // --- DML ---
 
-func (db *DB) insert(id txn.ID, stmt *sql.Insert) (*Result, error) {
+func (db *DB) insert(ctx context.Context, id txn.ID, stmt *sql.Insert) (*Result, error) {
 	tbl, err := db.cat.Get(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
+	if err := db.tm.Locks.Lock(ctx, id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
 	db.ckptMu.RLock()
@@ -640,24 +713,25 @@ func (db *DB) insert(id txn.ID, stmt *sql.Insert) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-// insertRow encodes, stores, indexes, and logs one row. The WAL record is
-// written while the heap page is still pinned (the heap reverts the page
-// change if logging fails), so a dirty page never reaches disk carrying a
-// row the log does not know about.
+// insertRow encodes, stores, indexes, and logs one row as a new version
+// stamped (xmin=id, xmax=0). The WAL record is written while the heap page
+// is still pinned (the heap reverts the page change if logging fails), so a
+// dirty page never reaches disk carrying a row the log does not know about.
 func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row value.Row) error {
-	// Primary-key uniqueness.
 	if pk := tbl.Schema.PrimaryKeyIndex(); pk >= 0 {
 		if ixMeta := tbl.IndexOn(tbl.Schema.Columns[pk].Name); ixMeta != nil && ixMeta.Unique {
-			bt, err := db.IndexOf(ixMeta)
-			if err == nil && len(bt.Search(row[pk])) > 0 {
-				return fmt.Errorf("engine: duplicate primary key %s in %s", row[pk], tbl.Name)
+			if bt, err := db.IndexOf(ixMeta); err == nil {
+				if err := db.checkPKFree(id, tbl, h, bt, row[pk]); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	rec, err := storage.EncodeRow(tbl.Schema, row)
+	payload, err := storage.EncodeRow(tbl.Schema, row)
 	if err != nil {
 		return err
 	}
+	rec := storage.AppendVersion(nil, uint64(id), 0, payload)
 	rid, err := h.InsertLogged(rec, func(rid storage.RID) (uint64, error) {
 		return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name, RID: rid, After: rec})
 	})
@@ -674,12 +748,148 @@ func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row valu
 	return nil
 }
 
-func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
+// checkPKFree enforces primary-key uniqueness against the latest state.
+// Under the table's exclusive lock every version stamp from another
+// transaction is decided (committed, or aborted-and-undone), so each index
+// hit resolves cleanly: a dead version (xmax set) never conflicts, a live
+// version visible to our snapshot (or our own) is a duplicate, and a live
+// version committed after our snapshot began is a first-committer-wins
+// conflict — our snapshot cannot prove the key free, so the insert fails
+// retryably instead of silently double-inserting.
+func (db *DB) checkPKFree(id txn.ID, tbl *catalog.Table, h *storage.Heap, bt *storage.BTree, key value.Value) error {
+	snap := db.mv.SnapshotOf(uint64(id))
+	for _, rid := range bt.Search(key) {
+		rec, ok, err := h.GetIf(rid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // slot already vacuumed
+		}
+		xmin, xmax, err := storage.VersionOf(rec)
+		if err != nil {
+			return err
+		}
+		if xmax != 0 {
+			continue // deleted or superseded: dead in the latest state
+		}
+		if xmin == uint64(id) {
+			return fmt.Errorf("engine: duplicate primary key %s in %s", key, tbl.Name)
+		}
+		ts, committed := db.mv.CommittedTS(xmin)
+		if !committed {
+			continue // aborted leftover; cannot be active under our X lock
+		}
+		if snap != nil && ts > snap.TS {
+			db.mv.Conflict()
+			return fmt.Errorf("engine: primary key %s in %s inserted by concurrent txn %d: %w",
+				key, tbl.Name, xmin, mvcc.ErrSerializationFailure)
+		}
+		return fmt.Errorf("engine: duplicate primary key %s in %s", key, tbl.Name)
+	}
+	return nil
+}
+
+// mvTarget is one visible version selected for superseding by an UPDATE or
+// DELETE: its location, decoded payload, and the full versioned record (the
+// before-image of the xmax stamp).
+type mvTarget struct {
+	rid storage.RID
+	row value.Row
+	rec []byte
+}
+
+// collectTargets scans the heap for versions visible to transaction id's
+// snapshot that match pred. A visible match that already carries a deleter
+// stamp is a first-committer-wins conflict: under the table's exclusive
+// lock that deleter must have committed, and it did so after our snapshot
+// began (otherwise the version would be invisible) — so the statement fails
+// with ErrSerializationFailure instead of silently overwriting.
+//
+// The heap callback only collects (mutation under the scan latch is
+// forbidden); callers apply their writes to the returned slice.
+func (db *DB) collectTargets(id txn.ID, tbl *catalog.Table, h *storage.Heap, pred plan.Expr) ([]mvTarget, error) {
+	snap := db.mv.SnapshotOf(uint64(id))
+	if snap == nil {
+		return nil, fmt.Errorf("engine: transaction %d has no snapshot", id)
+	}
+	var targets []mvTarget
+	var scanErr error
+	h.Scan(func(rid storage.RID, rec []byte) bool {
+		xmin, xmax, err := storage.VersionOf(rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !db.mv.Visible(snap, xmin, xmax) {
+			return true
+		}
+		row, err := decodeVersioned(tbl.Schema, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if pred != nil {
+			ok, err := plan.EvalPredicate(pred, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		if xmax != 0 {
+			db.mv.Conflict()
+			scanErr = fmt.Errorf("engine: row %v of %s superseded by concurrent txn %d: %w",
+				rid, tbl.Name, xmax, mvcc.ErrSerializationFailure)
+			return false
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		targets = append(targets, mvTarget{rid: rid, row: row, rec: cp})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return targets, nil
+}
+
+// supersede stamps transaction id as the deleter of the version at rid. The
+// before and after images differ only in the 8-byte xmax field of the
+// version header, so the logged update is always in place; both images
+// carry the full record so undo and recovery restore it exactly.
+func (db *DB) supersede(id txn.ID, tbl *catalog.Table, h *storage.Heap, rid storage.RID, oldRec []byte) error {
+	dead, err := storage.WithXmax(oldRec, uint64(id))
+	if err != nil {
+		return err
+	}
+	inPlace, err := h.UpdateLogged(rid, dead, func(rid storage.RID) (uint64, error) {
+		return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecUpdate, Table: tbl.Name,
+			RID: rid, Before: oldRec, After: dead})
+	})
+	if err != nil {
+		return err
+	}
+	if !inPlace {
+		return fmt.Errorf("engine: xmax stamp moved record %v of %s (same-length update must stay in place)", rid, tbl.Name)
+	}
+	return nil
+}
+
+// update implements UPDATE as supersede-plus-insert: each target's current
+// version gets this transaction stamped as its deleter (in place — readers
+// at older snapshots keep seeing it), and a fresh version with the new
+// values is inserted alongside. Index entries for the old version remain
+// until vacuum reclaims it, so index readers at old snapshots still reach
+// it; only the new version gains new entries.
+func (db *DB) update(ctx context.Context, id txn.ID, stmt *sql.Update) (*Result, error) {
 	tbl, err := db.cat.Get(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
+	if err := db.tm.Locks.Lock(ctx, id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
 	db.ckptMu.RLock()
@@ -711,37 +921,9 @@ func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
 		sets[i].col, sets[i].expr = ci, e
 	}
 
-	// Collect targets first: updating while scanning would revisit moved rows.
-	type target struct {
-		rid storage.RID
-		row value.Row
-		rec []byte
-	}
-	var targets []target
-	var scanErr error
-	h.Scan(func(rid storage.RID, rec []byte) bool {
-		row, err := storage.DecodeRow(tbl.Schema, rec)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if pred != nil {
-			ok, err := plan.EvalPredicate(pred, row)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-		}
-		cp := make([]byte, len(rec))
-		copy(cp, rec)
-		targets = append(targets, target{rid: rid, row: row, rec: cp})
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
+	targets, err := db.collectTargets(id, tbl, h, pred)
+	if err != nil {
+		return nil, err
 	}
 
 	var affected int64
@@ -758,43 +940,26 @@ func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		newRec, err := storage.EncodeRow(tbl.Schema, norm)
+		payload, err := storage.EncodeRow(tbl.Schema, norm)
 		if err != nil {
 			return nil, err
 		}
-		tg := tg
-		inPlace, err := h.UpdateLogged(tg.rid, newRec, func(rid storage.RID) (uint64, error) {
-			return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecUpdate, Table: tbl.Name,
-				RID: rid, Before: tg.rec, After: newRec})
+		if err := db.supersede(id, tbl, h, tg.rid, tg.rec); err != nil {
+			return nil, err
+		}
+		newRec := storage.AppendVersion(nil, uint64(id), 0, payload)
+		newRID, err := h.InsertLogged(newRec, func(rid storage.RID) (uint64, error) {
+			return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name,
+				RID: rid, After: newRec})
 		})
 		if err != nil {
 			return nil, err
-		}
-		newRID := tg.rid
-		if !inPlace {
-			// The record moves: a logged delete(old) plus a logged
-			// insert(new), so each page touched carries its own record and
-			// both undo and recovery see stable locations.
-			if err := h.DeleteLogged(tg.rid, func(rid storage.RID) (uint64, error) {
-				return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
-					RID: rid, Before: tg.rec})
-			}); err != nil {
-				return nil, err
-			}
-			newRID, err = h.InsertLogged(newRec, func(rid storage.RID) (uint64, error) {
-				return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name,
-					RID: rid, After: newRec})
-			})
-			if err != nil {
-				return nil, err
-			}
 		}
 		for _, ixMeta := range tbl.Indexes {
 			bt, err := db.IndexOf(ixMeta)
 			if err != nil {
 				return nil, err
 			}
-			bt.Delete(tg.row[ixMeta.ColIdx], tg.rid)
 			bt.Insert(norm[ixMeta.ColIdx], newRID)
 		}
 		affected++
@@ -802,12 +967,15 @@ func (db *DB) update(id txn.ID, stmt *sql.Update) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
+// delete implements DELETE as an xmax stamp: the version stays in the heap
+// (readers at older snapshots keep seeing it) and its index entries stay in
+// place; vacuum reclaims both once no snapshot can see the version.
+func (db *DB) delete(ctx context.Context, id txn.ID, stmt *sql.Delete) (*Result, error) {
 	tbl, err := db.cat.Get(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.tm.Locks.Lock(id, "table:"+stmt.Table, txn.Exclusive); err != nil {
+	if err := db.tm.Locks.Lock(ctx, id, "table:"+stmt.Table, txn.Exclusive); err != nil {
 		return nil, err
 	}
 	db.ckptMu.RLock()
@@ -823,52 +991,14 @@ func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
 			return nil, err
 		}
 	}
-	type target struct {
-		rid storage.RID
-		row value.Row
-		rec []byte
-	}
-	var targets []target
-	var scanErr error
-	h.Scan(func(rid storage.RID, rec []byte) bool {
-		row, err := storage.DecodeRow(tbl.Schema, rec)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if pred != nil {
-			ok, err := plan.EvalPredicate(pred, row)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-		}
-		cp := make([]byte, len(rec))
-		copy(cp, rec)
-		targets = append(targets, target{rid: rid, row: row, rec: cp})
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
+	targets, err := db.collectTargets(id, tbl, h, pred)
+	if err != nil {
+		return nil, err
 	}
 	var affected int64
 	for _, tg := range targets {
-		tg := tg
-		if err := h.DeleteLogged(tg.rid, func(rid storage.RID) (uint64, error) {
-			return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecDelete, Table: tbl.Name,
-				RID: rid, Before: tg.rec})
-		}); err != nil {
+		if err := db.supersede(id, tbl, h, tg.rid, tg.rec); err != nil {
 			return nil, err
-		}
-		for _, ixMeta := range tbl.Indexes {
-			bt, err := db.IndexOf(ixMeta)
-			if err != nil {
-				return nil, err
-			}
-			bt.Delete(tg.row[ixMeta.ColIdx], tg.rid)
 		}
 		affected++
 	}
@@ -877,9 +1007,12 @@ func (db *DB) delete(id txn.ID, stmt *sql.Delete) (*Result, error) {
 
 // --- SELECT ---
 
-// lockQueryTables takes shared locks on every table the SELECT references,
-// in sorted order to avoid lock-order deadlocks between readers and writers.
-func (db *DB) lockQueryTables(id txn.ID, stmt *sql.Select) error {
+// lockQueryTables takes shared ddl: locks on every table the SELECT
+// references, in sorted order. Under MVCC readers do not take table locks —
+// snapshot visibility replaces them, so scans never block writers — but the
+// ddl: lock keeps DROP TABLE from pulling the heap out from under an
+// in-flight scan.
+func (db *DB) lockQueryTables(ctx context.Context, id txn.ID, stmt *sql.Select) error {
 	var tables []string
 	for _, ref := range stmt.From {
 		tables = append(tables, ref.Table)
@@ -889,7 +1022,7 @@ func (db *DB) lockQueryTables(id txn.ID, stmt *sql.Select) error {
 	}
 	sort.Strings(tables)
 	for _, t := range tables {
-		if err := db.tm.Locks.Lock(id, "table:"+t, txn.Shared); err != nil {
+		if err := db.tm.Locks.Lock(ctx, id, "ddl:"+t, txn.Shared); err != nil {
 			return err
 		}
 	}
@@ -897,7 +1030,7 @@ func (db *DB) lockQueryTables(id txn.ID, stmt *sql.Select) error {
 }
 
 func (db *DB) query(ctx context.Context, id txn.ID, stmt *sql.Select, node plan.Node, runner RunnerFunc) (*Result, error) {
-	if err := db.lockQueryTables(id, stmt); err != nil {
+	if err := db.lockQueryTables(ctx, id, stmt); err != nil {
 		return nil, err
 	}
 	if node == nil {
@@ -907,7 +1040,7 @@ func (db *DB) query(ctx context.Context, id txn.ID, stmt *sql.Select, node plan.
 			return nil, err
 		}
 	}
-	rows, err := runner(ctx, node)
+	rows, err := runner(ctx, node, db.visibleFunc(id))
 	if err != nil {
 		return nil, err
 	}
@@ -918,7 +1051,7 @@ func (db *DB) query(ctx context.Context, id txn.ID, stmt *sql.Select, node plan.
 // returns a cursor over its result pages without draining them. The caller
 // (Session.StreamStmt) arranges transaction finish on the cursor's Close.
 func (db *DB) queryCursor(ctx context.Context, id txn.ID, stmt *sql.Select, node plan.Node, stream StreamFunc) (*Cursor, error) {
-	if err := db.lockQueryTables(id, stmt); err != nil {
+	if err := db.lockQueryTables(ctx, id, stmt); err != nil {
 		return nil, err
 	}
 	if node == nil {
@@ -928,7 +1061,7 @@ func (db *DB) queryCursor(ctx context.Context, id txn.ID, stmt *sql.Select, node
 			return nil, err
 		}
 	}
-	src, err := stream(ctx, node)
+	src, err := stream(ctx, node, db.visibleFunc(id))
 	if err != nil {
 		return nil, err
 	}
@@ -1015,17 +1148,30 @@ func (db *DB) rollback(id txn.ID) error {
 	// undone, and recovery would lose the remaining undo.
 	db.ckptMu.RLock()
 	defer db.ckptMu.RUnlock()
+	// Stamp aborted before undo starts: from here no snapshot sees the
+	// transaction's versions, so readers never observe a half-undone txn.
+	db.mv.Abort(uint64(id))
+	snap := db.mv.SnapshotOf(uint64(id))
 	undo, err := db.tm.PrepareAbort(id)
 	if err != nil {
+		db.mv.End(snap)
 		return err
 	}
 	for _, rec := range undo {
 		if err := db.undoOne(rec); err != nil {
 			db.tm.FinishAbort(id)
+			// Undo incomplete: keep the aborted status entry unprunable (no
+			// AbortDone) so surviving stamps stay invisible.
+			db.mv.End(snap)
 			return err
 		}
 	}
-	return db.tm.FinishAbort(id)
+	err = db.tm.FinishAbort(id)
+	// Undo complete: no heap record references the id any more, so the
+	// status entry becomes prunable once concurrent snapshots end.
+	db.mv.AbortDone(uint64(id))
+	db.mv.End(snap)
+	return err
 }
 
 func (db *DB) undoOne(rec txn.Record) error {
@@ -1040,7 +1186,7 @@ func (db *DB) undoOne(rec txn.Record) error {
 	}
 	switch rec.Kind {
 	case txn.RecInsert:
-		row, err := storage.DecodeRow(tbl.Schema, rec.After)
+		row, err := decodeVersioned(tbl.Schema, rec.After)
 		if err != nil {
 			return err
 		}
@@ -1058,7 +1204,7 @@ func (db *DB) undoOne(rec txn.Record) error {
 			bt.Delete(row[ixMeta.ColIdx], rec.RID)
 		}
 	case txn.RecDelete:
-		row, err := storage.DecodeRow(tbl.Schema, rec.Before)
+		row, err := decodeVersioned(tbl.Schema, rec.Before)
 		if err != nil {
 			return err
 		}
@@ -1077,11 +1223,11 @@ func (db *DB) undoOne(rec txn.Record) error {
 			bt.Insert(row[ixMeta.ColIdx], rid)
 		}
 	case txn.RecUpdate:
-		newRow, err := storage.DecodeRow(tbl.Schema, rec.After)
+		newRow, err := decodeVersioned(tbl.Schema, rec.After)
 		if err != nil {
 			return err
 		}
-		oldRow, err := storage.DecodeRow(tbl.Schema, rec.Before)
+		oldRow, err := decodeVersioned(tbl.Schema, rec.Before)
 		if err != nil {
 			return err
 		}
@@ -1126,6 +1272,14 @@ func (db *DB) undoOne(rec txn.Record) error {
 // rebuilt from the log's after-images.
 func (db *DB) Replay(records []txn.Record) error {
 	planned := txn.Analyze(records)
+	// Replayed version headers carry the original txn ids; advance the
+	// counter past them so no future transaction aliases an id that commits
+	// or aborts out from under the replayed versions' visibility.
+	for _, rec := range records {
+		if rec.Txn != 0 {
+			db.tm.SetNext(rec.Txn + 1)
+		}
+	}
 	// Recovered RIDs differ from logged ones; track the mapping.
 	ridMap := make(map[string]map[storage.RID]storage.RID)
 	mapped := func(table string, rid storage.RID) storage.RID {
@@ -1147,7 +1301,7 @@ func (db *DB) Replay(records []txn.Record) error {
 		}
 		switch rec.Kind {
 		case txn.RecInsert:
-			row, err := storage.DecodeRow(tbl.Schema, rec.After)
+			row, err := decodeVersioned(tbl.Schema, rec.After)
 			if err != nil {
 				return err
 			}
@@ -1168,7 +1322,7 @@ func (db *DB) Replay(records []txn.Record) error {
 			}
 		case txn.RecDelete:
 			rid := mapped(rec.Table, rec.RID)
-			row, err := storage.DecodeRow(tbl.Schema, rec.Before)
+			row, err := decodeVersioned(tbl.Schema, rec.Before)
 			if err != nil {
 				return err
 			}
@@ -1184,11 +1338,11 @@ func (db *DB) Replay(records []txn.Record) error {
 			}
 		case txn.RecUpdate:
 			rid := mapped(rec.Table, rec.RID)
-			oldRow, err := storage.DecodeRow(tbl.Schema, rec.Before)
+			oldRow, err := decodeVersioned(tbl.Schema, rec.Before)
 			if err != nil {
 				return err
 			}
-			newRow, err := storage.DecodeRow(tbl.Schema, rec.After)
+			newRow, err := decodeVersioned(tbl.Schema, rec.After)
 			if err != nil {
 				return err
 			}
@@ -1232,7 +1386,17 @@ func (db *DB) Analyze(table string) error {
 	}
 	var scanErr error
 	h.Scan(func(_ storage.RID, rec []byte) bool {
-		row, err := storage.DecodeRow(tbl.Schema, rec)
+		_, xmax, err := storage.VersionOf(rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if xmax != 0 {
+			// Superseded or deleted version: statistics describe the latest
+			// state, not the version history.
+			return true
+		}
+		row, err := decodeVersioned(tbl.Schema, rec)
 		if err != nil {
 			scanErr = err
 			return false

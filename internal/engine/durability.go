@@ -123,15 +123,28 @@ func (db *DB) Close() error {
 // commit finishes a transaction. In durable mode the active-table removal
 // and the commit-record append must not straddle a checkpoint (the snapshot
 // would miss the txn while its pages get flushed), so the commit runs under
-// the checkpoint's shared lock; the group-commit wait happens inside.
+// the checkpoint's shared lock; the group-commit wait happens inside. On
+// success the txn.Manager's OnCommit hook has already stamped the MVCC
+// commit timestamp (before the locks released); here only the snapshot is
+// retired.
 func (db *DB) commit(id txn.ID) error {
+	var err error
 	if db.fstore == nil {
-		return db.tm.Commit(id)
+		err = db.tm.Commit(id)
+	} else {
+		db.ckptMu.RLock()
+		err = db.tm.Commit(id)
+		db.ckptMu.RUnlock()
+		defer db.maybeCheckpoint()
 	}
-	db.ckptMu.RLock()
-	err := db.tm.Commit(id)
-	db.ckptMu.RUnlock()
-	db.maybeCheckpoint()
+	if err != nil {
+		// The commit record never became durable: locks are released and no
+		// undo runs, so stamp the id aborted to keep its versions invisible.
+		// No AbortDone — the heap still carries the stamps, so the status
+		// entry must never be pruned.
+		db.mv.Abort(uint64(id))
+	}
+	db.mv.End(db.mv.SnapshotOf(uint64(id)))
 	return err
 }
 
@@ -337,6 +350,17 @@ func (db *DB) recover(scan *txn.ScanResult) error {
 			}
 			start = i + 1
 			break
+		}
+	}
+	// Advance the txn-id counter past every id in the log, not just the
+	// checkpoint's snapshot: ids handed out after the checkpoint appear only
+	// in the tail records. A reused id aliases the version stamps the old
+	// transaction left in the heap — if the new incarnation aborts, the old
+	// incarnation's committed versions go invisible with it (and a later
+	// re-insert of the same key duplicates the row after the next restart).
+	for _, rec := range recs {
+		if rec.Txn != 0 {
+			db.tm.SetNext(rec.Txn + 1)
 		}
 	}
 	compensated := make(map[uint64]bool)
@@ -575,7 +599,13 @@ func (db *DB) undoRecovered(rec txn.Record) error {
 
 // rebuildIndexes repopulates every index from its heap — cheaper and
 // simpler than logging index mutations, at the cost of an O(data) scan on
-// recovery only.
+// recovery only. The same pass sweeps dead versions: after undoing the
+// losers every version stamp left in the heap belongs to a committed
+// transaction, so a non-zero xmax marks a version invisible to every future
+// snapshot (the fresh MVCC manager treats surviving ids as committed at 0).
+// Those slots are cleared unlogged — the post-recovery checkpoint persists
+// the settled pages — and never indexed, so recovery leaves no orphan
+// versions behind.
 func (db *DB) rebuildIndexes() error {
 	for _, name := range db.cat.List() {
 		tbl, err := db.cat.Get(name)
@@ -585,7 +615,7 @@ func (db *DB) rebuildIndexes() error {
 		db.mu.RLock()
 		h := db.heaps[name]
 		db.mu.RUnlock()
-		if h == nil || len(tbl.Indexes) == 0 {
+		if h == nil {
 			continue
 		}
 		fresh := make(map[string]*storage.BTree, len(tbl.Indexes))
@@ -593,8 +623,21 @@ func (db *DB) rebuildIndexes() error {
 			fresh[ix.Name] = storage.NewBTree()
 		}
 		var scanErr error
+		var dead []storage.RID
 		h.Scan(func(rid storage.RID, rec []byte) bool {
-			row, err := storage.DecodeRow(tbl.Schema, rec)
+			_, xmax, err := storage.VersionOf(rec)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if xmax != 0 {
+				dead = append(dead, rid)
+				return true
+			}
+			if len(fresh) == 0 {
+				return true
+			}
+			row, err := decodeVersioned(tbl.Schema, rec)
 			if err != nil {
 				scanErr = err
 				return false
@@ -606,6 +649,12 @@ func (db *DB) rebuildIndexes() error {
 		})
 		if scanErr != nil {
 			return scanErr
+		}
+		for _, rid := range dead {
+			if err := h.Delete(rid); err != nil {
+				return err
+			}
+			db.sweptVers.Add(1)
 		}
 		db.mu.Lock()
 		for name, bt := range fresh {
@@ -643,5 +692,6 @@ func (db *DB) WALCounters() map[string]int64 {
 		"recov_losers":     int64(db.recovLosers.Load()),
 		"recov_torn_bytes": int64(db.recovTorn.Load()),
 		"swept_spill":      int64(db.sweptSpill.Load()),
+		"swept_versions":   int64(db.sweptVers.Load()),
 	}
 }

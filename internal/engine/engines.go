@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"runtime"
+
 	"stagedb/internal/autotune"
 	"stagedb/internal/core"
 	"stagedb/internal/exec"
@@ -312,6 +314,10 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 	s := &Staged{db: db, srv: core.NewServer(), execStats: make(map[string]*metrics.StageStats)}
 	if !cfg.DisableSharedScans {
 		s.shared = exec.NewSharedScans(db.cfg.BufferPages, db.pages)
+		// Engine heap records carry MVCC version headers; the wheel decodes
+		// them into per-row sidecars so each consumer applies its own
+		// snapshot's visibility.
+		s.shared.SetVersioned(true)
 	}
 	if cfg.ExecWorkers >= 0 {
 		s.execPool = exec.NewStagePool(exec.StagePoolConfig{
@@ -319,6 +325,11 @@ func NewStaged(db *DB, cfg StagedConfig) *Staged {
 			QueueDepth: cfg.ExecQueueDepth,
 			Batch:      cfg.ExecBatch,
 		})
+		// Park every operator stage's workers now, not at first use: a
+		// worker spawned lazily under load can sit unscheduled in the run
+		// queue for a whole GC cycle on a single-CPU runtime, stalling the
+		// first query that needs its stage (see StagePool.Prestart).
+		s.execPool.Prestart("fscan", "iscan", "filter", "sort", "join", "aggr", "exec")
 	}
 
 	s.srv.AddStage(core.StageConfig{
@@ -505,6 +516,7 @@ func (s *Staged) Snapshot() []metrics.StageSnapshot {
 	out = append(out, metrics.StageSnapshot{Name: "pagepool", Counters: s.db.pages.Counters()})
 	out = append(out, metrics.StageSnapshot{Name: "prepare", Counters: s.db.plans.Counters()})
 	out = append(out, metrics.StageSnapshot{Name: "spill", Counters: s.db.spill.Counters()})
+	out = append(out, metrics.StageSnapshot{Name: "mvcc", Counters: mvccCounters(s.db.mv.Stats())})
 	if wal := s.db.WALCounters(); wal != nil {
 		out = append(out, metrics.StageSnapshot{Name: "wal", Counters: wal})
 	}
@@ -598,16 +610,26 @@ func (s *Staged) optimize(pkt *core.Packet) (core.Verdict, error) {
 // occupying the stage worker; the cursor's Close (or a context cancel)
 // abandons the pipeline and recycles its pages.
 func (s *Staged) execute(pkt *core.Packet) (core.Verdict, error) {
+	// Fairness valve for single-P runtimes: the stage-to-stage handoff chain
+	// wakes exactly one goroutine before every park, so the scheduler's
+	// direct-handoff slot is never empty and goroutines sitting in the local
+	// run queue (a just-launched pipeline's stage workers, a shared scan's
+	// producer) can starve until the next GC pause — observed as a
+	// multi-hundred-millisecond time-to-first-row for the first analytic
+	// query under closed-loop writers. Yielding here, before this worker has
+	// woken its successor, is the one point in the chain where the handoff
+	// slot is empty, so the yield actually drains the queue.
+	runtime.Gosched()
 	req := pkt.Backpack.(*Request)
 	if err := req.ctxErr(); err != nil {
 		return core.Done, err
 	}
 	sess := req.Session
-	sess.SetRunner(func(ctx context.Context, node plan.Node) ([]value.Row, error) {
-		return exec.RunStaged(node, s.db, s.execRunner(), s.stagedOptions(ctx))
+	sess.SetRunner(func(ctx context.Context, node plan.Node, vis exec.VisibleFunc) ([]value.Row, error) {
+		return exec.RunStaged(node, s.db, s.execRunner(), s.stagedOptions(ctx, vis))
 	})
-	sess.SetStreamRunner(func(ctx context.Context, node plan.Node) (exec.Cursor, error) {
-		return exec.RunStagedCursor(node, s.db, s.execRunner(), s.stagedOptions(ctx))
+	sess.SetStreamRunner(func(ctx context.Context, node plan.Node, vis exec.VisibleFunc) (exec.Cursor, error) {
+		return exec.RunStagedCursor(node, s.db, s.execRunner(), s.stagedOptions(ctx, vis))
 	})
 	if len(req.Script) > 0 {
 		req.run()
@@ -622,7 +644,7 @@ func (s *Staged) execute(pkt *core.Packet) (core.Verdict, error) {
 }
 
 // stagedOptions assembles one execution's StagedOptions.
-func (s *Staged) stagedOptions(ctx context.Context) exec.StagedOptions {
+func (s *Staged) stagedOptions(ctx context.Context, vis exec.VisibleFunc) exec.StagedOptions {
 	return exec.StagedOptions{
 		PageRows:    s.db.cfg.PageRows,
 		BufferPages: s.db.cfg.BufferPages,
@@ -631,6 +653,7 @@ func (s *Staged) stagedOptions(ctx context.Context) exec.StagedOptions {
 		WorkMem:     s.db.WorkMem(),
 		TempDir:     s.db.cfg.TempDir,
 		Spill:       s.db.spill,
+		Visible:     vis,
 		Ctx:         ctx,
 	}
 }

@@ -107,6 +107,7 @@ func RunStagedCursor(n plan.Node, tables Tables, runner StageRunner, opts Staged
 			WorkMem:  opts.WorkMem,
 			TempDir:  opts.TempDir,
 			Spill:    opts.Spill,
+			Visible:  opts.Visible,
 		},
 		bufferPages: opts.BufferPages,
 		shared:      opts.Shared,

@@ -74,6 +74,11 @@ func ResolveWorkMem(v int64) int64 {
 	return v
 }
 
+// VisibleFunc decides whether a record version stamped (xmin, xmax) is
+// visible to the running query's snapshot. The engine derives it from the
+// MVCC manager; exec only threads it into the scans.
+type VisibleFunc func(xmin, xmax uint64) bool
+
 // BuildConfig parameterizes operator construction.
 type BuildConfig struct {
 	// PageRows is the exchange batch size (0 = DefaultPageRows).
@@ -90,6 +95,11 @@ type BuildConfig struct {
 	TempDir string
 	// Spill accumulates spill counters (nil = discarded).
 	Spill *SpillMetrics
+	// Visible, when set, marks heap records as MVCC-versioned: scans strip
+	// the storage.VerHdrLen version header before decoding and drop versions
+	// the function rejects. Nil means records are raw EncodeRow payloads
+	// (the pre-MVCC layout, still used by exec's own tests).
+	Visible VisibleFunc
 }
 
 // resolve fills defaulted fields.
@@ -186,7 +196,7 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, cfg BuildConfig)
 		if err != nil {
 			return nil, err
 		}
-		s := &seqScan{node: x, heap: h, pageRows: pageRows, pool: pool}
+		s := &seqScan{node: x, heap: h, pageRows: pageRows, pool: pool, vis: cfg.Visible}
 		if x.Filter != nil {
 			s.pred = plan.CompilePredicate(x.Filter)
 		}
@@ -212,7 +222,7 @@ func BuildNode(n plan.Node, children []Operator, tables Tables, cfg BuildConfig)
 		if (x.LoExpr != nil && lo.IsNull()) || (x.HiExpr != nil && hi.IsNull()) {
 			return emptyOp{}, nil
 		}
-		s := &indexScan{node: x, heap: h, tree: bt, lo: lo, hi: hi, pageRows: pageRows, pool: pool}
+		s := &indexScan{node: x, heap: h, tree: bt, lo: lo, hi: hi, pageRows: pageRows, pool: pool, vis: cfg.Visible}
 		if x.Filter != nil {
 			s.pred = plan.CompilePredicate(x.Filter)
 		}
@@ -314,6 +324,7 @@ type seqScan struct {
 	pageRows int
 	pool     *PagePool
 	pred     plan.CompiledPredicate // compiled pushed-down filter; nil = all
+	vis      VisibleFunc            // MVCC visibility; nil = unversioned records
 
 	// Shared-scan wiring, injected by the staged driver when scan sharing is
 	// enabled: attach joins the fscan stage's in-flight circular scan on the
@@ -325,11 +336,19 @@ type seqScan struct {
 	attach func(*storage.Heap, *catalog.Table) *scanConsumer
 	wake   func()
 
-	cur  *storage.Cursor // private streaming mode
-	cons *scanConsumer   // shared mode
-	out  *Page           // output page under construction
-	fan  *Page           // shared mode: fanned-out page being consumed
-	fanI int             // next row index within fan
+	// Private streaming mode walks the heap page-at-a-time under the heap
+	// latch (storage.Cursor would alias page bytes across calls, unsafe
+	// while MVCC writers mutate concurrently): the page list is snapshotted
+	// at Open — rows a concurrent writer adds later are invisible to this
+	// snapshot anyway — and each Next drains whole pages until the output
+	// fills, so LIMIT queries still read only a prefix.
+	privPages []storage.PageID
+	privIdx   int
+
+	cons *scanConsumer // shared mode
+	out  *Page         // output page under construction
+	fan  *Page         // shared mode: fanned-out page being consumed
+	fanI int           // next row index within fan
 	eos  bool
 
 	// Continuation of a spilled shared scan: the circular remainder this
@@ -352,8 +371,38 @@ func (s *seqScan) Open() error {
 		}
 		return nil
 	}
-	s.cur = s.heap.Cursor()
+	s.privPages, s.privIdx = s.heap.PageIDs(), 0
 	return nil
+}
+
+// accept strips the version header (versioned mode), applies visibility and
+// the pushed-down predicate, and pushes surviving rows onto the output page.
+func (s *seqScan) accept(rec []byte) (bool, error) {
+	if s.vis != nil {
+		xmin, xmax, err := storage.VersionOf(rec)
+		if err != nil {
+			return false, err
+		}
+		if !s.vis(xmin, xmax) {
+			return true, nil
+		}
+		rec, _ = storage.PayloadOf(rec)
+	}
+	row, err := storage.DecodeRow(s.node.Table.Schema, rec)
+	if err != nil {
+		return false, err
+	}
+	if s.pred != nil {
+		keep, err := s.pred(row)
+		if err != nil {
+			return false, err
+		}
+		if !keep {
+			return true, nil
+		}
+	}
+	s.push(row)
+	return true, nil
 }
 
 // push appends an accepted row to the output page under construction.
@@ -384,28 +433,24 @@ func (s *seqScan) Next() (*Page, error) {
 		return s.nextShared()
 	}
 	for !s.eos && s.outLen() < s.pageRows {
-		_, rec, ok, err := s.cur.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
+		if s.privIdx >= len(s.privPages) {
 			s.eos = true
 			break
 		}
-		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
+		id := s.privPages[s.privIdx]
+		s.privIdx++
+		var accErr error
+		err := s.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
+			ok, err := s.accept(rec)
+			accErr = err
+			return ok
+		})
+		if err == nil {
+			err = accErr
+		}
 		if err != nil {
 			return nil, err
 		}
-		if s.pred != nil {
-			keep, err := s.pred(row)
-			if err != nil {
-				return nil, err
-			}
-			if !keep {
-				continue
-			}
-		}
-		s.push(row)
 	}
 	return s.emit(), nil
 }
@@ -419,8 +464,24 @@ func (s *seqScan) nextShared() (*Page, error) {
 	for !s.eos && s.outLen() < s.pageRows {
 		if s.fan != nil {
 			for s.fanI < len(s.fan.Rows) && s.outLen() < s.pageRows {
-				row := s.fan.Rows[s.fanI]
+				i := s.fanI
+				row := s.fan.Rows[i]
 				s.fanI++
+				// Versioned producers carry each row's (xmin, xmax) in a
+				// parallel sidecar; visibility is per-consumer (snapshots
+				// differ), so it is applied here during copy-out — fan pages
+				// are shared and never narrowed. A consumer without a
+				// snapshot reads latest-state: live versions only.
+				if s.fan.Vers != nil {
+					v := s.fan.Vers[i]
+					if s.vis != nil {
+						if !s.vis(v.Xmin, v.Xmax) {
+							continue
+						}
+					} else if v.Xmax != 0 {
+						continue
+					}
+				}
 				if s.pred != nil {
 					keep, err := s.pred(row)
 					if err != nil {
@@ -487,23 +548,9 @@ func (s *seqScan) nextContinuation() error {
 	}
 	var accErr error
 	err := s.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
-		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
-		if err != nil {
-			accErr = err
-			return false
-		}
-		if s.pred != nil {
-			keep, err := s.pred(row)
-			if err != nil {
-				accErr = err
-				return false
-			}
-			if !keep {
-				return true
-			}
-		}
-		s.push(row)
-		return true
+		ok, err := s.accept(rec)
+		accErr = err
+		return ok
 	})
 	if err == nil {
 		err = accErr
@@ -512,10 +559,7 @@ func (s *seqScan) nextContinuation() error {
 }
 
 func (s *seqScan) Close() error {
-	if s.cur != nil {
-		s.cur.Close()
-		s.cur = nil
-	}
+	s.privPages, s.privIdx = nil, 0
 	if s.cons != nil {
 		s.cons.close()
 		s.cons = nil
@@ -535,6 +579,7 @@ type indexScan struct {
 	pageRows int
 	pool     *PagePool
 	pred     plan.CompiledPredicate
+	vis      VisibleFunc // MVCC visibility; nil = unversioned records
 
 	cur *storage.TreeCursor
 	out *Page
@@ -554,9 +599,34 @@ func (s *indexScan) Next() (*Page, error) {
 			s.eos = true
 			break
 		}
-		rec, err := s.heap.Get(rid)
-		if err != nil {
-			return nil, err
+		var rec []byte
+		var err error
+		if s.vis != nil {
+			// Index entries reference every version of a key (dead versions
+			// stay indexed until vacuum); the heap record's stamps decide
+			// visibility, and a slot vacuum reclaimed mid-scan was invisible
+			// to this snapshot by the GC horizon rule — skip it.
+			var live bool
+			rec, live, err = s.heap.GetIf(rid)
+			if err != nil {
+				return nil, err
+			}
+			if !live {
+				continue
+			}
+			xmin, xmax, err := storage.VersionOf(rec)
+			if err != nil {
+				return nil, err
+			}
+			if !s.vis(xmin, xmax) {
+				continue
+			}
+			rec, _ = storage.PayloadOf(rec)
+		} else {
+			rec, err = s.heap.Get(rid)
+			if err != nil {
+				return nil, err
+			}
 		}
 		row, err := storage.DecodeRow(s.node.Table.Schema, rec)
 		if err != nil {

@@ -29,6 +29,12 @@ import (
 	"stagedb/internal/value"
 )
 
+// RowVer carries a row's MVCC version stamps alongside the decoded row in a
+// shared-scan fan-out page.
+type RowVer struct {
+	Xmin, Xmax uint64
+}
+
 // Page is a batch of rows exchanged between operators.
 type Page struct {
 	// Rows holds every row carried by the page.
@@ -38,9 +44,15 @@ type Page struct {
 	// in place instead of copying surviving rows. nil means all rows are
 	// live.
 	Sel []int32
+	// Vers, when non-nil, is a per-row sidecar of MVCC version stamps,
+	// parallel to Rows. Shared-scan producers fill it so each consumer can
+	// apply its own snapshot's visibility during copy-out — the heap page is
+	// decoded once, but visibility is per-snapshot.
+	Vers []RowVer
 
 	buf    []value.Row // backing array owned by the page, reused on recycle
 	selBuf []int32     // selection backing, reused on recycle
+	verBuf []RowVer    // version-sidecar backing, reused on recycle
 	refs   atomic.Int32
 	pool   *PagePool
 }
@@ -158,7 +170,7 @@ func (pp *PagePool) Get(capRows int) *Page {
 			pg.buf = make([]value.Row, 0, capRows)
 		}
 		pg.Rows = pg.buf[:0]
-		pg.Sel = nil
+		pg.Sel, pg.Vers = nil, nil
 		pg.refs.Store(1)
 		pg.pool = pp
 		return pg
@@ -179,9 +191,12 @@ func (pp *PagePool) put(p *Page) {
 	if cap(p.Rows) > cap(p.buf) {
 		p.buf = p.Rows[:0]
 	}
+	if cap(p.Vers) > cap(p.verBuf) {
+		p.verBuf = p.Vers[:0]
+	}
 	// Drop row headers so a parked pool page does not pin row memory.
 	clear(p.buf[:cap(p.buf)])
-	p.Rows, p.Sel = nil, nil
+	p.Rows, p.Sel, p.Vers = nil, nil, nil
 	pp.recycle.Add(1)
 	pp.pool.Put(p)
 }

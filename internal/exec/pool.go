@@ -113,6 +113,27 @@ func (p *StagePool) stageLocked(name string) *poolStage {
 	return ps
 }
 
+// Prestart creates the pools — and parks the workers — for the given stage
+// classes before any query runs. Lazily spawned workers are hostage to
+// scheduler fairness at their first activation: a brand-new goroutine enters
+// the run queue cold, and on a single-CPU runtime a channel-handoff chain
+// between already-running goroutines (a closed-loop writer ping-ponging with
+// the front-end stage workers) can starve it until the next GC pause —
+// observed as a multi-hundred-millisecond time-to-first-row spike on the
+// first analytic query. A pre-started worker parks on its queue during
+// engine construction instead, so the first query's tasks wake it by channel
+// send exactly like every later query's.
+func (p *StagePool) Prestart(classes ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	for _, c := range classes {
+		p.stageLocked(c)
+	}
+}
+
 // Submit implements StageRunner for non-resumable tasks.
 func (p *StagePool) Submit(stage string, task func()) {
 	p.schedule(&opTask{stage: stage, fn: task})

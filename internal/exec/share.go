@@ -34,6 +34,7 @@ type SharedScans struct {
 	bufferPages int
 	stall       time.Duration
 	pool        *PagePool // decoded fan-out pages; nil = unpooled
+	versioned   bool      // heap records carry MVCC version headers
 
 	mu    sync.Mutex
 	scans map[*storage.Heap]*sharedScan
@@ -60,6 +61,13 @@ func NewSharedScans(bufferPages int, pool *PagePool) *SharedScans {
 		scans:       make(map[*storage.Heap]*sharedScan),
 	}
 }
+
+// SetVersioned marks the manager's heaps as MVCC-versioned: producers strip
+// each record's version header, decode the payload, and publish the (xmin,
+// xmax) stamps in the fan-out page's Vers sidecar so every consumer can
+// apply its own snapshot's visibility. Set once at engine construction,
+// before any scan starts.
+func (m *SharedScans) SetVersioned(v bool) { m.versioned = v }
 
 // SharedScanStats is a point-in-time copy of the share counters.
 type SharedScanStats struct {
@@ -103,9 +111,13 @@ func (m *SharedScans) Counters() map[string]int64 {
 // sharedScan is one in-flight circular scan of a heap. A dedicated producer
 // goroutine walks the page list round-robin, decoding each page once and
 // pushing the decoded page to every attached consumer. The page list is
-// snapshotted at scan start; table locks guarantee the heap cannot change
-// while any consumer (whose query holds a shared lock) is attached, and
-// attach rejects scans whose snapshot went stale in between.
+// snapshotted at scan start and attach rejects scans whose snapshot went
+// stale (the heap grew) in between. Under MVCC, writers mutate the heap
+// while the wheel turns: the per-page decode runs under the heap latch, rows
+// a writer adds to already-listed pages ride along with their version stamps
+// (each consumer's snapshot filters them), pages appended after the snapshot
+// are invisible to attached snapshots anyway, and readers' DDL locks plus
+// the vacuum GC horizon keep listed pages from disappearing.
 type sharedScan struct {
 	mgr   *SharedScans
 	heap  *storage.Heap
@@ -313,17 +325,36 @@ func (s *sharedScan) run() {
 }
 
 // decode pins one heap page and decodes every live record on it — once, for
-// all attached consumers — into a pooled page.
+// all attached consumers — into a pooled page. In versioned mode it strips
+// each record's version header and publishes the stamps in the Vers sidecar;
+// visibility stays per-consumer (snapshots differ), so nothing is filtered
+// here.
 func (s *sharedScan) decode(id storage.PageID) (*Page, error) {
 	pg := s.mgr.pool.Get(DefaultPageRows)
+	if s.mgr.versioned {
+		pg.Vers = pg.verBuf[:0]
+	}
 	var derr error
 	err := s.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
+		var ver RowVer
+		if s.mgr.versioned {
+			xmin, xmax, err := storage.VersionOf(rec)
+			if err != nil {
+				derr = err
+				return false
+			}
+			ver = RowVer{Xmin: xmin, Xmax: xmax}
+			rec, _ = storage.PayloadOf(rec)
+		}
 		row, err := storage.DecodeRow(s.tbl.Schema, rec)
 		if err != nil {
 			derr = err
 			return false
 		}
 		pg.Rows = append(pg.Rows, row)
+		if s.mgr.versioned {
+			pg.Vers = append(pg.Vers, ver)
+		}
 		return true
 	})
 	if err == nil {

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 
 	"stagedb/internal/catalog"
@@ -384,6 +385,14 @@ func (t *opTask) step() taskStatus {
 			switch t.out.trySend(t.pending, t.wake) {
 			case sendOK:
 				t.pending = nil
+				// A page is the scheduling quantum. The send just made the
+				// downstream consumer runnable via the scheduler's direct-
+				// handoff slot; on a single-P runtime the pair would otherwise
+				// ping-pong there for the whole scan, starving unrelated
+				// runnable goroutines (a concurrent writer's stage chain) in
+				// the local run queue. Yield once per delivered page so
+				// co-runnable work rotates in at page granularity.
+				runtime.Gosched()
 			case sendBlocked:
 				return taskBlocked
 			default: // sendFailed
@@ -589,6 +598,10 @@ type StagedOptions struct {
 	TempDir string
 	// Spill accumulates spill counters (nil = discarded).
 	Spill *SpillMetrics
+	// Visible, when set, marks heap records as MVCC-versioned and decides
+	// per-version visibility for this query's snapshot (see
+	// BuildConfig.Visible).
+	Visible VisibleFunc
 	// Ctx, when cancellable, aborts the execution between pages: the
 	// pipeline fails with the context's error, producers stop, and every
 	// checked-out page drains back to the pool.

@@ -331,6 +331,8 @@ func codeFor(err error) wire.ErrCode {
 		return wire.ErrCodeAdmission
 	case errors.Is(err, stagedb.ErrDraining):
 		return wire.ErrCodeDraining
+	case errors.Is(err, stagedb.ErrSerializationFailure):
+		return wire.ErrCodeSerialization
 	case errors.Is(err, context.DeadlineExceeded):
 		return wire.ErrCodeTimeout
 	case errors.Is(err, context.Canceled):

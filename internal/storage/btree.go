@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"stagedb/internal/value"
 )
@@ -14,9 +15,11 @@ const btreeOrder = 64
 // lazily without rebalancing, as in several production systems; structure
 // height only grows on inserts.
 //
-// BTree is not safe for concurrent mutation; the engine serializes index
-// updates through the lock manager.
+// Mutators serialize through the engine's table locks; an internal RWMutex
+// additionally protects lookups so that MVCC snapshot readers — which take
+// no table locks — can search and range-scan concurrently with a writer.
 type BTree struct {
+	mu     sync.RWMutex
 	root   node
 	height int
 	size   int // live (key, RID) pairs
@@ -53,10 +56,18 @@ func NewBTree() *BTree {
 }
 
 // Len reports the number of live (key, RID) pairs.
-func (t *BTree) Len() int { return t.size }
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // Height reports the tree height in nodes (1 = a single leaf).
-func (t *BTree) Height() int { return t.height }
+func (t *BTree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 func mustCompare(a, b value.Value) int {
 	c, err := value.Compare(a, b)
@@ -100,6 +111,8 @@ func (t *BTree) Insert(key value.Value, rid RID) {
 	if key.IsNull() {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	sep, right := t.root.insert(key, rid)
 	t.size++
 	if right != nil {
@@ -113,6 +126,8 @@ func (t *BTree) Delete(key value.Value, rid RID) bool {
 	if key.IsNull() {
 		return false
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.root.remove(key, rid) {
 		t.size--
 		return true
@@ -125,6 +140,8 @@ func (t *BTree) Search(key value.Value) []RID {
 	if key.IsNull() {
 		return nil
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.root.search(key)
 }
 
@@ -142,23 +159,43 @@ func (t *BTree) Range(lo, hi value.Value, visit func(key value.Value, rid RID) b
 
 // TreeCursor is a resumable Range: it yields the (key, rid) pairs of
 // [lo, hi] in key order, one per Next, and can pause indefinitely between
-// calls. The tree must not be mutated while a cursor is open — the engine's
-// table locks guarantee that for scans, as with Range's callback walk.
+// calls. The matching pairs are materialized under the tree's read lock when
+// the cursor opens, so iteration stays consistent while concurrent writers
+// mutate the tree — MVCC snapshot readers hold no table locks, and the
+// visibility filter above discards entries for versions the snapshot cannot
+// see.
 type TreeCursor struct {
-	lf   *leaf
-	idx  int
-	post int // position inside the current key's postings list
-	hi   value.Value
+	keys []value.Value
+	rids []RID
+	pos  int
 }
 
 // Cursor opens a resumable range cursor over [lo, hi] (NULL bound = open).
 func (t *BTree) Cursor(lo, hi value.Value) *TreeCursor {
-	c := &TreeCursor{hi: hi}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := &TreeCursor{}
+	var lf *leaf
+	idx := 0
 	if lo.IsNull() {
-		c.lf = t.root.firstLeaf()
+		lf = t.root.firstLeaf()
 	} else {
-		c.lf = t.root.seekLeaf(lo)
-		c.idx = lowerBound(c.lf.keys, lo)
+		lf = t.root.seekLeaf(lo)
+		idx = lowerBound(lf.keys, lo)
+	}
+	for lf != nil {
+		if idx >= len(lf.keys) {
+			lf, idx = lf.next, 0
+			continue
+		}
+		if !hi.IsNull() && mustCompare(lf.keys[idx], hi) > 0 {
+			break
+		}
+		for _, rid := range lf.vals[idx] {
+			c.keys = append(c.keys, lf.keys[idx])
+			c.rids = append(c.rids, rid)
+		}
+		idx++
 	}
 	return c
 }
@@ -166,24 +203,12 @@ func (t *BTree) Cursor(lo, hi value.Value) *TreeCursor {
 // Next returns the next (key, rid) pair, or ok=false past the upper bound or
 // the last leaf.
 func (c *TreeCursor) Next() (value.Value, RID, bool) {
-	for c.lf != nil {
-		if c.idx >= len(c.lf.keys) {
-			c.lf, c.idx, c.post = c.lf.next, 0, 0
-			continue
-		}
-		if !c.hi.IsNull() && mustCompare(c.lf.keys[c.idx], c.hi) > 0 {
-			c.lf = nil
-			break
-		}
-		if c.post >= len(c.lf.vals[c.idx]) {
-			c.idx, c.post = c.idx+1, 0
-			continue
-		}
-		rid := c.lf.vals[c.idx][c.post]
-		c.post++
-		return c.lf.keys[c.idx], rid, true
+	if c.pos >= len(c.keys) {
+		return value.Value{}, RID{}, false
 	}
-	return value.Value{}, RID{}, false
+	key, rid := c.keys[c.pos], c.rids[c.pos]
+	c.pos++
+	return key, rid, true
 }
 
 // --- leaf ---

@@ -14,6 +14,15 @@ type Heap struct {
 	pages []PageID
 	live  atomic.Int64 // live records, maintained O(1) by Insert/Delete
 
+	// latch serializes raw page-byte access: mutators (insert/delete/update
+	// apply sections) hold it exclusively, readers (Get/Scan/ScanPage/Count)
+	// hold it shared per page visit. Under MVCC, snapshot readers scan with
+	// no table lock while a writer mutates other slots of the same pages;
+	// the latch keeps those byte accesses from tearing. It is held across
+	// the mutation's WAL-append callback so the log order matches the page
+	// mutation order.
+	latch sync.RWMutex
+
 	// onAlloc, when set, runs under the heap mutex whenever the heap grows
 	// by a page. The durable engine logs an AllocPage record here so
 	// recovery can rebuild the page list and the store's free map.
@@ -77,8 +86,10 @@ func (h *Heap) InsertLogged(rec []byte, logf LogFunc) (RID, error) {
 // insertPinned applies and logs one insert into the already-pinned page,
 // unpinning it on every path.
 func (h *Heap) insertPinned(pg *Page, id PageID, rec []byte, logf LogFunc) (RID, error) {
+	h.latch.Lock()
 	slot, err := pg.Insert(rec)
 	if err != nil {
+		h.latch.Unlock()
 		h.pool.Unpin(id, false)
 		return RID{}, err
 	}
@@ -87,6 +98,7 @@ func (h *Heap) insertPinned(pg *Page, id PageID, rec []byte, logf LogFunc) (RID,
 		lsn, err := logf(rid)
 		if err != nil {
 			pg.revertInsert(slot)
+			h.latch.Unlock()
 			h.pool.Unpin(id, false)
 			return RID{}, err
 		}
@@ -94,6 +106,7 @@ func (h *Heap) insertPinned(pg *Page, id PageID, rec []byte, logf LogFunc) (RID,
 			pg.SetLSN(lsn)
 		}
 	}
+	h.latch.Unlock()
 	h.pool.Unpin(id, true)
 	h.live.Add(1)
 	return rid, nil
@@ -106,6 +119,8 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 		return nil, err
 	}
 	defer h.pool.Unpin(rid.Page, false)
+	h.latch.RLock()
+	defer h.latch.RUnlock()
 	rec, err := pg.Get(rid.Slot)
 	if err != nil {
 		return nil, err
@@ -113,6 +128,30 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 	out := make([]byte, len(rec))
 	copy(out, rec)
 	return out, nil
+}
+
+// GetIf copies the record at rid when the slot is still live, reporting
+// ok=false (no error) when it has been deleted. MVCC index scans use it: a
+// concurrent vacuum may physically reclaim a version invisible to the
+// reading snapshot between the index lookup and the heap fetch.
+func (h *Heap) GetIf(rid RID) ([]byte, bool, error) {
+	pg, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	if !pg.Live(rid.Slot) {
+		return nil, false, nil
+	}
+	rec, err := pg.Get(rid.Slot)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, true, nil
 }
 
 // Delete tombstones the record at rid.
@@ -126,13 +165,16 @@ func (h *Heap) DeleteLogged(rid RID, logf LogFunc) error {
 	if err != nil {
 		return err
 	}
+	h.latch.Lock()
 	if !pg.Live(rid.Slot) {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, false)
 		return fmt.Errorf("storage: delete of dead slot %v", rid)
 	}
 	if logf != nil {
 		lsn, err := logf(rid)
 		if err != nil {
+			h.latch.Unlock()
 			h.pool.Unpin(rid.Page, false)
 			return err
 		}
@@ -141,6 +183,7 @@ func (h *Heap) DeleteLogged(rid RID, logf LogFunc) error {
 		}
 	}
 	err = pg.Delete(rid.Slot)
+	h.latch.Unlock()
 	h.pool.Unpin(rid.Page, err == nil)
 	if err == nil {
 		h.live.Add(-1)
@@ -155,19 +198,24 @@ func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
+	h.latch.Lock()
 	ok, err := pg.Update(rid.Slot, rec)
 	if err != nil {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, false)
 		return RID{}, err
 	}
 	if ok {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, true)
 		return rid, nil
 	}
 	if err := pg.Delete(rid.Slot); err != nil {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, false)
 		return RID{}, err
 	}
+	h.latch.Unlock()
 	h.pool.Unpin(rid.Page, true)
 	h.live.Add(-1) // the re-insert below adds it back
 	return h.Insert(rec)
@@ -182,18 +230,22 @@ func (h *Heap) UpdateLogged(rid RID, rec []byte, logf LogFunc) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	h.latch.Lock()
 	old, err := pg.Get(rid.Slot)
 	if err != nil {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, false)
 		return false, err
 	}
 	if len(rec) > len(old) {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, false)
 		return false, nil
 	}
 	if logf != nil {
 		lsn, err := logf(rid)
 		if err != nil {
+			h.latch.Unlock()
 			h.pool.Unpin(rid.Page, false)
 			return false, err
 		}
@@ -202,9 +254,11 @@ func (h *Heap) UpdateLogged(rid RID, rec []byte, logf LogFunc) (bool, error) {
 		}
 	}
 	if _, err := pg.Update(rid.Slot, rec); err != nil {
+		h.latch.Unlock()
 		h.pool.Unpin(rid.Page, false)
 		return false, err
 	}
+	h.latch.Unlock()
 	h.pool.Unpin(rid.Page, true)
 	return true, nil
 }
@@ -221,6 +275,7 @@ func (h *Heap) Scan(visit func(rid RID, rec []byte) bool) error {
 		if err != nil {
 			return err
 		}
+		h.latch.RLock()
 		n := pg.SlotCount()
 		for slot := uint16(0); slot < n; slot++ {
 			if !pg.Live(slot) {
@@ -228,14 +283,17 @@ func (h *Heap) Scan(visit func(rid RID, rec []byte) bool) error {
 			}
 			rec, err := pg.Get(slot)
 			if err != nil {
+				h.latch.RUnlock()
 				h.pool.Unpin(id, false)
 				return err
 			}
 			if !visit(RID{Page: id, Slot: slot}, rec) {
+				h.latch.RUnlock()
 				h.pool.Unpin(id, false)
 				return nil
 			}
 		}
+		h.latch.RUnlock()
 		h.pool.Unpin(id, false)
 	}
 	return nil
@@ -260,6 +318,8 @@ func (h *Heap) ScanPage(id PageID, visit func(rid RID, rec []byte) bool) error {
 		return err
 	}
 	defer h.pool.Unpin(id, false)
+	h.latch.RLock()
+	defer h.latch.RUnlock()
 	n := pg.SlotCount()
 	for slot := uint16(0); slot < n; slot++ {
 		if !pg.Live(slot) {
@@ -283,6 +343,11 @@ func (h *Heap) ScanPage(id PageID, visit func(rid RID, rec []byte) bool) error {
 // (the cursor keeps its current page pinned between calls). Close releases
 // the pin at whatever position the cursor reached, so consumers that stop
 // early (LIMIT, abandoned producers) never touch the remaining pages.
+//
+// Cursor is NOT safe under concurrent heap mutators: the returned slice
+// aliases page memory across calls, outside the heap latch. The engine's
+// MVCC scans use page-at-a-time ScanPage walks instead; Cursor remains for
+// single-writer tests and tools.
 type Cursor struct {
 	h     *Heap
 	pages []PageID
@@ -365,7 +430,9 @@ func (h *Heap) Count() (int64, error) {
 		if err != nil {
 			return 0, err
 		}
+		h.latch.RLock()
 		n += int64(pg.LiveSlots())
+		h.latch.RUnlock()
 		h.pool.Unpin(id, false)
 	}
 	return n, nil

@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// version.go defines the on-record MVCC version header. Every heap record of
+// a versioned table is a fixed 16-byte header followed by the EncodeRow
+// payload:
+//
+//	xmin uint64 LE | xmax uint64 LE | payload...
+//
+// xmin is the transaction id that created the version; xmax is the id that
+// deleted (or superseded) it, 0 while the version is live in the latest
+// state. Visibility is decided above storage by mapping the ids through the
+// transaction status table; storage only provides the codec. Version chains
+// are implicit — all versions of a logical row live in the same heap and are
+// related by the table's primary key — so records survive recovery's RID
+// remapping without chain-pointer fixups.
+
+// VerHdrLen is the length of the version header prepended to each record.
+const VerHdrLen = 16
+
+// AppendVersion appends a version header followed by payload to dst and
+// returns the extended slice.
+func AppendVersion(dst []byte, xmin, xmax uint64, payload []byte) []byte {
+	var hdr [VerHdrLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], xmin)
+	binary.LittleEndian.PutUint64(hdr[8:16], xmax)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// VersionOf extracts the xmin/xmax stamps from a versioned record.
+func VersionOf(rec []byte) (xmin, xmax uint64, err error) {
+	if len(rec) < VerHdrLen {
+		return 0, 0, fmt.Errorf("storage: record too short for version header (%d bytes)", len(rec))
+	}
+	return binary.LittleEndian.Uint64(rec[0:8]), binary.LittleEndian.Uint64(rec[8:16]), nil
+}
+
+// PayloadOf returns the row payload of a versioned record (the bytes after
+// the version header), aliasing rec's backing array.
+func PayloadOf(rec []byte) ([]byte, error) {
+	if len(rec) < VerHdrLen {
+		return nil, fmt.Errorf("storage: record too short for version header (%d bytes)", len(rec))
+	}
+	return rec[VerHdrLen:], nil
+}
+
+// WithXmax returns a copy of the versioned record with its xmax stamp set.
+// The result has the same length as rec, so an in-place heap update always
+// fits.
+func WithXmax(rec []byte, xmax uint64) ([]byte, error) {
+	if len(rec) < VerHdrLen {
+		return nil, fmt.Errorf("storage: record too short for version header (%d bytes)", len(rec))
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	binary.LittleEndian.PutUint64(out[8:16], xmax)
+	return out, nil
+}

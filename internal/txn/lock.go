@@ -5,12 +5,16 @@
 // The paper (§3.2) notes that a monolithic design makes deadlock-free code
 // hard because "accesses to shared resources may not be contained within a
 // single module"; here the lock table is one self-contained module that the
-// staged engine's execute stage owns exclusively.
+// staged engine's execute stage owns exclusively. Under MVCC the lock table
+// shrinks to write-write ordering: snapshot readers take no table locks, so
+// only writers (and DDL) ever wait here.
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -34,7 +38,8 @@ func (m Mode) String() string {
 }
 
 // ErrDeadlock is returned to a transaction chosen as a deadlock victim. The
-// caller must abort that transaction.
+// caller must abort that transaction. The wrapping error names the victim,
+// the contested resource, and the holder transaction ids.
 var ErrDeadlock = errors.New("txn: deadlock detected, transaction chosen as victim")
 
 type lockState struct {
@@ -52,7 +57,8 @@ type waiter struct {
 // LockManager grants shared/exclusive locks on named resources to
 // transactions. Locks are held until ReleaseAll (strict 2PL). A lock request
 // that would close a cycle in the wait-for graph fails immediately with
-// ErrDeadlock for the requester.
+// ErrDeadlock for the requester; a blocked request is abandoned — waiter
+// dequeued, wait-for edges dropped — when its context is canceled.
 type LockManager struct {
 	mu    sync.Mutex
 	locks map[string]*lockState
@@ -72,8 +78,13 @@ func NewLockManager() *LockManager {
 
 // Lock acquires the resource in the given mode for txn, blocking while
 // incompatible locks are held. Re-acquiring a held lock is a no-op; a Shared
-// holder requesting Exclusive upgrades when possible.
-func (lm *LockManager) Lock(txn ID, resource string, mode Mode) error {
+// holder requesting Exclusive upgrades when possible. If ctx is canceled or
+// its deadline expires while blocked, the waiter is removed from the queue
+// (waking anything it was holding back) and the ctx error is returned,
+// wrapped with the resource and current holder ids; a grant that raced the
+// cancellation is kept and reported as success, leaving the next context
+// check to the caller.
+func (lm *LockManager) Lock(ctx context.Context, txn ID, resource string, mode Mode) error {
 	lm.mu.Lock()
 	ls, ok := lm.locks[resource]
 	if !ok {
@@ -105,8 +116,10 @@ func (lm *LockManager) Lock(txn ID, resource string, mode Mode) error {
 	// Would block: check for a deadlock before waiting.
 	blockers := lm.blockersLocked(ls, txn, mode)
 	if lm.wouldDeadlockLocked(txn, blockers) {
+		holders := holderIDsLocked(ls, txn)
 		lm.mu.Unlock()
-		return ErrDeadlock
+		return fmt.Errorf("txn %d chosen as deadlock victim: %s lock on %q blocked by holder txn(s) %v: %w",
+			txn, mode, resource, holders, ErrDeadlock)
 	}
 	w := &waiter{txn: txn, mode: mode, ok: make(chan struct{})}
 	ls.waiters = append(ls.waiters, w)
@@ -118,8 +131,49 @@ func (lm *LockManager) Lock(txn ID, resource string, mode Mode) error {
 	}
 	lm.mu.Unlock()
 
-	<-w.ok
-	return w.err
+	select {
+	case <-w.ok:
+		return w.err
+	case <-ctx.Done():
+		lm.mu.Lock()
+		select {
+		case <-w.ok:
+			// Granted (or failed) between ctx firing and us reacquiring the
+			// table lock: the outcome stands; the caller's next context check
+			// observes the cancellation.
+			lm.mu.Unlock()
+			return w.err
+		default:
+		}
+		// Abandon the wait: dequeue, drop our wait-for edges, and wake
+		// anything our queue slot was holding back.
+		kept := ls.waiters[:0]
+		for _, q := range ls.waiters {
+			if q != w {
+				kept = append(kept, q)
+			}
+		}
+		ls.waiters = kept
+		delete(lm.waitsFor, txn)
+		lm.wakeLocked(resource, ls)
+		holders := holderIDsLocked(ls, txn)
+		lm.mu.Unlock()
+		return fmt.Errorf("txn %d: %s lock wait on %q abandoned (held by txn(s) %v): %w",
+			txn, mode, resource, holders, ctx.Err())
+	}
+}
+
+// holderIDsLocked returns the ids currently holding ls, other than txn,
+// sorted for deterministic error messages.
+func holderIDsLocked(ls *lockState, txn ID) []ID {
+	out := make([]ID, 0, len(ls.holders))
+	for h := range ls.holders {
+		if h != txn {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // grantableLocked reports whether txn could hold resource in mode alongside

@@ -2,6 +2,9 @@ package txn
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,10 +14,10 @@ import (
 
 func TestLockSharedCompatible(t *testing.T) {
 	lm := NewLockManager()
-	if err := lm.Lock(1, "r", Shared); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Shared); err != nil {
 		t.Fatal(err)
 	}
-	if err := lm.Lock(2, "r", Shared); err != nil {
+	if err := lm.Lock(context.Background(), 2, "r", Shared); err != nil {
 		t.Fatal(err)
 	}
 	lm.ReleaseAll(1)
@@ -23,11 +26,11 @@ func TestLockSharedCompatible(t *testing.T) {
 
 func TestLockExclusiveBlocks(t *testing.T) {
 	lm := NewLockManager()
-	if err := lm.Lock(1, "r", Exclusive); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	acquired := make(chan error, 1)
-	go func() { acquired <- lm.Lock(2, "r", Exclusive) }()
+	go func() { acquired <- lm.Lock(context.Background(), 2, "r", Exclusive) }()
 	select {
 	case <-acquired:
 		t.Fatal("txn 2 should block while txn 1 holds X")
@@ -42,16 +45,16 @@ func TestLockExclusiveBlocks(t *testing.T) {
 
 func TestLockReentrantAndUpgrade(t *testing.T) {
 	lm := NewLockManager()
-	if err := lm.Lock(1, "r", Shared); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Shared); err != nil {
 		t.Fatal(err)
 	}
-	if err := lm.Lock(1, "r", Shared); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Shared); err != nil {
 		t.Fatal(err)
 	}
-	if err := lm.Lock(1, "r", Exclusive); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Exclusive); err != nil {
 		t.Fatal(err) // sole holder: immediate upgrade
 	}
-	if err := lm.Lock(1, "r", Shared); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Shared); err != nil {
 		t.Fatal(err) // X covers S
 	}
 	lm.ReleaseAll(1)
@@ -59,10 +62,10 @@ func TestLockReentrantAndUpgrade(t *testing.T) {
 
 func TestDeadlockDetected(t *testing.T) {
 	lm := NewLockManager()
-	if err := lm.Lock(1, "a", Exclusive); err != nil {
+	if err := lm.Lock(context.Background(), 1, "a", Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	if err := lm.Lock(2, "b", Exclusive); err != nil {
+	if err := lm.Lock(context.Background(), 2, "b", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -70,14 +73,14 @@ func TestDeadlockDetected(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// Txn 1 waits for b (held by 2).
-		if err := lm.Lock(1, "b", Exclusive); err != nil {
+		if err := lm.Lock(context.Background(), 1, "b", Exclusive); err != nil {
 			t.Errorf("txn 1 lock b: %v", err)
 		}
 	}()
 	time.Sleep(20 * time.Millisecond)
 	// Txn 2 requesting a closes the cycle: it must be refused immediately.
-	err := lm.Lock(2, "a", Exclusive)
-	if err != ErrDeadlock {
+	err := lm.Lock(context.Background(), 2, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("want ErrDeadlock, got %v", err)
 	}
 	lm.ReleaseAll(2) // victim aborts; txn 1 proceeds
@@ -85,9 +88,94 @@ func TestDeadlockDetected(t *testing.T) {
 	lm.ReleaseAll(1)
 }
 
+func TestDeadlockErrorNamesVictimAndHolders(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(context.Background(), 7, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(context.Background(), 9, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := lm.Lock(context.Background(), 7, "b", Exclusive); err != nil {
+			t.Errorf("txn 7 lock b: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	err := lm.Lock(context.Background(), 9, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"txn 9", "deadlock victim", `"a"`, "holder txn(s) [7]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error %q missing %q", msg, want)
+		}
+	}
+	lm.ReleaseAll(9)
+	wg.Wait()
+	lm.ReleaseAll(7)
+}
+
+func TestLockWaitCanceledRemovesWaiter(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(context.Background(), 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- lm.Lock(ctx, 2, "r", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"txn 2", "abandoned", `"r"`, "held by txn(s) [1]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("abandoned-wait error %q missing %q", msg, want)
+		}
+	}
+	// The abandoned waiter must be gone from the queue: a later shared
+	// request blocked only by the X holder is granted the moment the holder
+	// releases, with no stale exclusive waiter ahead of it.
+	granted := make(chan error, 1)
+	go func() { granted <- lm.Lock(context.Background(), 3, "r", Shared) }()
+	time.Sleep(20 * time.Millisecond)
+	lm.ReleaseAll(1)
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shared request still blocked: canceled waiter left in queue")
+	}
+	lm.ReleaseAll(3)
+}
+
+func TestLockWaitDeadlineExpires(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Lock(context.Background(), 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := lm.Lock(ctx, 2, "r", Exclusive)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+}
+
 func TestFIFOFairnessNoStarvation(t *testing.T) {
 	lm := NewLockManager()
-	if err := lm.Lock(1, "r", Shared); err != nil {
+	if err := lm.Lock(context.Background(), 1, "r", Shared); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan ID, 2)
@@ -95,7 +183,7 @@ func TestFIFOFairnessNoStarvation(t *testing.T) {
 	wg.Add(1)
 	go func() { // writer queues first
 		defer wg.Done()
-		if err := lm.Lock(2, "r", Exclusive); err != nil {
+		if err := lm.Lock(context.Background(), 2, "r", Exclusive); err != nil {
 			t.Errorf("writer: %v", err)
 			return
 		}
@@ -106,7 +194,7 @@ func TestFIFOFairnessNoStarvation(t *testing.T) {
 	wg.Add(1)
 	go func() { // reader queues behind the writer
 		defer wg.Done()
-		if err := lm.Lock(3, "r", Shared); err != nil {
+		if err := lm.Lock(context.Background(), 3, "r", Shared); err != nil {
 			t.Errorf("reader: %v", err)
 			return
 		}
@@ -249,7 +337,7 @@ func TestConcurrentTransactionsSerializeOnLock(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			id := m.Begin()
-			if err := m.Locks.Lock(id, "counter", Exclusive); err != nil {
+			if err := m.Locks.Lock(context.Background(), id, "counter", Exclusive); err != nil {
 				t.Errorf("lock: %v", err)
 				return
 			}

@@ -347,6 +347,14 @@ type Manager struct {
 	Log   *WAL
 
 	durable *DurableWAL
+
+	// OnCommit, when set, runs after a transaction's commit record is
+	// durable (or appended, in volatile mode) and before its locks are
+	// released. The MVCC layer hooks it to stamp the commit timestamp:
+	// stamping before lock release guarantees any later snapshot sees
+	// either all of the transaction's versions or none. Set once at
+	// construction, before concurrent use.
+	OnCommit func(ID)
 }
 
 // NewManager returns a manager with a fresh lock manager and log.
@@ -461,6 +469,9 @@ func (m *Manager) Commit(id ID) error {
 		err = d.Commit(Record{Txn: id, Kind: RecCommit})
 	} else {
 		m.Log.Append(Record{Txn: id, Kind: RecCommit})
+	}
+	if err == nil && m.OnCommit != nil {
+		m.OnCommit(id)
 	}
 	m.Locks.ReleaseAll(id)
 	return err

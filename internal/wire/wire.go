@@ -79,6 +79,10 @@ const (
 	ErrCodeDraining  ErrCode = 5 // server draining for shutdown; retryable
 	ErrCodePanic     ErrCode = 6 // query panicked; session survived
 	ErrCodeProto     ErrCode = 7 // protocol violation or version mismatch
+	// ErrCodeSerialization reports a snapshot-isolation write-write conflict
+	// (first-committer-wins); the transaction was rolled back and is safe to
+	// retry.
+	ErrCodeSerialization ErrCode = 8
 )
 
 // WriteFrame writes one frame. The payload must fit MaxFrame.

@@ -425,6 +425,52 @@ func (db *DB) ScanShares() ScanShareStats {
 	}
 }
 
+// MVCCStats reports the multi-version store's activity: snapshots opened,
+// transaction outcomes, first-committer-wins conflicts raised, and dead
+// versions reclaimed by Vacuum. ActiveSnapshots is the number of snapshots
+// currently pinning the garbage-collection horizon; OldestActiveTS is that
+// horizon (a logical timestamp). The same counters appear as the "mvcc"
+// pseudo-stage in Stages and the CLI \stages view.
+type MVCCStats struct {
+	Begins, Commits, Aborts, Conflicts, VersionsPruned int64
+	ActiveSnapshots, StatusEntries                     int
+	OldestActiveTS                                     int64
+}
+
+// MVCCStats snapshots the multi-version store's counters.
+func (db *DB) MVCCStats() MVCCStats {
+	st := db.kernel.MVCCStats()
+	return MVCCStats{
+		Begins:          st.Begins,
+		Commits:         st.Commits,
+		Aborts:          st.Aborts,
+		Conflicts:       st.Conflicts,
+		VersionsPruned:  st.VersionsPruned,
+		ActiveSnapshots: st.ActiveSnapshots,
+		StatusEntries:   st.StatusEntries,
+		OldestActiveTS:  int64(st.OldestActiveTS),
+	}
+}
+
+// Vacuum reclaims dead row versions: every version superseded or deleted by
+// a transaction that committed at or before the oldest open snapshot's begin
+// timestamp is physically removed from the heap and its index entries
+// dropped. It runs one short write transaction per table and returns the
+// number of versions reclaimed. Safe to run alongside live traffic — open
+// snapshots keep the versions they can still see.
+func (db *DB) Vacuum(ctx context.Context) (int64, error) {
+	n, err := db.kernel.Vacuum(ctx)
+	return n, normalizeErr(err)
+}
+
+// TableVersions counts a table's physical heap records by version state:
+// live (the latest state) and dead (superseded or deleted, awaiting Vacuum).
+// Dead staying at zero after a Vacuum with no snapshots open is the
+// no-orphan-versions invariant the crash harness asserts.
+func (db *DB) TableVersions(table string) (live, dead int64, err error) {
+	return db.kernel.TableVersions(table)
+}
+
 // IOStats reports simulated-disk page reads and writes since Open. Scan
 // benchmarks use it to show sharing's I/O saving.
 func (db *DB) IOStats() (reads, writes uint64) {
