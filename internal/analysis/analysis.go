@@ -81,7 +81,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{PageRefs, SpillFiles, FsFiles, SyncErr, CtxFlow, StageBlock, HotAlloc}
+	return []*Analyzer{PageRefs, SpillFiles, FsFiles, SyncErr, CtxFlow, StageBlock, HotAlloc, WalBarrier, VerHdr, LockOrder, AtomicMix}
 }
 
 // ByName resolves a comma-separated analyzer selection against the suite.

@@ -59,6 +59,48 @@ func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
 }
 
+func TestWalBarrier(t *testing.T) {
+	analysistest.Run(t, analysis.WalBarrier, "walbarrier/engine")
+}
+
+// TestWalBarrierOutOfScope checks the analyzer stays silent outside the
+// engine package: raw heap mutations elsewhere (tests, tools) are not
+// WAL-before-data sites.
+func TestWalBarrierOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.WalBarrier, "walbarrier/plain")
+}
+
+func TestVerHdr(t *testing.T) {
+	analysistest.Run(t, analysis.VerHdr, "verhdr/engine")
+}
+
+// TestVerHdrMvccExempt checks package mvcc may call the storage codec
+// writers directly — it is the sanctioned stamp API.
+func TestVerHdrMvccExempt(t *testing.T) {
+	analysistest.Run(t, analysis.VerHdr, "verhdr/mvcc")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "lockorder/engine")
+}
+
+// TestLockOrderAdmission covers the rank-0 admission lock: holding it into
+// a table lock is canonical, the reverse is an inversion.
+func TestLockOrderAdmission(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "lockorder/server")
+}
+
+// TestLockOrderCycle covers the same-rank acquisition cycle: Pool.mu and
+// Store.mu share a rank, so only the package-wide graph catches the
+// opposite-order nesting.
+func TestLockOrderCycle(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "lockorder/storage")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix/counters")
+}
+
 // TestSuppress covers the escape hatch end to end: justified suppressions
 // silence a real pagerefs violation on the same or next line, while
 // malformed ones (no reason, unknown analyzer) are themselves diagnostics

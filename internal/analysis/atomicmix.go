@@ -1,0 +1,120 @@
+package analysis
+
+// atomicmix catches the half-converted concurrency bug: a counter or flag
+// that some code reads/writes through sync/atomic and other code touches
+// with a plain load or store. The plain access races with the atomic ones —
+// the compiler and CPU are free to tear, cache, or reorder it — and the bug
+// only surfaces under load, which is exactly when the staged server is
+// hardest to debug. The rule is all-or-nothing: once any access to a
+// variable goes through sync/atomic, every access must.
+//
+// Detection is package-wide: pass one collects every variable whose address
+// is passed to a sync/atomic function (atomic.AddInt64(&x, 1) and friends)
+// and remembers those call sites as sanctioned; pass two flags every other
+// appearance of the variable. Declarations, struct-literal keys, and the
+// sanctioned atomic operands themselves are exempt. Fields of the atomic.XXX
+// wrapper types are immune by construction and never flagged.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix reports variables that mix sync/atomic and plain access.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "check that a variable accessed through sync/atomic functions is never " +
+		"also accessed with a plain read or write (mixed access races)",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass one: variables addressed into sync/atomic calls, and the exact
+	// ident nodes that are sanctioned (atomic operands, declarations,
+	// composite-literal keys).
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id := atomicOperand(info, n); id != nil {
+					if v, _ := info.Uses[id].(*types.Var); v != nil {
+						atomicVars[v] = true
+						sanctioned[id] = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				// S{n: 0} initializes before the value is shared.
+				if id, ok := n.Key.(*ast.Ident); ok {
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass two: any other appearance of an atomic variable is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			if _, isDef := info.Defs[id]; isDef {
+				return true // the declaration itself
+			}
+			v, _ := info.Uses[id].(*types.Var)
+			if v == nil || !atomicVars[v] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %q, which is accessed via sync/atomic elsewhere: every access must use atomic operations", v.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicFuncs is the address-taking subset of sync/atomic's function API.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// atomicOperand returns the ident naming the variable whose address is the
+// first argument of a sync/atomic function call, or nil. For &c.n it returns
+// the n ident — the field is the atomic variable, the receiver is not.
+func atomicOperand(info *types.Info, call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return nil
+	}
+	if !isPkgFuncCall(info, call, "sync/atomic", sel.Sel.Name) {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil
+	}
+	switch operand := ast.Unparen(addr.X).(type) {
+	case *ast.Ident:
+		return operand
+	case *ast.SelectorExpr:
+		return operand.Sel
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+package analysis
+
+// cfg.go builds an intraprocedural control-flow graph over go/ast. The
+// environment has no golang.org/x/tools/go/cfg, so this is a self-contained
+// reimplementation of the slice the suite needs:
+//
+//   - Basic blocks hold statements and the expressions evaluated on entry to
+//     a branch (an if/for condition, a switch tag, the case expressions of a
+//     clause), in execution order.
+//   - Edges carry the controlling condition where one exists, so dataflow
+//     clients can refine state along a branch (`if err != nil` voids an
+//     acquisition obligation on the non-nil edge, say).
+//   - break/continue (labeled or not), goto, fallthrough, return, and panic
+//     all resolve to real edges, which is exactly what the old path-walking
+//     analyses got wrong: a `continue` used to terminate the walk and drop
+//     the leak it was carrying.
+//
+// Returns and fall-off-the-end both edge into Exit; a return statement is
+// visible as a node in its block, so clients can distinguish the two. panic
+// also edges into Exit — clients that must treat dying-by-panic specially
+// (resflow discharges obligations silently) see the panic call node first.
+//
+// The builder makes no reachability promises about blocks sitting after a
+// terminator; CFG.Reachable and the reverse-postorder iteration cover only
+// blocks the entry can actually reach.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: straight-line statements and branch-entry
+// expressions in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control-flow edge. Cond, when non-nil, is the branch condition
+// controlling the transfer: the edge is taken when Cond evaluates to true if
+// Negated is false, and when it evaluates to false if Negated is true.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Negated  bool
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	rpo       []*Block
+	reachable map[*Block]bool
+}
+
+// RPO returns the reachable blocks in reverse postorder (Entry first); the
+// natural iteration order for a forward dataflow.
+func (g *CFG) RPO() []*Block { return g.rpo }
+
+// Reachable reports whether b is reachable from Entry.
+func (g *CFG) Reachable(b *Block) bool { return g.reachable[b] }
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g, gotos: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, g.Exit, nil, false)
+	g.finish()
+	return g
+}
+
+// frame is one enclosing breakable construct (loop, switch, select).
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // non-nil only for loops
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block
+	// frames are enclosing breakable constructs, innermost last.
+	frames []frame
+	// pendingLabel names the label attached to the next loop/switch/select.
+	pendingLabel string
+	// fallTarget is the next case clause's block while building a clause body.
+	fallTarget *Block
+	// gotos maps a label to the block control jumps to.
+	gotos map[string]*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, negated bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Negated: negated}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// startAfter begins a fresh block reached from `from` under cond/negated.
+func (b *cfgBuilder) startAfter(from *Block, cond ast.Expr, negated bool) *Block {
+	blk := b.newBlock()
+	b.edge(from, blk, cond, negated)
+	return blk
+}
+
+// terminate abandons the current block: subsequent statements are dead code
+// and accumulate in an unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+// labelBlock returns (creating on demand) the block a goto/label resolves to.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.gotos[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.gotos[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.DeferStmt, *ast.GoStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			b.edge(b.cur, b.g.Exit, nil, false)
+			b.terminate()
+		}
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit, nil, false)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb, nil, false)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Remaining kinds (e.g. BadStmt) carry no control flow.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.breakTo, nil, false)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo != nil && (label == "" || f.label == label) {
+				b.edge(b.cur, f.continueTo, nil, false)
+				break
+			}
+		}
+	case token.GOTO:
+		b.edge(b.cur, b.labelBlock(label), nil, false)
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.edge(b.cur, b.fallTarget, nil, false)
+		}
+	}
+	b.terminate()
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	cond := b.cur
+	join := b.newBlock()
+	b.cur = b.startAfter(cond, s.Cond, false)
+	b.stmts(s.Body.List)
+	b.edge(b.cur, join, nil, false)
+	if s.Else != nil {
+		b.cur = b.startAfter(cond, s.Cond, true)
+		b.stmt(s.Else)
+		b.edge(b.cur, join, nil, false)
+	} else {
+		b.edge(cond, join, s.Cond, true)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.startAfter(b.cur, nil, false)
+	b.cur = header
+	if s.Cond != nil {
+		header.Nodes = append(header.Nodes, s.Cond)
+	}
+	exit := b.newBlock()
+	if s.Cond != nil {
+		b.edge(header, exit, s.Cond, true)
+	}
+	// continue targets the post statement when present, the header otherwise.
+	continueTo := header
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: exit, continueTo: continueTo})
+	b.cur = b.startAfter(header, s.Cond, false)
+	b.stmts(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.edge(b.cur, post, nil, false)
+		b.cur = post
+		b.stmt(s.Post)
+	}
+	b.edge(b.cur, header, nil, false)
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	// The range operand is evaluated once, before the loop.
+	b.cur.Nodes = append(b.cur.Nodes, s.X)
+	header := b.startAfter(b.cur, nil, false)
+	// The per-iteration key/value assignment is modeled by the RangeStmt
+	// node itself, placed in the header.
+	header.Nodes = append(header.Nodes, s)
+	exit := b.newBlock()
+	b.edge(header, exit, nil, false)
+	b.frames = append(b.frames, frame{label: label, breakTo: exit, continueTo: header})
+	b.cur = b.startAfter(header, nil, false)
+	b.stmts(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, header, nil, false)
+	b.cur = exit
+}
+
+// switchStmt covers both expression and type switches; exactly one of tag
+// and assign is non-nil (or both nil for a bare switch).
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if assign != nil {
+		b.cur.Nodes = append(b.cur.Nodes, assign)
+	}
+	header := b.cur
+	join := b.newBlock()
+
+	// Create every clause block first so fallthrough can edge forward.
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, cc)
+		blocks = append(blocks, b.startAfter(header, nil, false))
+	}
+	if !hasDefault {
+		b.edge(header, join, nil, false)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: join})
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		b.fallTarget = nil
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, join, nil, false)
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	header := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, breakTo: join})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		b.cur = b.startAfter(header, nil, false)
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, join, nil, false)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// A select without default blocks until some clause fires; there is no
+	// skip edge. An empty select blocks forever.
+	if len(s.Body.List) == 0 {
+		b.terminate()
+		return
+	}
+	b.cur = join
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// finish computes reachability and reverse postorder from Entry.
+func (g *CFG) finish() {
+	g.reachable = make(map[*Block]bool)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if g.reachable[b] {
+			return
+		}
+		g.reachable[b] = true
+		for _, e := range b.Succs {
+			dfs(e.To)
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	g.rpo = make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpo = append(g.rpo, post[i])
+	}
+}
+
+// dominators computes, for every reachable block, the set of blocks that
+// dominate it (appear on every path from Entry). Iterative set-intersection
+// over reverse postorder; function CFGs are small enough that the simple
+// algorithm wins on clarity.
+func (g *CFG) dominators() map[*Block]map[*Block]bool {
+	dom := make(map[*Block]map[*Block]bool, len(g.rpo))
+	for _, b := range g.rpo {
+		if b == g.Entry {
+			dom[b] = map[*Block]bool{b: true}
+			continue
+		}
+		all := make(map[*Block]bool, len(g.rpo))
+		for _, x := range g.rpo {
+			all[x] = true
+		}
+		dom[b] = all
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.rpo {
+			if b == g.Entry {
+				continue
+			}
+			var inter map[*Block]bool
+			for _, e := range b.Preds {
+				p := e.From
+				if !g.reachable[p] {
+					continue
+				}
+				if inter == nil {
+					inter = make(map[*Block]bool, len(dom[p]))
+					for d := range dom[p] {
+						inter[d] = true
+					}
+					continue
+				}
+				for d := range inter {
+					if !dom[p][d] {
+						delete(inter, d)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[*Block]bool)
+			}
+			inter[b] = true
+			if len(inter) != len(dom[b]) {
+				dom[b] = inter
+				changed = true
+				continue
+			}
+			for d := range inter {
+				if !dom[b][d] {
+					dom[b] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of the first function.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function body in source")
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f() int { x := 1; x++; return x }`))
+	if !g.Reachable(g.Exit) {
+		t.Fatal("exit unreachable in straight-line function")
+	}
+	if got := len(g.Entry.Nodes); got != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", got)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}`))
+	// The loop header must sit on a cycle: some reachable block has a
+	// successor edge leading back to a block that dominates it.
+	dom := g.dominators()
+	backEdges := 0
+	for _, b := range g.RPO() {
+		for _, e := range b.Succs {
+			if g.Reachable(e.To) && dom[b][e.To] {
+				backEdges++
+			}
+		}
+	}
+	if backEdges == 0 {
+		t.Fatal("no back edge found for the for loop")
+	}
+	if !g.Reachable(g.Exit) {
+		t.Fatal("loop exit unreachable")
+	}
+}
+
+func TestCFGContinueReachesHeader(t *testing.T) {
+	// A continue must edge back toward the loop, keeping the release after it
+	// off that path — the shape the old path-walker lost.
+	g := buildCFG(parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			continue
+		}
+		_ = i
+	}
+}`))
+	dom := g.dominators()
+	var backSrc *Block
+	for _, b := range g.RPO() {
+		for _, e := range b.Succs {
+			if g.Reachable(e.To) && dom[b][e.To] {
+				backSrc = b
+			}
+		}
+	}
+	if backSrc == nil {
+		t.Fatal("no back edge found")
+	}
+	// The continue and the body fallthrough both converge on the back-edge
+	// source (the post block), so it must have two reachable predecessors.
+	preds := 0
+	for _, e := range backSrc.Preds {
+		if g.Reachable(e.From) {
+			preds++
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("back-edge source has %d reachable preds, want the continue and the fallthrough", preds)
+	}
+}
+
+func TestCFGCondEdges(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(err error) {
+	if err != nil {
+		_ = err
+	}
+}`))
+	var pos, neg int
+	for _, b := range g.RPO() {
+		for _, e := range b.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			if e.Negated {
+				neg++
+			} else {
+				pos++
+			}
+		}
+	}
+	if pos != 1 || neg != 1 {
+		t.Fatalf("want one true edge and one negated edge off the condition, got %d/%d", pos, neg)
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(b bool) int {
+	if b {
+		return 1
+	}
+	return 2
+}`))
+	// Both paths return; no plain fall-off edge should reach Exit carrying
+	// statements after a return.
+	for _, e := range g.Exit.Preds {
+		if !g.Reachable(e.From) {
+			continue
+		}
+		last := e.From.Nodes[len(e.From.Nodes)-1]
+		if _, ok := last.(*ast.ReturnStmt); !ok {
+			t.Fatalf("exit predecessor does not end in return: %T", last)
+		}
+	}
+}
+
+func TestCFGGotoAndLabels(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(n int) {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+}`))
+	if !g.Reachable(g.Exit) {
+		t.Fatal("exit unreachable with goto loop")
+	}
+	dom := g.dominators()
+	back := false
+	for _, b := range g.RPO() {
+		for _, e := range b.Succs {
+			if g.Reachable(e.To) && dom[b][e.To] {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("goto to an earlier label formed no back edge")
+	}
+}
+
+func TestCFGSwitchDefault(t *testing.T) {
+	// Without a default the header can skip every clause; with one it cannot.
+	withDefault := buildCFG(parseBody(t, `package p
+func f(n int) {
+	switch n {
+	case 1:
+		_ = n
+	default:
+		_ = n
+	}
+}`))
+	_ = withDefault
+	g := buildCFG(parseBody(t, `package p
+func f(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}`))
+	if !g.Reachable(g.Exit) {
+		t.Fatal("switch without default must allow the skip path")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(b bool) {
+	x := 1
+	if b {
+		x = 2
+	}
+	_ = x
+}`))
+	dom := g.dominators()
+	for _, b := range g.RPO() {
+		if !dom[b][g.Entry] {
+			t.Fatalf("entry does not dominate reachable block %d", b.Index)
+		}
+		if !dom[b][b] {
+			t.Fatalf("block %d does not dominate itself", b.Index)
+		}
+	}
+	// The then-branch must not dominate the join.
+	if !g.Reachable(g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+}

@@ -1,0 +1,368 @@
+package analysis
+
+// lockorder machine-checks the engine's multi-lock hierarchy. PRs 7-9 left
+// four lock classes that can nest: the server's admission mutex, the
+// transaction manager's table locks, the engine's checkpoint quiesce lock
+// (ckptMu), and the storage pool/store mutexes. The canonical order is
+//
+//	admission < table lock < ckptMu < pool/store
+//
+// and the class of bug behind PR 8's abort-path deadlock is exactly an
+// acquisition against that order while another thread acquires with it. The
+// analyzer runs a forward may-held dataflow per function (so branches and
+// loops are covered), reports
+//
+//   - rank inversions: acquiring a lower-ranked class while a higher-ranked
+//     one is held,
+//   - recursive acquisition: re-acquiring a held mutex class on some path
+//     (LockManager table locks are exempt — they are resource-keyed and the
+//     manager handles re-entrancy per transaction),
+//
+// and accumulates a static acquisition graph across the package; same-rank
+// edges that form a cycle (Pool.mu vs Store.mu taken in both orders, say)
+// are reported even though no rank is violated. Deferred unlocks do not
+// release — the lock is held to function exit, which is the point of defer.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockOrder reports lock acquisitions that inversely nest the engine's lock
+// hierarchy, recursive mutex acquisition, and same-rank acquisition cycles.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "check the static lock-acquisition graph over admission.mu, table locks, DB.ckptMu, " +
+		"and the storage pool/store mutexes: report rank inversions " +
+		"(canonical order admission < table lock < ckptMu < pool/store), recursive acquisition, " +
+		"and same-rank cycles",
+	Run: runLockOrder,
+}
+
+// lockClass is one tracked lock in the hierarchy.
+type lockClass struct {
+	key  string // display name and graph node id
+	rank int
+	// reentrant marks resource-keyed locks where re-acquisition while held
+	// is the manager's business, not a bug.
+	reentrant bool
+}
+
+var lockClasses = []*lockClass{
+	{key: "admission.mu", rank: 0},
+	{key: "table lock", rank: 1, reentrant: true},
+	{key: "DB.ckptMu", rank: 2},
+	{key: "Pool.mu", rank: 3},
+	{key: "Store.mu", rank: 3},
+}
+
+// mutexFields maps (pkg suffix, type, field) to the lock class guarded by
+// that sync.Mutex/RWMutex field.
+var mutexFields = map[[3]string]string{
+	{"server", "admission", "mu"}: "admission.mu",
+	{"engine", "DB", "ckptMu"}:    "DB.ckptMu",
+	{"storage", "Pool", "mu"}:     "Pool.mu",
+	{"storage", "Store", "mu"}:    "Store.mu",
+}
+
+func classByKey(key string) *lockClass {
+	for _, c := range lockClasses {
+		if c.key == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// lockEdge records "to acquired while from was held" at pos (first sighting).
+type lockEdge struct {
+	from, to string
+}
+
+type lockChecker struct {
+	pass  *Pass
+	edges map[lockEdge]token.Pos
+	// reporting mirrors resflow's two-phase scheme.
+	reporting bool
+	reported  map[reportKey]bool
+}
+
+func runLockOrder(pass *Pass) error {
+	c := &lockChecker{
+		pass:     pass,
+		edges:    make(map[lockEdge]token.Pos),
+		reported: make(map[reportKey]bool),
+	}
+	// Closures are analyzed as their own functions with an empty held set:
+	// they run on their own call path (goroutine, callback), not under the
+	// locks held at their creation site.
+	var checkAll func(body *ast.BlockStmt)
+	checkAll = func(body *ast.BlockStmt) {
+		c.checkBody(body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkAll(fl.Body)
+				return false
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkAll(fd.Body)
+				return false
+			}
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkAll(fl.Body)
+				return false
+			}
+			return true
+		})
+	}
+	c.reportSameRankCycles()
+	return nil
+}
+
+// heldSet is the dataflow state: lock classes that may be held.
+type heldSet map[string]bool
+
+func cloneHeld(s heldSet) heldSet {
+	c := make(heldSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func mergeHeld(dst, src heldSet) heldSet {
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBody runs the may-held dataflow over one function body: fixpoint
+// first, then one deterministic reporting walk. Nested closures run with an
+// empty held set — they execute later, on their own goroutine or call path.
+func (c *lockChecker) checkBody(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	fns := FlowFuncs[heldSet]{
+		Clone: cloneHeld,
+		Merge: mergeHeld,
+		Equal: equalHeld,
+		Node:  c.node,
+	}
+	saved := c.reporting
+	c.reporting = false
+	in := ForwardFlow(g, make(heldSet), fns)
+	c.reporting = true
+	for _, b := range g.RPO() {
+		s := cloneHeld(in[b])
+		for _, n := range b.Nodes {
+			s = c.node(n, s)
+		}
+	}
+	c.reporting = saved
+}
+
+// node applies one block node: every lock call in its subtree, in source
+// order, skipping nested closures (their own scope) and treating deferred
+// unlocks as held-to-exit.
+func (c *lockChecker) node(n any, s heldSet) heldSet {
+	node, ok := n.(ast.Node)
+	if !ok {
+		return s
+	}
+	if d, isDefer := n.(*ast.DeferStmt); isDefer {
+		// A deferred unlock holds the lock for the rest of the function; a
+		// deferred acquisition would be nonsense. Scan only the arguments.
+		for _, arg := range d.Call.Args {
+			s = c.scanLockCalls(arg, s)
+		}
+		return s
+	}
+	if rs, isRange := n.(*ast.RangeStmt); isRange {
+		// The header's RangeStmt node stands for the per-iteration key/value
+		// assignment only; X and the body have their own blocks.
+		if rs.Key != nil {
+			s = c.scanLockCalls(rs.Key, s)
+		}
+		if rs.Value != nil {
+			s = c.scanLockCalls(rs.Value, s)
+		}
+		return s
+	}
+	return c.scanLockCalls(node, s)
+}
+
+func (c *lockChecker) scanLockCalls(root ast.Node, s heldSet) heldSet {
+	ast.Inspect(root, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acquire, ok := c.classifyLockCall(call); ok {
+			if acquire {
+				c.acquire(key, call.Pos(), s)
+			} else {
+				delete(s, key)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// acquire updates the held set, records graph edges, and (in the reporting
+// pass) flags recursion and rank inversions.
+func (c *lockChecker) acquire(key string, pos token.Pos, s heldSet) {
+	cls := classByKey(key)
+	if s[key] {
+		if !cls.reentrant && c.reporting {
+			c.reportOnce(pos, key+" acquired while already held on some path (self-deadlock)")
+		}
+		return
+	}
+	if c.reporting {
+		held := make([]string, 0, len(s))
+		for h := range s {
+			held = append(held, h)
+		}
+		sort.Strings(held)
+		for _, h := range held {
+			e := lockEdge{from: h, to: key}
+			if _, seen := c.edges[e]; !seen {
+				c.edges[e] = pos
+			}
+			if cls.rank < classByKey(h).rank {
+				c.reportOnce(pos, key+" acquired while "+h+" is held: inverts the canonical lock order "+
+					"(admission < table lock < ckptMu < pool/store)")
+			}
+		}
+	}
+	s[key] = true
+}
+
+// classifyLockCall recognizes acquisitions and releases of the tracked
+// classes: LockManager.Lock/ReleaseAll, and Lock/RLock/Unlock/RUnlock on the
+// tracked mutex fields.
+func (c *lockChecker) classifyLockCall(call *ast.CallExpr) (key string, acquire, ok bool) {
+	info := c.pass.TypesInfo
+	if isMethodCall(info, call, "txn", "LockManager", "Lock") {
+		return "table lock", true, true
+	}
+	if isMethodCall(info, call, "txn", "LockManager", "ReleaseAll") {
+		return "table lock", false, true
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var isAcquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+		isAcquire = false
+	default:
+		return "", false, false
+	}
+	inner, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	selInfo, recorded := info.Selections[inner]
+	if !recorded {
+		return "", false, false
+	}
+	path, typName := typeName(selInfo.Recv())
+	key, tracked := mutexFields[[3]string{lastPathSegmentMatch(path), typName, inner.Sel.Name}]
+	if !tracked {
+		return "", false, false
+	}
+	return key, isAcquire, true
+}
+
+// lastPathSegmentMatch normalizes an import path to the segment the
+// mutexFields table is keyed on.
+func lastPathSegmentMatch(path string) string {
+	for k := range mutexFields {
+		if pathHasSuffix(path, k[0]) {
+			return k[0]
+		}
+	}
+	return path
+}
+
+// reportSameRankCycles reports acquisition edges between equal-rank classes
+// that sit on a cycle. A cycle spanning ranks necessarily contains a rank
+// inversion, already reported; equal-rank cycles are the remaining blind
+// spot (Pool.mu and Store.mu taken in both orders by different functions).
+func (c *lockChecker) reportSameRankCycles() {
+	sameRank := make(map[string][]string)
+	for e := range c.edges {
+		if e.from != e.to && classByKey(e.from).rank == classByKey(e.to).rank {
+			sameRank[e.from] = append(sameRank[e.from], e.to)
+		}
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, m := range sameRank[n] {
+				if m == to {
+					return true
+				}
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return false
+	}
+	// Deterministic order: edges sorted by recorded position.
+	type posEdge struct {
+		e   lockEdge
+		pos token.Pos
+	}
+	var cyclic []posEdge
+	for e, pos := range c.edges {
+		if e.from != e.to && classByKey(e.from).rank == classByKey(e.to).rank && reaches(e.to, e.from) {
+			cyclic = append(cyclic, posEdge{e, pos})
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool { return cyclic[i].pos < cyclic[j].pos })
+	for _, pe := range cyclic {
+		c.reportOnce(pe.pos, pe.e.to+" acquired while "+pe.e.from+
+			" is held, and elsewhere the opposite order occurs: lock-order cycle")
+	}
+}
+
+func (c *lockChecker) reportOnce(pos token.Pos, msg string) {
+	k := reportKey{pos, msg}
+	if c.reported[k] {
+		return
+	}
+	c.reported[k] = true
+	c.pass.Report(pos, msg)
+}

@@ -1,33 +1,51 @@
 package analysis
 
-// resflow.go is the shared must-consume flow analysis behind pagerefs and
-// spillfiles. Both invariants have the same shape: a call mints a resource
-// with an obligation attached (a pooled page reference, a temp file on
-// disk), and every control-flow path out of the function must discharge it —
-// by an explicit release call, by forwarding the value to another function
-// or goroutine, by storing it somewhere that outlives the function, or by
-// returning it to the caller.
+// resflow.go is the shared must-consume flow analysis behind pagerefs,
+// spillfiles, and fsfiles. All three invariants have the same shape: a call
+// mints a resource with an obligation attached (a pooled page reference, a
+// temp file on disk, an open descriptor), and every control-flow path out of
+// the function must discharge it — by an explicit release call, by forwarding
+// the value to another function or goroutine, by storing it somewhere that
+// outlives the function, or by returning it to the caller.
 //
-// The analysis is a path-sensitive abstract interpretation over the AST
-// (this environment has no golang.org/x/tools/go/cfg or /go/ssa): obligations
-// are tracked per local variable, if/switch/select branches fork the state
-// and merge it back (an obligation survives a merge unless every live branch
-// discharged it), and each return statement is checked against the
-// obligations still outstanding — which is precisely how the early-return
-// error-path leaks that motivated the analyzer escape leak tests. Loops are
-// walked once with shared state (consumption inside a loop body counts), a
-// deliberate optimistic choice: the analyzer's job is catching the paths
-// that never discharge, not proving every path does.
+// The analysis runs as a forward dataflow over cfg.go's control-flow graphs
+// (this environment has no golang.org/x/tools/go/cfg or /go/ssa). The state
+// maps tracked local variables to facts: where the obligation was acquired,
+// whether it is still outstanding on some path into the current point
+// (may-live: a merge keeps an obligation alive unless every incoming path
+// discharged it), and whether the error result bound alongside the
+// acquisition still witnesses it. Condition edges refine the facts —
+// `if err != nil` voids the obligation on the non-nil edge (the acquisition
+// failed, there is nothing to release), and a `v == nil` edge voids v's own
+// obligation (a nil handle carries no resource).
+//
+// Running to fixpoint is what the old path-enumeration walker could not do:
+// it walked loop bodies once with shared state, so a `continue` that skipped
+// the release leaked silently, and branchy functions forked a full state copy
+// per path. Here loops converge in a couple of iterations and a leak carried
+// around a back edge is caught where it is re-acquired (or at function exit).
+//
+// Reporting is two-phase for determinism: solve silently to fixpoint first,
+// then walk the reachable blocks once in reverse postorder with reporting
+// enabled. Return statements report obligations still live at the return
+// site; obligations that fall off the end of the function report at their
+// acquisition site; a plain re-acquisition over a live obligation reports
+// the stranded one (the loop-leak signature). Duplicate (position, message)
+// pairs collapse, so a leak seen both around a back edge and at exit reports
+// once.
 //
 // Discharge is intentionally generous — any argument position, composite
 // literal, assignment, channel send, closure capture, or address-of counts —
 // so the analyzers stay quiet on ownership-transfer code (exchanges, fan-out
 // taps, run lists) and loud only where a value provably dies unconsumed.
+// Panic terminates a path without reporting: dying loudly is not a leak.
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // resSpec configures one resource kind for the flow analysis.
@@ -50,7 +68,8 @@ type resSpec struct {
 	isRelease func(info *types.Info, call *ast.CallExpr) bool
 }
 
-// obligation records where a tracked variable acquired its resource.
+// obligation records where a tracked variable acquired its resource. Its
+// fields are immutable after creation; per-path liveness lives in resFact.
 type obligation struct {
 	pos    token.Pos
 	name   string
@@ -58,48 +77,83 @@ type obligation struct {
 
 	// errVar is the error result bound alongside the acquisition
 	// (`f, err := spill.Create(...)`): on the branch where it is non-nil the
-	// acquisition failed and there is nothing to release. errLive turns off
-	// as soon as errVar is reassigned — after that, a non-nil check no
-	// longer says anything about whether the acquisition succeeded.
-	errVar  *types.Var
+	// acquisition failed and there is nothing to release.
+	errVar *types.Var
+}
+
+// resFact is the dataflow fact for one tracked variable on one path set.
+type resFact struct {
+	ob *obligation
+	// live reports whether the obligation is still outstanding on some path
+	// into the current point.
+	live bool
+	// errLive reports whether ob.errVar still witnesses the acquisition; it
+	// turns off as soon as the error variable is reassigned — after that, a
+	// non-nil check no longer says anything about whether the acquisition
+	// succeeded.
 	errLive bool
 }
 
-// flowState maps tracked variables to liveness: present and true means the
-// obligation is still outstanding on the current path.
-type flowState map[*types.Var]bool
+// resState maps tracked variables to their facts.
+type resState map[*types.Var]resFact
 
-func cloneState(s flowState) flowState {
-	c := make(flowState, len(s))
+func cloneRes(s resState) resState {
+	c := make(resState, len(s))
 	for k, v := range s {
 		c[k] = v
 	}
 	return c
 }
 
-// mergeStates overlays branch outcomes: an obligation is discharged after
-// the merge only if every contributing path discharged it.
-func mergeStates(states ...flowState) flowState {
-	out := make(flowState)
-	for _, s := range states {
-		for k, live := range s {
-			if live {
-				out[k] = true
-			} else if _, seen := out[k]; !seen {
-				out[k] = false
-			}
+// mergeRes overlays path outcomes: an obligation is discharged after the
+// merge only if every contributing path discharged it, and an error variable
+// witnesses it only if no path reassigned it.
+func mergeRes(dst, src resState) resState {
+	for k, fs := range src {
+		fd, ok := dst[k]
+		if !ok {
+			dst[k] = fs
+			continue
 		}
+		fd.live = fd.live || fs.live
+		fd.errLive = fd.errLive && fs.errLive
+		if fs.ob.pos < fd.ob.pos {
+			fd.ob = fs.ob
+		}
+		dst[k] = fd
 	}
-	return out
+	return dst
 }
 
-// flowWalker runs the analysis over one function body.
-type flowWalker struct {
-	pass   *Pass
-	spec   *resSpec
-	state  flowState
-	oblig  map[*types.Var]*obligation
-	scopes [][]*types.Var // vars acquired per lexical block, innermost last
+func equalRes(a, b resState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, fa := range a {
+		fb, ok := b[k]
+		if !ok || fa.live != fb.live || fa.errLive != fb.errLive ||
+			fa.ob.pos != fb.ob.pos || fa.ob.source != fb.ob.source {
+			return false
+		}
+	}
+	return true
+}
+
+// resFlow applies one resSpec's transfer functions over one function body.
+// The current state is swapped in per transfer application; reporting is off
+// during the fixpoint iteration and on during the single deterministic
+// reporting walk.
+type resFlow struct {
+	pass      *Pass
+	spec      *resSpec
+	state     resState
+	reporting bool
+	reported  map[reportKey]bool
+}
+
+type reportKey struct {
+	pos token.Pos
+	msg string
 }
 
 // runResFlow applies spec to every function in the pass's package.
@@ -108,7 +162,7 @@ func runResFlow(pass *Pass, spec *resSpec) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
 				analyzeBody(pass, spec, fd.Body)
-				return false // nested FuncLits are analyzed by the walker
+				return false // nested FuncLits are analyzed by the flow itself
 			}
 			if fl, ok := n.(*ast.FuncLit); ok {
 				analyzeBody(pass, spec, fl.Body)
@@ -120,83 +174,103 @@ func runResFlow(pass *Pass, spec *resSpec) error {
 	return nil
 }
 
-// analyzeBody runs one independent walk over body.
+// analyzeBody solves one function body to fixpoint, then replays the
+// reachable blocks once with reporting enabled.
 func analyzeBody(pass *Pass, spec *resSpec, body *ast.BlockStmt) {
-	w := &flowWalker{pass: pass, spec: spec, state: make(flowState), oblig: make(map[*types.Var]*obligation)}
-	w.pushScope()
-	terminated := w.stmts(body.List)
-	w.popScope(terminated)
-}
-
-func (w *flowWalker) pushScope() { w.scopes = append(w.scopes, nil) }
-
-// popScope finalizes the innermost block: obligations acquired in it that
-// are still live have no remaining chance of discharge. A block that ended
-// in return already reported (and discharged) them at the return site.
-func (w *flowWalker) popScope(terminated bool) {
-	last := len(w.scopes) - 1
-	for _, v := range w.scopes[last] {
-		if w.state[v] && !terminated {
-			ob := w.oblig[v]
-			w.pass.Reportf(ob.pos, "%s %q from %s is never %s, forwarded, stored, or returned",
-				w.spec.desc, ob.name, ob.source, w.spec.releaseVerb)
-		}
-		delete(w.state, v)
-		delete(w.oblig, v)
+	g := buildCFG(body)
+	rf := &resFlow{pass: pass, spec: spec, reported: make(map[reportKey]bool)}
+	fns := FlowFuncs[resState]{
+		Clone: cloneRes,
+		Merge: mergeRes,
+		Equal: equalRes,
+		Node:  rf.node,
+		Edge:  rf.edge,
 	}
-	w.scopes = w.scopes[:last]
-}
+	in := ForwardFlow(g, make(resState), fns)
 
-// acquire attaches a fresh obligation to v.
-func (w *flowWalker) acquire(v *types.Var, name, source string, pos token.Pos, declared bool, errVar *types.Var) {
-	if _, tracked := w.oblig[v]; !tracked {
-		scope := 0 // assignments to outer vars live until function end
-		if declared {
-			scope = len(w.scopes) - 1
+	rf.reporting = true
+	for _, b := range g.RPO() {
+		s := cloneRes(in[b])
+		for _, n := range b.Nodes {
+			s = rf.node(n, s)
 		}
-		w.scopes[scope] = append(w.scopes[scope], v)
 	}
-	w.oblig[v] = &obligation{pos: pos, name: name, source: source, errVar: errVar, errLive: errVar != nil}
-	w.state[v] = true
+	// Obligations that reach Exit without passing a return statement fell off
+	// the end of the function: no remaining chance of discharge.
+	if g.Reachable(g.Exit) {
+		for _, f := range sortedLive(in[g.Exit]) {
+			rf.reportNever(f.ob)
+		}
+	}
 }
 
-// errReassigned invalidates acquisition-error tracking for obligations whose
-// error variable was overwritten.
-func (w *flowWalker) errReassigned(v *types.Var) {
-	if v == nil {
+// sortedLive returns the live facts of s ordered by acquisition position.
+func sortedLive(s resState) []resFact {
+	var out []resFact
+	for _, f := range s {
+		if f.live {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ob.pos < out[j].ob.pos })
+	return out
+}
+
+func (rf *resFlow) reportNever(ob *obligation) {
+	rf.reportOnce(ob.pos, fmt.Sprintf("%s %q from %s is never %s, forwarded, stored, or returned",
+		rf.spec.desc, ob.name, ob.source, rf.spec.releaseVerb))
+}
+
+func (rf *resFlow) reportReturnPath(ob *obligation, pos token.Pos) {
+	rf.reportOnce(pos, fmt.Sprintf("%s %q from %s is not %s, forwarded, or stored on this return path",
+		rf.spec.desc, ob.name, ob.source, rf.spec.releaseVerb))
+}
+
+func (rf *resFlow) reportOnce(pos token.Pos, msg string) {
+	k := reportKey{pos, msg}
+	if rf.reported[k] {
 		return
 	}
-	for _, ob := range w.oblig {
-		if ob.errVar == v {
-			ob.errLive = false
-		}
-	}
+	rf.reported[k] = true
+	rf.pass.Report(pos, msg)
 }
 
-// acquireFailedCheck inspects an if condition for `err != nil` / `err == nil`
-// over a live acquisition error. It returns the obligations voided on the
-// non-nil branch and whether the non-nil branch is the then-branch.
-func (w *flowWalker) acquireFailedCheck(cond ast.Expr) (voided []*types.Var, onThen bool) {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+// edge refines the state along a condition edge: `err != nil` voids the
+// obligations err witnesses on the non-nil edge (the acquisition failed),
+// and a tracked variable compared against nil loses its obligation on the
+// nil edge (a nil handle carries no resource).
+func (rf *resFlow) edge(e *Edge, s resState) resState {
+	if e.Cond == nil {
+		return s
+	}
+	be, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
 	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
-		return nil, false
+		return s
 	}
 	operand := be.X
 	if isNilIdent(be.X) {
 		operand = be.Y
 	} else if !isNilIdent(be.Y) {
-		return nil, false
+		return s
 	}
-	errV := w.identVar(ast.Unparen(operand))
-	if errV == nil {
-		return nil, false
+	rf.state = s
+	v := rf.identVar(ast.Unparen(operand))
+	if v == nil {
+		return s
 	}
-	for v, ob := range w.oblig {
-		if ob.errVar == errV && ob.errLive && w.state[v] {
-			voided = append(voided, v)
+	nonNil := (be.Op == token.NEQ) != e.Negated
+	if nonNil {
+		for tv, f := range s {
+			if f.ob.errVar == v && f.errLive && f.live {
+				f.live = false
+				s[tv] = f
+			}
 		}
+	} else if f, ok := s[v]; ok && f.live {
+		f.live = false
+		s[v] = f
 	}
-	return voided, be.Op == token.NEQ
+	return s
 }
 
 func isNilIdent(e ast.Expr) bool {
@@ -204,27 +278,123 @@ func isNilIdent(e ast.Expr) bool {
 	return ok && id.Name == "nil"
 }
 
+// node is the transfer function for one block node (a statement or a
+// branch-entry expression).
+func (rf *resFlow) node(n any, s resState) resState {
+	rf.state = s
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		rf.assign(n.Lhs, n.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					rf.assign(lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		rf.useExpr(n.X, false)
+		if isPanicCall(n.X) {
+			rf.killAll() // dying loudly is not a leak
+		}
+	case *ast.SendStmt:
+		rf.useExpr(n.Chan, false)
+		rf.useExpr(n.Value, true)
+	case *ast.IncDecStmt:
+		rf.useExpr(n.X, false)
+	case *ast.DeferStmt:
+		rf.call(n.Call)
+	case *ast.GoStmt:
+		rf.call(n.Call)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			rf.useExpr(r, true)
+		}
+		if rf.reporting {
+			for _, f := range sortedLive(rf.state) {
+				rf.reportReturnPath(f.ob, n.Pos())
+			}
+		}
+		rf.killAll()
+	case *ast.RangeStmt:
+		// The per-iteration key/value binding: assigned variables stop
+		// witnessing an earlier acquisition's error result.
+		rf.errReassigned(rf.identVar(n.Key))
+		rf.errReassigned(rf.identVar(n.Value))
+	case ast.Expr:
+		rf.useExpr(n, false)
+	}
+	return rf.state
+}
+
+// killAll discharges every outstanding obligation (return and panic sites:
+// already reported, or intentionally silent).
+func (rf *resFlow) killAll() {
+	for v, f := range rf.state {
+		if f.live {
+			f.live = false
+			rf.state[v] = f
+		}
+	}
+}
+
+// acquire attaches a fresh obligation to v. A plain acquisition over a still
+// live obligation strands the old resource — the loop-leak and
+// overwrite-leak signature — and reports it at its acquisition site. Retain
+// re-arms silently: retaining an undischarged reference just owes one more
+// release, which the Retain obligation itself tracks.
+func (rf *resFlow) acquire(v *types.Var, name, source string, pos token.Pos, errVar *types.Var, silent bool) {
+	if old, ok := rf.state[v]; ok && old.live && !silent && rf.reporting {
+		rf.reportNever(old.ob)
+	}
+	rf.state[v] = resFact{
+		ob:      &obligation{pos: pos, name: name, source: source, errVar: errVar},
+		live:    true,
+		errLive: errVar != nil,
+	}
+}
+
+// errReassigned invalidates acquisition-error tracking for obligations whose
+// error variable was overwritten.
+func (rf *resFlow) errReassigned(v *types.Var) {
+	if v == nil {
+		return
+	}
+	for tv, f := range rf.state {
+		if f.ob.errVar == v && f.errLive {
+			f.errLive = false
+			rf.state[tv] = f
+		}
+	}
+}
+
 // identVar resolves an identifier to the local variable it names.
-func (w *flowWalker) identVar(e ast.Expr) *types.Var {
+func (rf *resFlow) identVar(e ast.Expr) *types.Var {
 	id, ok := e.(*ast.Ident)
 	if !ok {
 		return nil
 	}
-	obj := w.pass.TypesInfo.Uses[id]
+	obj := rf.pass.TypesInfo.Uses[id]
 	if obj == nil {
-		obj = w.pass.TypesInfo.Defs[id]
+		obj = rf.pass.TypesInfo.Defs[id]
 	}
 	v, _ := obj.(*types.Var)
 	return v
 }
 
 // consume discharges the obligation on v, if tracked.
-func (w *flowWalker) consume(v *types.Var) {
+func (rf *resFlow) consume(v *types.Var) {
 	if v == nil {
 		return
 	}
-	if _, ok := w.state[v]; ok {
-		w.state[v] = false
+	if f, ok := rf.state[v]; ok && f.live {
+		f.live = false
+		rf.state[v] = f
 	}
 }
 
@@ -232,84 +402,90 @@ func (w *flowWalker) consume(v *types.Var) {
 // bare tracked identifier in this position transfers the resource onward
 // (argument, return value, stored element) as opposed to merely reading it
 // (selector base, comparison operand).
-func (w *flowWalker) useExpr(e ast.Expr, owning bool) {
+func (rf *resFlow) useExpr(e ast.Expr, owning bool) {
 	switch e := e.(type) {
 	case nil:
 	case *ast.Ident:
 		if owning {
-			w.consume(w.identVar(e))
+			rf.consume(rf.identVar(e))
 		}
 	case *ast.ParenExpr:
-		w.useExpr(e.X, owning)
+		rf.useExpr(e.X, owning)
 	case *ast.SelectorExpr:
-		w.useExpr(e.X, false)
+		rf.useExpr(e.X, false)
 	case *ast.StarExpr:
-		w.useExpr(e.X, false)
+		rf.useExpr(e.X, false)
 	case *ast.UnaryExpr:
-		w.useExpr(e.X, e.Op == token.AND) // &v escapes; !v, -v, <-v read
+		rf.useExpr(e.X, e.Op == token.AND) // &v escapes; !v, -v, <-v read
 	case *ast.BinaryExpr:
-		w.useExpr(e.X, false)
-		w.useExpr(e.Y, false)
+		rf.useExpr(e.X, false)
+		rf.useExpr(e.Y, false)
 	case *ast.IndexExpr:
-		w.useExpr(e.X, false)
-		w.useExpr(e.Index, false)
+		rf.useExpr(e.X, false)
+		rf.useExpr(e.Index, false)
 	case *ast.SliceExpr:
-		w.useExpr(e.X, false)
-		w.useExpr(e.Low, false)
-		w.useExpr(e.High, false)
-		w.useExpr(e.Max, false)
+		rf.useExpr(e.X, false)
+		rf.useExpr(e.Low, false)
+		rf.useExpr(e.High, false)
+		rf.useExpr(e.Max, false)
 	case *ast.TypeAssertExpr:
-		w.useExpr(e.X, owning)
+		rf.useExpr(e.X, owning)
 	case *ast.KeyValueExpr:
-		w.useExpr(e.Key, false)
-		w.useExpr(e.Value, owning)
+		rf.useExpr(e.Key, false)
+		rf.useExpr(e.Value, owning)
 	case *ast.CompositeLit:
 		for _, elt := range e.Elts {
-			w.useExpr(elt, true)
+			rf.useExpr(elt, true)
 		}
 	case *ast.FuncLit:
 		// The closure may discharge captured obligations at any later time;
 		// treat capture as escape, then analyze the closure independently.
-		w.captureClosure(e)
+		rf.captureClosure(e)
 	case *ast.CallExpr:
-		w.call(e)
+		rf.call(e)
 	default:
 		// Remaining expression kinds (literals, types) carry no ownership.
 	}
 }
 
 // captureClosure marks enclosing tracked variables referenced inside lit as
-// escaped and runs a fresh analysis over the closure body.
-func (w *flowWalker) captureClosure(lit *ast.FuncLit) {
+// escaped and runs a fresh analysis over the closure body (reporting pass
+// only: the fixpoint iteration may apply this transfer many times, the
+// closure's own obligations must report exactly once).
+func (rf *resFlow) captureClosure(lit *ast.FuncLit) {
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok {
-			if v := w.identVar(id); v != nil {
-				w.consume(v)
+			if v := rf.identVar(id); v != nil {
+				rf.consume(v)
 			}
 		}
 		return true
 	})
-	analyzeBody(w.pass, w.spec, lit.Body)
+	if rf.reporting {
+		saved := rf.state
+		analyzeBody(rf.pass, rf.spec, lit.Body)
+		rf.state = saved
+	}
 }
 
 // call handles release/retain recognition, then argument forwarding.
-func (w *flowWalker) call(call *ast.CallExpr) {
-	info := w.pass.TypesInfo
+func (rf *resFlow) call(call *ast.CallExpr) {
+	info := rf.pass.TypesInfo
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		recv := w.identVar(sel.X)
+		recv := rf.identVar(sel.X)
 		switch {
-		case w.spec.isRelease(info, call):
-			w.consume(recv)
-		case w.spec.isRetain != nil && w.spec.isRetain(info, call) && recv != nil:
-			w.acquire(recv, nameOf(sel.X), "Retain", call.Pos(), false, nil)
+		case rf.spec.isRelease(info, call):
+			rf.consume(recv)
+		case rf.spec.isRetain != nil && rf.spec.isRetain(info, call) && recv != nil:
+			rf.acquire(recv, nameOf(sel.X), "Retain", call.Pos(), nil, true)
 		default:
-			w.useExpr(call.Fun, false)
+			rf.useExpr(call.Fun, false)
 		}
 	} else {
-		w.useExpr(call.Fun, false)
+		rf.useExpr(call.Fun, false)
 	}
 	for _, arg := range call.Args {
-		w.useExpr(arg, true)
+		rf.useExpr(arg, true)
 	}
 }
 
@@ -320,69 +496,31 @@ func nameOf(e ast.Expr) string {
 	return "?"
 }
 
-// reportLiveAt flags every outstanding obligation at a return site and
-// discharges it so enclosing scopes do not report it twice.
-func (w *flowWalker) reportLiveAt(pos token.Pos) {
-	for v, live := range w.state {
-		if !live {
-			continue
-		}
-		ob := w.oblig[v]
-		w.pass.Reportf(pos, "%s %q from %s is not %s, forwarded, or stored on this return path",
-			w.spec.desc, ob.name, ob.source, w.spec.releaseVerb)
-		w.state[v] = false
-	}
-}
-
-// branch walks a statement list on a forked copy of the state, returning the
-// resulting state and whether the branch terminated.
-func (w *flowWalker) branch(list []ast.Stmt, base flowState) (flowState, bool) {
-	saved := w.state
-	w.state = cloneState(base)
-	w.pushScope()
-	term := w.stmts(list)
-	w.popScope(term)
-	result := w.state
-	w.state = saved
-	return result, term
-}
-
-// stmts walks a statement list in order, reporting true if it terminates
-// (return, panic, or branch statement).
-func (w *flowWalker) stmts(list []ast.Stmt) bool {
-	for _, s := range list {
-		if w.stmt(s) {
-			return true
-		}
-	}
-	return false
-}
-
 // assign processes one assignment or value-spec shape: RHS uses first, then
 // a possible acquisition bound to the first target.
-func (w *flowWalker) assign(lhs, rhs []ast.Expr, declares bool) {
+func (rf *resFlow) assign(lhs, rhs []ast.Expr) {
 	// Any variable overwritten here stops witnessing an earlier
 	// acquisition's error result.
 	for _, l := range lhs {
 		if _, ok := l.(*ast.Ident); ok {
-			w.errReassigned(w.identVar(l))
+			rf.errReassigned(rf.identVar(l))
 		}
 	}
 	acquired := false
 	if len(rhs) == 1 {
-		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok && w.spec.isAcquire(w.pass.TypesInfo, call) {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok && rf.spec.isAcquire(rf.pass.TypesInfo, call) {
 			// Scan the acquiring call's arguments, then bind the obligation.
-			w.useExpr(call.Fun, false)
+			rf.useExpr(call.Fun, false)
 			for _, arg := range call.Args {
-				w.useExpr(arg, true)
+				rf.useExpr(arg, true)
 			}
 			if len(lhs) > 0 {
-				if v := w.identVar(lhs[0]); v != nil && nameOf(lhs[0]) != "_" {
+				if v := rf.identVar(lhs[0]); v != nil && nameOf(lhs[0]) != "_" {
 					var errVar *types.Var
 					if len(lhs) > 1 && nameOf(lhs[1]) != "_" {
-						errVar = w.identVar(lhs[1])
+						errVar = rf.identVar(lhs[1])
 					}
-					w.acquire(v, nameOf(lhs[0]), w.spec.source, lhs[0].Pos(), declares, errVar)
+					rf.acquire(v, nameOf(lhs[0]), rf.spec.source, lhs[0].Pos(), errVar, false)
 					acquired = true
 				}
 			}
@@ -390,209 +528,12 @@ func (w *flowWalker) assign(lhs, rhs []ast.Expr, declares bool) {
 	}
 	if !acquired {
 		for _, r := range rhs {
-			w.useExpr(r, true)
+			rf.useExpr(r, true)
 		}
 	}
 	for _, l := range lhs {
 		if _, ok := l.(*ast.Ident); !ok {
-			w.useExpr(l, false) // index/selector targets: scan their bases
+			rf.useExpr(l, false) // index/selector targets: scan their bases
 		}
 	}
-}
-
-func (w *flowWalker) stmt(s ast.Stmt) (terminated bool) {
-	switch s := s.(type) {
-	case *ast.AssignStmt:
-		w.assign(s.Lhs, s.Rhs, s.Tok == token.DEFINE)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
-					lhs := make([]ast.Expr, len(vs.Names))
-					for i, n := range vs.Names {
-						lhs[i] = n
-					}
-					w.assign(lhs, vs.Values, true)
-				}
-			}
-		}
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				w.useExpr(s.X, false)
-				return true
-			}
-		}
-		w.useExpr(s.X, false)
-	case *ast.SendStmt:
-		w.useExpr(s.Chan, false)
-		w.useExpr(s.Value, true)
-	case *ast.IncDecStmt:
-		w.useExpr(s.X, false)
-	case *ast.DeferStmt, *ast.GoStmt:
-		var call *ast.CallExpr
-		if d, ok := s.(*ast.DeferStmt); ok {
-			call = d.Call
-		} else {
-			call = s.(*ast.GoStmt).Call
-		}
-		w.call(call)
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.useExpr(r, true)
-		}
-		w.reportLiveAt(s.Pos())
-		return true
-	case *ast.BranchStmt:
-		return true
-	case *ast.BlockStmt:
-		w.pushScope()
-		term := w.stmts(s.List)
-		w.popScope(term)
-		return term
-	case *ast.IfStmt:
-		w.pushScope()
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.useExpr(s.Cond, false)
-		base := w.state
-		// `if err != nil` right after `f, err := Create(...)`: the acquisition
-		// failed on the non-nil branch, so the obligation is void there.
-		voided, onThen := w.acquireFailedCheck(s.Cond)
-		baseThen, baseElse := base, base
-		if len(voided) > 0 {
-			discharged := cloneState(base)
-			for _, v := range voided {
-				discharged[v] = false
-			}
-			if onThen {
-				baseThen = discharged
-			} else {
-				baseElse = discharged
-			}
-		}
-		thenState, thenTerm := w.branch(s.Body.List, baseThen)
-		var elseState flowState
-		elseTerm := false
-		switch e := s.Else.(type) {
-		case *ast.BlockStmt:
-			elseState, elseTerm = w.branch(e.List, baseElse)
-		case *ast.IfStmt:
-			elseState, elseTerm = w.branch([]ast.Stmt{e}, baseElse)
-		default:
-			elseState = baseElse
-		}
-		switch {
-		case thenTerm && elseTerm:
-			terminated = s.Else != nil
-			if !terminated {
-				w.state = elseState
-			}
-		case thenTerm:
-			w.state = elseState
-		case elseTerm:
-			w.state = thenState
-		default:
-			w.state = mergeStates(thenState, elseState)
-		}
-		w.popScope(terminated)
-		return terminated
-	case *ast.ForStmt:
-		w.pushScope()
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.useExpr(s.Cond, false)
-		if s.Post != nil {
-			w.stmt(s.Post)
-		}
-		w.pushScope()
-		w.stmts(s.Body.List)
-		w.popScope(false)
-		w.popScope(false)
-	case *ast.RangeStmt:
-		w.pushScope()
-		w.useExpr(s.X, false)
-		w.pushScope()
-		w.stmts(s.Body.List)
-		w.popScope(false)
-		w.popScope(false)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.switchLike(s)
-	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt)
-	}
-	return false
-}
-
-// switchLike merges state across switch, type-switch, and select clauses.
-func (w *flowWalker) switchLike(s ast.Stmt) bool {
-	w.pushScope()
-	var clauses []ast.Stmt
-	hasDefault := false
-	isSelect := false
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.useExpr(s.Tag, false)
-		clauses = s.Body.List
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.stmt(s.Assign)
-		clauses = s.Body.List
-	case *ast.SelectStmt:
-		clauses = s.Body.List
-		isSelect = true
-	}
-	base := w.state
-	var results []flowState
-	allTerm := len(clauses) > 0
-	for _, c := range clauses {
-		var body []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			if c.List == nil {
-				hasDefault = true
-			}
-			for _, e := range c.List {
-				w.useExpr(e, false)
-			}
-			body = c.Body
-		case *ast.CommClause:
-			if c.Comm == nil {
-				hasDefault = true
-				body = c.Body
-			} else {
-				// The comm statement's ownership effects belong to its clause.
-				body = append([]ast.Stmt{c.Comm}, c.Body...)
-			}
-		}
-		st, term := w.branch(body, base)
-		if term {
-			allTerm = allTerm && true
-		} else {
-			allTerm = false
-			results = append(results, st)
-		}
-	}
-	// A switch without default may skip every clause; a select always takes
-	// one.
-	if !hasDefault && !isSelect {
-		results = append(results, base)
-		allTerm = false
-	}
-	terminated := allTerm && len(clauses) > 0
-	if !terminated {
-		if len(results) == 0 {
-			results = append(results, base)
-		}
-		w.state = mergeStates(results...)
-	}
-	w.popScope(terminated)
-	return terminated
 }

@@ -1,0 +1,61 @@
+// Package counters is the atomicmix golden: stats counters where some code
+// uses sync/atomic and other code uses plain loads/stores — the exact
+// half-converted shape the analyzer exists for — next to fields that are
+// consistently plain or consistently atomic.Int64 and must stay silent.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits    int64 // accessed via sync/atomic: every access must be
+	misses  int64 // accessed only plainly: fine
+	evicted atomic.Int64
+}
+
+func newStats() *stats {
+	return &stats{hits: 0, misses: 0} // composite-literal keys are initialization, not access
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) okAtomicRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) badPlainRead() int64 {
+	return s.hits // want `plain access to "hits", which is accessed via sync/atomic elsewhere`
+}
+
+func (s *stats) badPlainReset() {
+	s.hits = 0 // want `plain access to "hits", which is accessed via sync/atomic elsewhere`
+}
+
+// okPlainOnly never goes through sync/atomic, so plain access is fine (it
+// is guarded elsewhere, not this analyzer's business).
+func (s *stats) okPlainOnly() int64 {
+	s.misses++
+	return s.misses
+}
+
+// okWrapperType uses the atomic.Int64 wrapper, which cannot be accessed
+// plainly by construction.
+func (s *stats) okWrapperType() int64 {
+	s.evicted.Add(1)
+	return s.evicted.Load()
+}
+
+var shutdown uint32
+
+func requestShutdown() {
+	atomic.StoreUint32(&shutdown, 1)
+}
+
+func badPollShutdown() bool {
+	return shutdown == 1 // want `plain access to "shutdown", which is accessed via sync/atomic elsewhere`
+}
+
+func okAtomicPoll() bool {
+	return atomic.LoadUint32(&shutdown) == 1
+}

@@ -1,0 +1,77 @@
+// Package engine is the main lockorder golden: the checkpoint quiesce lock
+// (rank 2) against the table-lock class (rank 1), including the deferred
+// unlock and conditional-hold cases the dataflow exists for.
+package engine
+
+import (
+	"sync"
+
+	"lockorder/txn"
+)
+
+type DB struct {
+	ckptMu sync.RWMutex
+	locks  *txn.LockManager
+}
+
+// badInversion is PR 8's abort-path deadlock shape: the table lock is
+// acquired while ckptMu is held (the deferred RUnlock holds it to exit).
+func (db *DB) badInversion() error {
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
+	return db.locks.Lock(7, "table:orders") // want `table lock acquired while DB\.ckptMu is held: inverts the canonical lock order \(admission < table lock < ckptMu < pool/store\)`
+}
+
+// badRecursive re-acquires ckptMu on one branch: self-deadlock against a
+// pending writer between the two RLocks.
+func (db *DB) badRecursive(deep bool) {
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
+	if deep {
+		db.ckptMu.RLock() // want `DB\.ckptMu acquired while already held on some path \(self-deadlock\)`
+		db.ckptMu.RUnlock()
+	}
+}
+
+// badBranchHold holds ckptMu on only one path into the lock call — the
+// may-held merge still catches it.
+func (db *DB) badBranchHold(quiesce bool) error {
+	if quiesce {
+		db.ckptMu.RLock()
+		defer db.ckptMu.RUnlock()
+	}
+	return db.locks.Lock(7, "table:orders") // want `table lock acquired while DB\.ckptMu is held: inverts the canonical lock order \(admission < table lock < ckptMu < pool/store\)`
+}
+
+// okOrder nests table lock -> ckptMu, the canonical 1 -> 2 direction, with
+// the manager's re-entrant resource-keyed locks taken repeatedly first.
+func (db *DB) okOrder() error {
+	if err := db.locks.Lock(7, "catalog"); err != nil {
+		return err
+	}
+	if err := db.locks.Lock(7, "table:orders"); err != nil {
+		return err
+	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
+	return nil
+}
+
+// okSequential releases ckptMu with a direct (non-deferred) unlock before
+// taking the table lock: no nesting, no diagnostic.
+func (db *DB) okSequential() error {
+	db.ckptMu.RLock()
+	db.ckptMu.RUnlock()
+	return db.locks.Lock(7, "table:orders")
+}
+
+// okClosure acquires inside a closure: the closure runs on its own call
+// path, so the outer hold does not leak into it (the checkpointer passes
+// callbacks around this way).
+func (db *DB) okClosure() func() {
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
+	return func() {
+		_ = db.locks.Lock(7, "table:orders")
+	}
+}

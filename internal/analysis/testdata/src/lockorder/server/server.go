@@ -1,0 +1,36 @@
+// Package server is the admission-lock golden: admission.mu is rank 0, the
+// bottom of the hierarchy, so holding it while taking a table lock is fine
+// but acquiring it while a table lock is held is an inversion.
+package server
+
+import (
+	"sync"
+
+	"lockorder/txn"
+)
+
+type admission struct {
+	mu    sync.Mutex
+	slots int
+}
+
+// okAdmitThenLock nests admission.mu -> table lock, the canonical 0 -> 1
+// direction.
+func (a *admission) okAdmitThenLock(lm *txn.LockManager) error {
+	a.mu.Lock()
+	a.slots--
+	err := lm.Lock(1, "table:orders")
+	a.mu.Unlock()
+	return err
+}
+
+// badLockThenAdmit acquires admission.mu while a table lock is held: 1 -> 0.
+func (a *admission) badLockThenAdmit(lm *txn.LockManager) {
+	if err := lm.Lock(1, "table:orders"); err != nil {
+		return
+	}
+	a.mu.Lock() // want `admission\.mu acquired while table lock is held: inverts the canonical lock order \(admission < table lock < ckptMu < pool/store\)`
+	a.slots++
+	a.mu.Unlock()
+	lm.ReleaseAll(1)
+}

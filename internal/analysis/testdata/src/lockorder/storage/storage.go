@@ -1,0 +1,41 @@
+// Package storage is both a stub (Pool/Store used by the engine golden) and
+// the same-rank-cycle golden: Pool.mu and Store.mu share rank 3, so neither
+// order is a rank inversion — but taking them in both orders across two
+// functions is a deadlock, caught by the package-wide acquisition graph.
+package storage
+
+import "sync"
+
+type Pool struct {
+	mu    sync.Mutex
+	dirty int
+}
+
+type Store struct {
+	mu    sync.RWMutex
+	pages int
+}
+
+func (p *Pool) flushTo(s *Store) {
+	p.mu.Lock()
+	s.mu.Lock() // want `Store\.mu acquired while Pool\.mu is held, and elsewhere the opposite order occurs: lock-order cycle`
+	s.pages += p.dirty
+	p.dirty = 0
+	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func (s *Store) evictInto(p *Pool) {
+	s.mu.Lock()
+	p.mu.Lock() // want `Pool\.mu acquired while Store\.mu is held, and elsewhere the opposite order occurs: lock-order cycle`
+	p.dirty += s.pages
+	p.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// okIsolated takes only one of the two mutexes: no edge, no diagnostic.
+func (p *Pool) okIsolated() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirty
+}

@@ -1,0 +1,11 @@
+// Package txn is a stub of the real internal/txn lock manager for the
+// lockorder golden suite. LockManager.Lock is the rank-1 "table lock" class;
+// it is resource-keyed and re-entrant per transaction, so repeated Lock
+// calls while held are not recursive-acquisition diagnostics.
+package txn
+
+type LockManager struct{}
+
+func (lm *LockManager) Lock(txnID uint64, resource string) error { return nil }
+
+func (lm *LockManager) ReleaseAll(txnID uint64) {}

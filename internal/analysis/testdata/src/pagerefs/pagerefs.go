@@ -106,3 +106,49 @@ func okClosureCapture(pool *exec.PagePool) func() {
 		pg.Release()
 	}
 }
+
+// leakOnContinue skips the release when the filter rejects the page: the
+// reference rides the back edge into the next iteration, stranded.
+func leakOnContinue(pool *exec.PagePool, n int) {
+	for i := 0; i < n; i++ {
+		pg := pool.Get(8) // want `page "pg" from PagePool.Get is never released, forwarded, stored, or returned`
+		if pg.Len() == 0 {
+			continue
+		}
+		pg.Release()
+	}
+}
+
+// leakReacquire overwrites a live reference, stranding the first one.
+func leakReacquire(pool *exec.PagePool) {
+	pg := pool.Get(8) // want `page "pg" from PagePool.Get is never released, forwarded, stored, or returned`
+	pg = pool.Get(16)
+	pg.Release()
+}
+
+// okReleasePrev releases the previous iteration's reference before taking
+// the next; the nil check proves the first iteration holds nothing.
+func okReleasePrev(pool *exec.PagePool, n int) {
+	var prev *exec.Page
+	for i := 0; i < n; i++ {
+		if prev != nil {
+			prev.Release()
+		}
+		prev = pool.Get(8)
+	}
+	if prev != nil {
+		prev.Release()
+	}
+}
+
+// okLoopEarlyBreak discharges before leaving the loop on every path.
+func okLoopEarlyBreak(pool *exec.PagePool, n int) {
+	for i := 0; i < n; i++ {
+		pg := pool.Get(8)
+		if pg.Len() == 0 {
+			pg.Release()
+			break
+		}
+		pg.Release()
+	}
+}

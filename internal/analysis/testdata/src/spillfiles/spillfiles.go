@@ -84,3 +84,31 @@ func okForwarded(dir string) error {
 func okReturned(dir string) (*spill.File, error) {
 	return spill.Create(dir, nil)
 }
+
+// leakOnLoopContinue skips Close when a row fails the filter: the temp file
+// from that iteration stays on disk forever.
+func leakOnLoopContinue(dir string, rows [][]int) {
+	for _, row := range rows {
+		f, _ := spill.Create(dir, nil) // want `spill file "f" from spill.Create is never closed, forwarded, stored, or returned`
+		if len(row) == 0 {
+			continue
+		}
+		f.Close()
+	}
+}
+
+// okLoopClose closes every iteration's file on every path out of the body.
+func okLoopClose(dir string, rows [][]int) error {
+	for _, row := range rows {
+		f, err := spill.Create(dir, nil)
+		if err != nil {
+			return err
+		}
+		if err := f.Append(row); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package engine is the verhdr golden: code outside mvcc/storage that
+// touches versioned records. Violations write the 16-byte version header
+// raw or call the storage codec writers directly; clean functions stamp
+// through the mvcc API and write only at or past VerHdrLen.
+package engine
+
+import (
+	"encoding/binary"
+
+	"verhdr/mvcc"
+	"verhdr/storage"
+)
+
+func badDirectStamp(payload []byte) []byte {
+	return storage.AppendVersion(nil, 7, 0, payload) // want `storage\.AppendVersion called outside internal/mvcc`
+}
+
+func badDirectXmax(rec []byte) ([]byte, error) {
+	return storage.WithXmax(rec, 9) // want `storage\.WithXmax called outside internal/mvcc`
+}
+
+func badIndexWrite(payload []byte) []byte {
+	rec := mvcc.NewVersion(7, payload)
+	rec[0] = 0xFF // want `raw write into the version header of "rec" \(offset 0 < VerHdrLen\)`
+	return rec
+}
+
+func badPutUint(h *storage.Heap, rid storage.RID) error {
+	rec, err := h.Get(rid)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(rec[8:16], 9) // want `binary\.PutUint64 writes into the version header of "rec"`
+	return h.Update(rid, rec)
+}
+
+func badCopy(rec, src []byte) {
+	if _, _, err := storage.VersionOf(rec); err != nil {
+		return
+	}
+	copy(rec, src) // want `copy overwrites the version header of "rec"`
+}
+
+func badAliasWrite(payload []byte) []byte {
+	rec := mvcc.NewVersion(7, payload)
+	alias := rec
+	alias[3] = 1 // want `raw write into the version header of "alias" \(offset 3 < VerHdrLen\)`
+	return rec
+}
+
+func okStampAPI(h *storage.Heap, rid storage.RID, payload []byte) error {
+	rec := mvcc.NewVersion(7, payload)
+	if _, err := h.Insert(rec); err != nil {
+		return err
+	}
+	old, err := h.Get(rid)
+	if err != nil {
+		return err
+	}
+	dead, err := mvcc.Supersede(old, 9)
+	if err != nil {
+		return err
+	}
+	return h.Update(rid, dead)
+}
+
+func okPayloadWrite(payload []byte) []byte {
+	rec := mvcc.NewVersion(7, payload)
+	rec[16] = 0x01                               // first payload byte, not the header
+	binary.LittleEndian.PutUint64(rec[16:24], 5) // payload region
+	copy(rec[storage.VerHdrLen:], payload)       // named-constant low bound is >= VerHdrLen
+	return rec
+}
+
+func okUntracked(n int) []byte {
+	buf := make([]byte, 32)
+	buf[0] = byte(n) // plain buffer, no version provenance
+	binary.LittleEndian.PutUint64(buf[8:16], 1)
+	return buf
+}

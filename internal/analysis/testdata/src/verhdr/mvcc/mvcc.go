@@ -1,0 +1,18 @@
+// Package mvcc is a stub of the real internal/mvcc stamp API for the verhdr
+// golden suite. It is ALSO a clean-pass golden: the analyzer runs over it
+// and must report nothing, because mvcc is the one package allowed to call
+// the storage codec writers directly.
+package mvcc
+
+import "verhdr/storage"
+
+// NewVersion is allowed to call storage.AppendVersion: this package owns the
+// stamp discipline.
+func NewVersion(xmin uint64, payload []byte) []byte {
+	return storage.AppendVersion(nil, xmin, 0, payload)
+}
+
+// Supersede is allowed to call storage.WithXmax.
+func Supersede(rec []byte, xmax uint64) ([]byte, error) {
+	return storage.WithXmax(rec, xmax)
+}

@@ -1,0 +1,11 @@
+// Golden file for walbarrier's scope: a package whose import path does not
+// end in "engine" may mutate pages freely — the heap itself and its tests
+// operate below the WAL.
+package plain
+
+import "walbarrier/storage"
+
+// rawInsertOutOfScope would be a violation inside internal/engine.
+func rawInsertOutOfScope(h *storage.Heap, rec []byte) {
+	h.Insert(rec)
+}

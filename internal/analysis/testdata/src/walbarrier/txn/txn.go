@@ -1,0 +1,34 @@
+// Package txn is a stub of stagedb/internal/txn for the walbarrier golden
+// files: the WAL append surface and the Record type whose presence in a
+// signature marks recovery replay.
+package txn
+
+import "walbarrier/storage"
+
+// Record is one logged operation.
+type Record struct {
+	RID    storage.RID
+	Before []byte
+	After  []byte
+}
+
+// Manager stands in for the transaction manager.
+type Manager struct{}
+
+// LogOp appends rec to the WAL.
+func (m *Manager) LogOp(rec Record) (uint64, error) { return 0, nil }
+
+// AppendCLR appends a compensation record.
+func (m *Manager) AppendCLR(rec Record) (uint64, error) { return 0, nil }
+
+// WAL stands in for the in-memory write-ahead log.
+type WAL struct{}
+
+// Append appends rec.
+func (w *WAL) Append(rec Record) (uint64, error) { return 0, nil }
+
+// DurableWAL stands in for the file-backed write-ahead log.
+type DurableWAL struct{}
+
+// Append appends rec and schedules a group-commit flush.
+func (w *DurableWAL) Append(rec Record) (uint64, error) { return 0, nil }

@@ -731,7 +731,7 @@ func (db *DB) insertRow(id txn.ID, tbl *catalog.Table, h *storage.Heap, row valu
 	if err != nil {
 		return err
 	}
-	rec := storage.AppendVersion(nil, uint64(id), 0, payload)
+	rec := mvcc.NewVersion(uint64(id), payload)
 	rid, err := h.InsertLogged(rec, func(rid storage.RID) (uint64, error) {
 		return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name, RID: rid, After: rec})
 	})
@@ -861,7 +861,7 @@ func (db *DB) collectTargets(id txn.ID, tbl *catalog.Table, h *storage.Heap, pre
 // version header, so the logged update is always in place; both images
 // carry the full record so undo and recovery restore it exactly.
 func (db *DB) supersede(id txn.ID, tbl *catalog.Table, h *storage.Heap, rid storage.RID, oldRec []byte) error {
-	dead, err := storage.WithXmax(oldRec, uint64(id))
+	dead, err := mvcc.Supersede(oldRec, uint64(id))
 	if err != nil {
 		return err
 	}
@@ -947,7 +947,7 @@ func (db *DB) update(ctx context.Context, id txn.ID, stmt *sql.Update) (*Result,
 		if err := db.supersede(id, tbl, h, tg.rid, tg.rec); err != nil {
 			return nil, err
 		}
-		newRec := storage.AppendVersion(nil, uint64(id), 0, payload)
+		newRec := mvcc.NewVersion(uint64(id), payload)
 		newRID, err := h.InsertLogged(newRec, func(rid storage.RID) (uint64, error) {
 			return db.tm.LogOp(txn.Record{Txn: id, Kind: txn.RecInsert, Table: tbl.Name,
 				RID: rid, After: newRec})

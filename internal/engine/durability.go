@@ -651,6 +651,7 @@ func (db *DB) rebuildIndexes() error {
 			return scanErr
 		}
 		for _, rid := range dead {
+			//stagedbvet:ignore walbarrier recovery-time sweep of already-superseded versions: idempotent physical cleanup, re-derived from xmax stamps on the next recovery pass, not part of any transaction's redo/undo
 			if err := h.Delete(rid); err != nil {
 				return err
 			}

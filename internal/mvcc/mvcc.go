@@ -200,7 +200,9 @@ func (m *Manager) Pruned(n int64) { m.pruned.Add(n) }
 // before the snapshot's begin timestamp, and the deleter (if any) must not
 // be — a deletion by self, or committed at or before the begin timestamp,
 // hides the version; an active, aborted, or later-committed deleter does
-// not.
+// not. It runs once per row on every versioned scan.
+//
+//stagedb:hot
 func (m *Manager) Visible(snap *Snapshot, xmin, xmax uint64) bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -223,6 +225,8 @@ func (m *Manager) Visible(snap *Snapshot, xmin, xmax uint64) bool {
 // commitTSLocked resolves id to its commit timestamp. Unknown ids are
 // committed at timestamp 0 (see the package comment); active and aborted
 // ids are not committed.
+//
+//stagedb:hot
 func (m *Manager) commitTSLocked(id uint64) (vclock.Time, bool) {
 	st, ok := m.txns[id]
 	if !ok {

@@ -1,0 +1,24 @@
+package mvcc
+
+// stamp.go is the only sanctioned writer of version-header stamps outside
+// package storage itself. The verhdr analyzer enforces this: xmin/xmax are
+// visibility decisions, and a stamp written anywhere else bypasses the
+// invariants the Manager's status table depends on (xmin is the creating
+// transaction, xmax transitions 0 -> deleter exactly once). Callers in the
+// engine go through NewVersion and Supersede; raw storage.AppendVersion /
+// storage.WithXmax calls elsewhere are diagnostics.
+
+import "stagedb/internal/storage"
+
+// NewVersion encodes a fresh version of payload created by transaction
+// xmin: live (xmax 0) until superseded.
+func NewVersion(xmin uint64, payload []byte) []byte {
+	return storage.AppendVersion(nil, xmin, 0, payload)
+}
+
+// Supersede returns a copy of rec stamped as deleted (or replaced) by
+// transaction xmax. The copy has the same length as rec, so an in-place
+// heap update always fits.
+func Supersede(rec []byte, xmax uint64) ([]byte, error) {
+	return storage.WithXmax(rec, xmax)
+}

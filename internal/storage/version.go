@@ -2,7 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
 )
 
 // version.go defines the on-record MVCC version header. Every heap record of
@@ -22,6 +22,10 @@ import (
 // VerHdrLen is the length of the version header prepended to each record.
 const VerHdrLen = 16
 
+// ErrShortRecord reports a record too short to carry a version header. It is
+// a shared static error so the decode hot path allocates nothing.
+var ErrShortRecord = errors.New("storage: record too short for version header")
+
 // AppendVersion appends a version header followed by payload to dst and
 // returns the extended slice.
 func AppendVersion(dst []byte, xmin, xmax uint64, payload []byte) []byte {
@@ -32,19 +36,24 @@ func AppendVersion(dst []byte, xmin, xmax uint64, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// VersionOf extracts the xmin/xmax stamps from a versioned record.
+// VersionOf extracts the xmin/xmax stamps from a versioned record. It runs
+// once per row on every versioned scan.
+//
+//stagedb:hot
 func VersionOf(rec []byte) (xmin, xmax uint64, err error) {
 	if len(rec) < VerHdrLen {
-		return 0, 0, fmt.Errorf("storage: record too short for version header (%d bytes)", len(rec))
+		return 0, 0, ErrShortRecord
 	}
 	return binary.LittleEndian.Uint64(rec[0:8]), binary.LittleEndian.Uint64(rec[8:16]), nil
 }
 
 // PayloadOf returns the row payload of a versioned record (the bytes after
 // the version header), aliasing rec's backing array.
+//
+//stagedb:hot
 func PayloadOf(rec []byte) ([]byte, error) {
 	if len(rec) < VerHdrLen {
-		return nil, fmt.Errorf("storage: record too short for version header (%d bytes)", len(rec))
+		return nil, ErrShortRecord
 	}
 	return rec[VerHdrLen:], nil
 }
@@ -54,7 +63,7 @@ func PayloadOf(rec []byte) ([]byte, error) {
 // fits.
 func WithXmax(rec []byte, xmax uint64) ([]byte, error) {
 	if len(rec) < VerHdrLen {
-		return nil, fmt.Errorf("storage: record too short for version header (%d bytes)", len(rec))
+		return nil, ErrShortRecord
 	}
 	out := make([]byte, len(rec))
 	copy(out, rec)
